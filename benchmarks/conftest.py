@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_eXX`` file regenerates one experiment table from
+DESIGN.md's index (saved under ``benchmarks/results/``), asserts the
+paper-claim's shape on its rows, and times a representative kernel
+with pytest-benchmark.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(name): marks which paper experiment a "
+        "benchmark regenerates",
+    )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Depth-limited game play: Connect-3 on a 4x4 board.
+
+The "wide-and-shallow" regime the paper's Section 8 contrasts with its
+tall-tree analysis: branching ~4, search depth capped at 6 plies with
+a heuristic at the frontier.  We play a full game where both sides
+choose moves by node-expansion alpha-beta, report the per-move search
+cost of the sequential vs the width-1 parallel searcher, and render
+the final board.
+"""
+
+from repro.core.nodeexpansion import (
+    n_parallel_alpha_beta,
+    n_sequential_alpha_beta,
+)
+from repro.games import ConnectK, game_tree
+
+
+def choose_move(game, position, depth):
+    """Best move for the player to move, with both searchers' costs."""
+    mover = position[1]
+    best = None
+    seq_cost = par_cost = 0
+    for move in game.moves(position):
+        child = game.apply(position, move)
+        seq = n_sequential_alpha_beta(game_tree(game, child,
+                                                max_depth=depth))
+        par = n_parallel_alpha_beta(game_tree(game, child,
+                                              max_depth=depth), 1)
+        assert abs(seq.value - par.value) < 1e-12
+        seq_cost += seq.num_steps
+        par_cost += par.num_steps
+        # Values are from X's perspective; O minimises.
+        score = seq.value if mover == 1 else -seq.value
+        if best is None or score > best[0]:
+            best = (score, move)
+    return best[1], seq_cost, par_cost
+
+
+def main() -> None:
+    game = ConnectK(4, 4, 3)
+    pos = game.initial_position()
+    ply = 0
+    total_seq = total_par = 0
+    print("Connect-3 on 4x4, both players searching to depth 6\n")
+    print(f"{'ply':>4} {'player':>7} {'move':>5} {'S* steps':>9} "
+          f"{'P* steps':>9} {'speed-up':>9}")
+    while game.moves(pos) and ply < 16:
+        move, seq_cost, par_cost = choose_move(game, pos, depth=6)
+        print(
+            f"{ply:>4} {'X' if pos[1] == 1 else 'O':>7} {move:>5} "
+            f"{seq_cost:>9} {par_cost:>9} {seq_cost / par_cost:>9.2f}"
+        )
+        total_seq += seq_cost
+        total_par += par_cost
+        pos = game.apply(pos, move)
+        ply += 1
+    print("\nfinal position:")
+    print(ConnectK.pretty(pos))
+    outcome = game.terminal_value(pos)
+    verdict = {1.0: "X wins", -1.0: "O wins", 0.0: "draw"}[outcome]
+    print(f"\nresult: {verdict}")
+    print(
+        f"total search: sequential {total_seq} expansions, width-1 "
+        f"parallel {total_par} steps ({total_seq / total_par:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

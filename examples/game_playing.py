@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Game playing with parallel game-tree search.
+
+Two demonstrations on real games, both through the node-expansion
+model (the tree is *generated* by the search, as in a game program):
+
+1. Tic-tac-toe: pick the best move from a mid-game position by running
+   N-Parallel alpha-beta (width 1) on each successor, and compare the
+   expansion counts against N-Sequential alpha-beta.
+2. Nim: decide the winner of several positions with the Boolean
+   win/loss tree (a NAND tree) and check against Sprague-Grundy theory.
+"""
+
+from repro.core.nodeexpansion import (
+    n_parallel_alpha_beta,
+    n_parallel_solve,
+    n_sequential_alpha_beta,
+    n_sequential_solve,
+)
+from repro.games import Nim, TicTacToe, game_tree, win_loss_tree
+
+
+def best_move_tictactoe() -> None:
+    game = TicTacToe()
+    pos = game.initial_position()
+    for move in (4, 0):  # X center, O corner
+        pos = game.apply(pos, move)
+    print("position under analysis:")
+    print(game.pretty(pos))
+    print()
+
+    # Each successor has O to move; game_tree roots it with MIN
+    # polarity, and values stay in the absolute convention (X = +1),
+    # so X simply picks the maximum over its replies.
+    total_seq = total_par = 0
+    scored = []
+    for move in game.moves(pos):
+        child = game.apply(pos, move)
+        tree = game_tree(game, child)
+        seq = n_sequential_alpha_beta(tree)
+        par = n_parallel_alpha_beta(tree, width=1)
+        assert seq.value == par.value
+        scored.append((seq.value, move))
+        total_seq += seq.num_steps
+        total_par += par.num_steps
+    value, move = max(scored)
+    print(f"best move for X: square {move} (game value {value:+.0f})")
+    print(
+        f"search cost over all replies: sequential {total_seq} steps, "
+        f"width-1 parallel {total_par} steps "
+        f"({total_seq / total_par:.2f}x speed-up)\n"
+    )
+
+
+def nim_analysis() -> None:
+    print("Nim (normal play): win/loss via NAND game trees")
+    header = f"{'heaps':>12} {'take<=':>7} {'tree says':>10} {'grundy':>7} {'S* steps':>9} {'P* steps':>9}"
+    print(header)
+    print("-" * len(header))
+    for heaps, limit in [
+        ((3, 5), None),
+        ((2, 2), None),
+        ((7,), 3),
+        ((8,), 3),
+        ((1, 2, 3), None),
+        ((1, 2, 4), None),
+    ]:
+        game = Nim(heaps, max_take=limit)
+        tree = win_loss_tree(game)
+        seq = n_sequential_solve(tree)
+        tree2 = win_loss_tree(game)
+        par = n_parallel_solve(tree2, width=1)
+        assert bool(seq.value) == bool(par.value) == game.first_player_wins()
+        says = "first wins" if seq.value else "second wins"
+        print(
+            f"{str(heaps):>12} {str(limit or '-'):>7} {says:>10} "
+            f"{game.grundy(game.initial_position()):>7} "
+            f"{seq.num_steps:>9} {par.num_steps:>9}"
+        )
+
+
+def main() -> None:
+    best_move_tictactoe()
+    nim_analysis()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate one AND/OR tree three ways.
+
+Builds a uniform binary NOR tree with i.i.d. leaves at the golden-ratio
+bias (the "hardest" i.i.d. setting, Section 6), then runs the paper's
+three algorithms and prints the model costs side by side:
+
+* Sequential SOLVE      — one leaf per step (the baseline S(T));
+* Team SOLVE (p = 16)   — leftmost-p naive parallelism, ~sqrt(p) gain;
+* Parallel SOLVE (w = 1) — the paper's algorithm, ~n+1 processors and
+  a speed-up linear in n.
+"""
+
+from repro import parallel_solve, sequential_solve, team_solve
+from repro.trees.generators import golden_ratio_instance
+
+
+def main() -> None:
+    height = 14
+    tree = golden_ratio_instance(height, seed=2026)
+    print(f"uniform binary NOR tree, height n = {height}, "
+          f"{tree.num_leaves()} leaves\n")
+
+    seq = sequential_solve(tree)
+    team = team_solve(tree, processors=16)
+    par = parallel_solve(tree, width=1)
+    assert seq.value == team.value == par.value
+
+    print(f"root value: {seq.value}\n")
+    header = f"{'algorithm':>24} {'steps':>8} {'work':>8} {'procs':>6} {'speed-up':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, res in [
+        ("Sequential SOLVE", seq),
+        ("Team SOLVE (p=16)", team),
+        ("Parallel SOLVE (w=1)", par),
+    ]:
+        speedup = seq.num_steps / res.num_steps
+        print(
+            f"{name:>24} {res.num_steps:>8} {res.total_work:>8} "
+            f"{res.processors:>6} {speedup:>9.2f}"
+        )
+    print(
+        f"\nParallel SOLVE used {par.processors} processors "
+        f"(paper: n + 1 = {height + 1}) and achieved a "
+        f"{seq.num_steps / par.num_steps:.1f}x speed-up."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so legacy (non-PEP-517) editable installs work offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of Karp & Zhang (SPAA 1989),
+"On Parallel Evaluation of Game Trees".
+
+Public API overview
+-------------------
+
+Trees (:mod:`repro.trees`):
+    :class:`UniformTree`, :class:`ExplicitTree`, :class:`LazyTree`,
+    :class:`PermutedTree`, plus instance generators under
+    :mod:`repro.trees.generators`.
+
+Algorithms (:mod:`repro.core`):
+    ``sequential_solve``, ``team_solve``, ``parallel_solve`` for Boolean
+    (AND/OR / NOR) trees; ``alpha_beta``, ``sequential_alpha_beta``,
+    ``parallel_alpha_beta``, ``minimax``, ``scout`` for MIN/MAX trees;
+    node-expansion variants under :mod:`repro.core.nodeexpansion` and
+    randomized variants under :mod:`repro.core.randomized`.
+
+Analysis (:mod:`repro.analysis`):
+    skeletons, proof trees, the paper's combinatorial bounds and
+    speed-up measurement helpers.
+
+Simulation (:mod:`repro.simulator`):
+    the Section 7 message-passing multiprocessor implementation of
+    N-Parallel SOLVE of width 1.
+"""
+
+from .types import GOLDEN_BIAS, Gate, NodeType, TreeKind
+from .trees import (
+    ExplicitTree,
+    GameTree,
+    LazyTree,
+    PermutedTree,
+    UniformTree,
+    exact_value,
+    lazy_view,
+)
+from .core import parallel_solve, sequential_solve, team_solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Gate",
+    "NodeType",
+    "TreeKind",
+    "GOLDEN_BIAS",
+    "GameTree",
+    "ExplicitTree",
+    "UniformTree",
+    "LazyTree",
+    "PermutedTree",
+    "exact_value",
+    "lazy_view",
+    "sequential_solve",
+    "team_solve",
+    "parallel_solve",
+    "__version__",
+]

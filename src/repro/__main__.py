@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    List the registered experiments.
+run EXPID [EXPID ...]
+    Run experiments and print their tables (also saved under
+    ``benchmarks/results/``).
+report
+    Regenerate EXPERIMENTS.md from the saved result tables.
+demo
+    A 30-second tour: evaluate one instance with every algorithm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from .bench import list_experiments
+
+    for name in list_experiments():
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .bench import run_experiment
+
+    for name in args.experiments:
+        table = run_experiment(name, save=not args.no_save)
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .bench.report import generate_experiments_md
+
+    generate_experiments_md()
+    print("wrote EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    """Fast cross-validation of every algorithm family."""
+    import numpy as np
+
+    from .core import parallel_solve, sequential_solve, team_solve
+    from .core.alphabeta import (
+        alpha_beta,
+        parallel_alpha_beta,
+        scout,
+        sequential_alpha_beta,
+        sss_star,
+    )
+    from .core.nodeexpansion import (
+        n_parallel_alpha_beta,
+        n_parallel_solve,
+        n_sequential_alpha_beta,
+        n_sequential_solve,
+    )
+    from .simulator import simulate
+    from .trees import exact_value
+    from .trees.generators import iid_boolean, iid_minmax
+
+    rng = np.random.default_rng(args.seed)
+    checks = 0
+    for trial in range(args.trials):
+        n = int(rng.integers(2, 8))
+        tree = iid_boolean(2, n, float(rng.random()), seed=trial)
+        truth = exact_value(tree)
+        for result in (
+            sequential_solve(tree),
+            team_solve(tree, 4),
+            parallel_solve(tree, 1),
+            n_sequential_solve(tree),
+            n_parallel_solve(tree, 1),
+            simulate(tree),
+        ):
+            assert result.value == truth, "Boolean disagreement!"
+            checks += 1
+        mtree = iid_minmax(2, int(rng.integers(2, 6)), seed=trial)
+        mtruth = exact_value(mtree)
+        for result in (
+            alpha_beta(mtree),
+            sequential_alpha_beta(mtree),
+            parallel_alpha_beta(mtree, 1),
+            scout(mtree),
+            sss_star(mtree),
+            n_sequential_alpha_beta(mtree),
+            n_parallel_alpha_beta(mtree, 1),
+        ):
+            assert result.value == mtruth, "MIN/MAX disagreement!"
+            checks += 1
+    print(f"ok — {checks} algorithm runs agreed with ground truth "
+          f"on {args.trials} Boolean + {args.trials} MIN/MAX instances")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from .core import parallel_solve, sequential_solve, team_solve
+    from .core.nodeexpansion import n_parallel_solve, n_sequential_solve
+    from .simulator import simulate
+    from .trees.generators import iid_boolean
+    from .trees.generators.iid import level_invariant_bias
+
+    n = args.height
+    tree = iid_boolean(2, n, level_invariant_bias(2), seed=args.seed)
+    print(f"uniform binary NOR tree: height {n}, "
+          f"{tree.num_leaves()} leaves, seed {args.seed}\n")
+    seq = sequential_solve(tree)
+    rows = [
+        ("Sequential SOLVE", seq.num_steps, seq.total_work, 1),
+        ("Team SOLVE (p=16)", *_tw(team_solve(tree, 16))),
+        ("Parallel SOLVE (w=1)", *_tw(parallel_solve(tree, 1))),
+        ("Parallel SOLVE (w=2)", *_tw(parallel_solve(tree, 2))),
+        ("N-Sequential SOLVE", *_tw(n_sequential_solve(tree))),
+        ("N-Parallel SOLVE (w=1)", *_tw(n_parallel_solve(tree, 1))),
+    ]
+    sim = simulate(tree)
+    rows.append(("Section-7 machine", sim.ticks, sim.expansions,
+                 sim.max_degree))
+    print(f"{'algorithm':>24} {'steps':>7} {'work':>7} {'procs':>6}")
+    for name, steps, work, procs in rows:
+        print(f"{name:>24} {steps:>7} {work:>7} {procs:>6}")
+    print(f"\nroot value: {seq.value}")
+    return 0
+
+
+def _tw(res):
+    return res.num_steps, res.total_work, res.processors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Karp & Zhang (SPAA 1989) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run experiments")
+    run.add_argument("experiments", nargs="+")
+    run.add_argument("--no-save", action="store_true")
+    run.set_defaults(fn=_cmd_run)
+
+    sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md"
+    ).set_defaults(fn=_cmd_report)
+
+    demo = sub.add_parser("demo", help="evaluate one instance")
+    demo.add_argument("--height", type=int, default=12)
+    demo.add_argument("--seed", type=int, default=2026)
+    demo.set_defaults(fn=_cmd_demo)
+
+    verify = sub.add_parser(
+        "verify", help="cross-validate all algorithm families"
+    )
+    verify.add_argument("--trials", type=int, default=10)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.set_defaults(fn=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

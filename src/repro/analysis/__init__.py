@@ -1,0 +1,87 @@
+"""Analysis: skeletons, proof trees, bounds and speed-up measurement."""
+
+from .bounds import (
+    fact1_lower_bound,
+    fact2_lower_bound,
+    lemma1_k1,
+    lemma2_k2,
+    proof_tree_leaf_count,
+    prop3_bound,
+    prop4_k0,
+    prop4_step_upper_bound,
+    prop6_bound,
+    x0_threshold,
+)
+from .iid_theory import (
+    SolveExpectation,
+    empirical_growth_factor,
+    pearl_branching_factor,
+    pearl_xi,
+    solve_expected_cost,
+)
+from .invariants import pruned_tree_value, theorem2_holds
+from .schedule import (
+    ScheduleStats,
+    SpeedupCeilings,
+    schedule_stats,
+    speedup_ceilings,
+)
+from .codes import (
+    StepCode,
+    codes_lex_decreasing,
+    degree_matches_code,
+    trace_codes,
+)
+from .prooftree import (
+    fact2_certificate_size,
+    minmax_proof_leaves_gt,
+    minmax_proof_leaves_lt,
+    proof_tree_leaves,
+)
+from .skeleton import minmax_skeleton_of, skeleton_of
+from .speedup import (
+    LinearFit,
+    SpeedupSample,
+    fit_speedup_linearity,
+    mean_samples,
+    measure_speedup,
+)
+
+__all__ = [
+    "pruned_tree_value",
+    "theorem2_holds",
+    "SolveExpectation",
+    "solve_expected_cost",
+    "pearl_xi",
+    "pearl_branching_factor",
+    "empirical_growth_factor",
+    "ScheduleStats",
+    "schedule_stats",
+    "SpeedupCeilings",
+    "speedup_ceilings",
+    "fact1_lower_bound",
+    "fact2_lower_bound",
+    "proof_tree_leaf_count",
+    "prop3_bound",
+    "prop6_bound",
+    "lemma1_k1",
+    "lemma2_k2",
+    "x0_threshold",
+    "prop4_k0",
+    "prop4_step_upper_bound",
+    "skeleton_of",
+    "minmax_skeleton_of",
+    "proof_tree_leaves",
+    "minmax_proof_leaves_gt",
+    "minmax_proof_leaves_lt",
+    "fact2_certificate_size",
+    "trace_codes",
+    "StepCode",
+    "codes_lex_decreasing",
+    "degree_matches_code",
+    "SpeedupSample",
+    "LinearFit",
+    "measure_speedup",
+    "fit_speedup_linearity",
+    "mean_samples",
+]

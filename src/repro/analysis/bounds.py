@@ -1,0 +1,165 @@
+"""The paper's combinatorial bounds and constants, computed exactly.
+
+All quantities use exact integer arithmetic (``math.comb`` and Python
+big ints), so the benchmark comparisons against measured step counts
+are never polluted by floating-point error.
+
+Contents:
+
+* Fact 1 / Fact 2 — inherent lower bounds on total work;
+* Proposition 3 / Proposition 6 — upper bounds on the number of steps
+  of a given parallel degree for width-1 Parallel SOLVE on skeletons;
+* Lemma 1 (k1), Lemma 2 (k2), the threshold x0(d), and the k0 of
+  Proposition 4's optimisation, all as stated.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def fact1_lower_bound(branching: int, height: int) -> int:
+    """Fact 1: any algorithm evaluating T in B(d, n) reads >= d**(n//2)
+    leaves — the size of the smaller proof tree."""
+    return branching ** (height // 2)
+
+
+def fact2_lower_bound(branching: int, height: int) -> int:
+    """Fact 2: for M(d, n), total work >= d**(n//2) + d**ceil(n/2) - 1
+    (the two proof trees verifying a < val(r) < b share one leaf)."""
+    d, n = branching, height
+    return d ** (n // 2) + d ** ((n + 1) // 2) - 1
+
+
+def proof_tree_leaf_count(branching: int, height: int, value: int) -> int:
+    """Leaves of a proof tree of a uniform NOR tree with the given root
+    value.
+
+    A NOR node with value 0 is verified by one child with value 1; a
+    value-1 node needs all children verified 0.  Degrees therefore
+    alternate d (value 1) and 1 (value 0) down the tree.
+    """
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    count = 1
+    v = value
+    for _ in range(height):
+        if v == 1:
+            count *= branching
+        v = 1 - v
+    return count
+
+
+def prop3_bound(height: int, k: int, branching: int) -> int:
+    """Proposition 3: t_{k+1}(H_T) <= C(n, k) * (d-1)**k."""
+    if k < 0 or k > height:
+        return 0
+    return math.comb(height, k) * (branching - 1) ** k
+
+
+def prop6_bound(height: int, k: int, branching: int) -> int:
+    """Proposition 6 (node-expansion model):
+    t*_{k+1}(H_T) <= (n - k) * C(n, k) * (d-1)**k.
+
+    The paper's summation sum_{m=k..n} C(m, k)(d-1)**k is bounded by
+    (n - k) C(n, k)(d-1)**k for k < n; we return the exact summation,
+    which is what the measured histogram must respect.
+    """
+    if k < 0 or k > height:
+        return 0
+    total = sum(math.comb(m, k) for m in range(k, height + 1))
+    return total * (branching - 1) ** k
+
+
+def lemma1_k1(height: int, branching: int) -> int:
+    """Lemma 1: k1 = max{k : C(n, k) * d**k <= d**(n//2)}."""
+    n, d = height, branching
+    budget = d ** (n // 2)
+    best = 0
+    for k in range(n + 1):
+        if math.comb(n, k) * d ** k <= budget:
+            best = k
+        else:
+            break
+    return best
+
+
+def lemma2_k2(height: int, branching: int) -> int:
+    """Lemma 2: k2 = max{k : sum_{i<=k} (i+1) C(n,i) (d-1)**i <= d**(n//2)}."""
+    n, d = height, branching
+    budget = d ** (n // 2)
+    running = 0
+    best = -1
+    for k in range(n + 1):
+        running += (k + 1) * math.comb(n, k) * (d - 1) ** k
+        if running <= budget:
+            best = k
+        else:
+            break
+    return best
+
+
+def x0_threshold(branching: int) -> float:
+    """x0(d) = inf{x : (x+1)**2 * (d-1)**x <= d**x} (Lemma 2's proof).
+
+    Found by bisection on the decreasing function
+    f(x) = log(x+1)/x - 0.5*log(d/(d-1)).
+    """
+    d = branching
+    if d < 2:
+        raise ValueError("x0 is defined for d >= 2")
+    target = 0.5 * math.log(d / (d - 1))
+
+    def f(x: float) -> float:
+        return math.log(x + 1.0) / x - target
+
+    lo, hi = 1e-9, 4.0
+    while f(hi) > 0:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover - defensive
+            raise ArithmeticError("x0 bisection failed to bracket")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if f(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def prop4_k0(height: int, branching: int, sequential_work: int) -> int:
+    """k0 = max{k : sum_{i<=k} (i+1) C(n,i) (d-1)**i <= S(T)} (eq. 12)."""
+    n, d = height, branching
+    running = 0
+    best = -1
+    for k in range(n + 1):
+        running += (k + 1) * math.comb(n, k) * (d - 1) ** k
+        if running <= sequential_work:
+            best = k
+        else:
+            break
+    return best
+
+
+def prop4_step_upper_bound(
+    height: int, branching: int, sequential_work: int
+) -> int:
+    """The explicit maximiser of Proposition 4 (eqs. 11-14): the largest
+    number of steps width-1 Parallel SOLVE can take on a skeleton with
+    S(T) = ``sequential_work``.
+
+    Steps of degree i+1 saturate the Prop 3 bound for i = 0..k0, and
+    one partial block of degree k0+2 absorbs the remaining work.
+    """
+    n, d = height, branching
+    steps = 0
+    work = 0
+    k0 = prop4_k0(n, d, sequential_work)
+    for i in range(k0 + 1):
+        block = math.comb(n, i) * (d - 1) ** i
+        steps += block
+        work += (i + 1) * block
+    remaining = sequential_work - work
+    if remaining > 0:
+        steps += -(-remaining // (k0 + 2))  # ceil division
+    return steps

@@ -1,0 +1,130 @@
+"""Closed-form expectations for the i.i.d. model (Section 6's context).
+
+Two classical results anchor the paper's choice of sequential
+baselines, and this module computes both so the benchmarks can compare
+measured costs against theory:
+
+* the exact expected cost of Sequential SOLVE on a uniform d-ary NOR
+  tree with i.i.d. Bernoulli(p) leaves, by conditional recurrence
+  (Tarsi 1983 proves this left-to-right procedure optimal in that
+  model);
+* Pearl's (1982) branching factor of alpha-beta on continuous i.i.d.
+  MIN/MAX trees: xi_d / (1 - xi_d), with xi_d the positive root of
+  x**d + x - 1 — expected leaf counts grow as that factor per level,
+  i.e. like d**(3n/4) rather than minimax's d**n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class SolveExpectation:
+    """Expected Sequential SOLVE cost on B(d, n) with Bernoulli(p) leaves."""
+
+    branching: int
+    height: int
+    leaf_bias: float
+    #: q[h] = probability a height-h subtree evaluates to 1.
+    level_one_probs: List[float]
+    #: expected leaf evaluations conditioned on the subtree value.
+    expected_cost_given_one: float
+    expected_cost_given_zero: float
+    #: unconditional expected leaf evaluations at the root.
+    expected_cost: float
+
+
+def solve_expected_cost(
+    branching: int, height: int, p: float
+) -> SolveExpectation:
+    """Exact expectation recurrence for Sequential SOLVE on NOR trees.
+
+    With q the children's one-probability, a height-h node is 1 iff
+    all d children are 0 (cost: all d children, each conditioned on
+    being 0), and 0 iff some child is 1 (cost: the geometric prefix of
+    0-children, then one 1-child, nothing after — the short-circuit).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    d = branching
+    q = p
+    c1, c0 = 1.0, 1.0  # leaf: one evaluation whatever the value
+    probs = [q]
+    for _h in range(height):
+        q_child = q
+        new_c1 = d * c0  # all children are 0 and all are read
+        if q_child <= 0.0:
+            new_c0 = float("nan")  # a 0-valued node cannot occur
+        else:
+            zero = 1.0 - q_child
+            denom = 1.0 - zero ** d
+            # E[# leading 0-children | at least one 1-child]
+            expected_prefix = sum(
+                k * (zero ** k) * q_child for k in range(d)
+            ) / denom
+            # Guard 0 * nan: with a zero prefix the (possibly
+            # undefined) conditional cost of a 0-child is never paid.
+            prefix_cost = expected_prefix * c0 if expected_prefix else 0.0
+            new_c0 = prefix_cost + c1
+        q = (1.0 - q_child) ** d
+        c1, c0 = new_c1, new_c0
+        probs.append(q)
+    if q >= 1.0:
+        expected = c1
+    elif q <= 0.0:
+        expected = c0
+    else:
+        expected = q * c1 + (1.0 - q) * c0
+    return SolveExpectation(
+        branching=d,
+        height=height,
+        leaf_bias=p,
+        level_one_probs=probs,
+        expected_cost_given_one=c1,
+        expected_cost_given_zero=c0,
+        expected_cost=expected,
+    )
+
+
+def pearl_xi(branching: int) -> float:
+    """The positive root xi_d of x**d + x - 1 = 0."""
+    d = branching
+    if d < 1:
+        raise ValueError("branching must be >= 1")
+    lo, hi = 0.0, 1.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mid ** d + mid - 1.0 < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def pearl_branching_factor(branching: int) -> float:
+    """Pearl's alpha-beta branching factor xi_d / (1 - xi_d).
+
+    Expected leaves of left-to-right alpha-beta on a continuous i.i.d.
+    uniform MIN/MAX tree of height n grow as this factor per level;
+    it lies strictly between d**(1/2) (the theoretical floor, Fact 2)
+    and d (minimax).
+    """
+    xi = pearl_xi(branching)
+    return xi / (1.0 - xi)
+
+
+def empirical_growth_factor(costs: List[Tuple[int, float]]) -> float:
+    """Per-level growth factor fitted from (height, mean cost) pairs.
+
+    Least-squares slope of log(cost) against height, exponentiated.
+    """
+    import numpy as np
+
+    heights = np.array([h for h, _ in costs], dtype=float)
+    logs = np.array([np.log(c) for _, c in costs], dtype=float)
+    if len(heights) < 2:
+        raise ValueError("need at least two (height, cost) pairs")
+    slope, _ = np.polyfit(heights, logs, 1)
+    return float(np.exp(slope))

@@ -1,0 +1,45 @@
+"""Runtime invariant checks used by tests and experiment E8.
+
+``pruned_tree_value`` computes the minimax value of the *current pruned
+tree* T-tilde with the true leaf values — Theorem 2 asserts this equals
+the original root value at every step of the pruning process, whatever
+the evaluation policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.alphabeta.state import AlphaBetaState
+from ..trees.base import GameTree, NodeId
+from ..types import NodeType
+
+
+def pruned_tree_value(state: AlphaBetaState) -> float:
+    """Minimax value of T-tilde under the true leaf values."""
+    tree = state.tree
+    values: Dict[NodeId, float] = {}
+    stack = [tree.root]
+    while stack:
+        node = stack[-1]
+        if tree.is_leaf(node):
+            values[node] = float(tree.leaf_value(node))
+            stack.pop()
+            continue
+        kids = [c for c in tree.children(node) if c not in state.pruned]
+        pending = [c for c in kids if c not in values]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        child_vals = [values[c] for c in kids]
+        if tree.node_type(node) is NodeType.MAX:
+            values[node] = max(child_vals)
+        else:
+            values[node] = min(child_vals)
+        stack.pop()
+    return values[tree.root]
+
+
+def theorem2_holds(state: AlphaBetaState, true_value: float) -> bool:
+    """Whether the pruning process preserved the root value so far."""
+    return abs(pruned_tree_value(state) - true_value) < 1e-12

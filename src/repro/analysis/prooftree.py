@@ -1,0 +1,129 @@
+"""Proof trees — the certificates behind Facts 1 and 2.
+
+For a NOR tree, a proof tree is a smallest subtree certifying the root
+value: a value-0 node is certified by any one child of value 1; a
+value-1 node needs all children certified 0.  Any evaluation must have
+evaluated every leaf of some proof tree, which is exactly Fact 1's
+lower bound.
+
+For a MIN/MAX tree with root value v, Fact 2 uses two Boolean-style
+proof trees: one certifying ``val(r) > a`` (treating the tree as an
+OR/AND tree over the predicate "leaf > a") and one certifying
+``val(r) < b``; with a, b bracketing v tightly the two certificates
+share exactly one leaf.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..trees.base import GameTree, NodeId, exact_value
+from ..types import NodeType, TreeKind
+
+
+def proof_tree_leaves(tree: GameTree, node: NodeId = None) -> List[NodeId]:
+    """Leaves of the leftmost minimal proof tree of a Boolean tree."""
+    if tree.kind is not TreeKind.BOOLEAN:
+        raise ValueError("proof_tree_leaves expects a Boolean tree")
+    if node is None:
+        node = tree.root
+    out: List[NodeId] = []
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if tree.is_leaf(cur):
+            out.append(cur)
+            continue
+        gate = tree.gate(cur)
+        val = exact_value(tree, cur)
+        kids = tree.children(cur)
+        if val == gate.on_absorb:
+            # Certified by one absorbing child: pick the leftmost.
+            for c in kids:
+                if exact_value(tree, c) == gate.absorbing:
+                    stack.append(c)
+                    break
+            else:  # pragma: no cover - defensive
+                raise AssertionError("absorb-valued node lacks a witness")
+        else:
+            # Certified only by all children being non-absorbing.
+            stack.extend(reversed(kids))
+    return out
+
+
+def minmax_proof_leaves_gt(
+    tree: GameTree, threshold: float, node: NodeId = None
+) -> List[NodeId]:
+    """Leaves certifying ``val(node) > threshold`` (must be true).
+
+    A MAX node needs one child certified; a MIN node needs all.
+    """
+    if node is None:
+        node = tree.root
+    out: List[NodeId] = []
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if tree.is_leaf(cur):
+            if not tree.leaf_value(cur) > threshold:  # pragma: no cover
+                raise AssertionError("certificate leaf fails predicate")
+            out.append(cur)
+            continue
+        kids = tree.children(cur)
+        if tree.node_type(cur) is NodeType.MAX:
+            for c in kids:
+                if exact_value(tree, c) > threshold:
+                    stack.append(c)
+                    break
+            else:  # pragma: no cover - defensive
+                raise AssertionError("MAX node fails predicate")
+        else:
+            stack.extend(reversed(kids))
+    return out
+
+
+def minmax_proof_leaves_lt(
+    tree: GameTree, threshold: float, node: NodeId = None
+) -> List[NodeId]:
+    """Leaves certifying ``val(node) < threshold`` (must be true)."""
+    if node is None:
+        node = tree.root
+    out: List[NodeId] = []
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if tree.is_leaf(cur):
+            if not tree.leaf_value(cur) < threshold:  # pragma: no cover
+                raise AssertionError("certificate leaf fails predicate")
+            out.append(cur)
+            continue
+        kids = tree.children(cur)
+        if tree.node_type(cur) is NodeType.MIN:
+            for c in kids:
+                if exact_value(tree, c) < threshold:
+                    stack.append(c)
+                    break
+            else:  # pragma: no cover - defensive
+                raise AssertionError("MIN node fails predicate")
+        else:
+            stack.extend(reversed(kids))
+    return out
+
+
+def fact2_certificate_size(tree: GameTree) -> int:
+    """|leaves certifying val > v-eps| + |leaves certifying val < v+eps|
+    minus the overlap — the evaluation cost certified by Fact 2.
+
+    Uses thresholds immediately straddling the exact root value, so the
+    certificates are the tight ones Fact 2's argument needs.
+    """
+    import math
+
+    v = exact_value(tree)
+    gt: Set[NodeId] = set(
+        minmax_proof_leaves_gt(tree, math.nextafter(v, -math.inf))
+    )
+    lt: Set[NodeId] = set(
+        minmax_proof_leaves_lt(tree, math.nextafter(v, math.inf))
+    )
+    return len(gt | lt)

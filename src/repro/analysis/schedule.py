@@ -1,0 +1,101 @@
+"""Schedule statistics for execution traces.
+
+Quantifies how well a parallel run used its processors, in the terms
+the paper's analysis cares about:
+
+* *efficiency* — work / (steps x processors): the fraction of
+  processor-steps spent evaluating leaves;
+* the *degree profile* — what share of steps (and of work) happened at
+  each parallel degree, the quantity Propositions 3/4 bound;
+* the *span decomposition* — speed-up achieved vs the instance's two
+  ceilings: processors (Brent) and S(T)/span(T).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.parallel_solve import span as instance_span
+from ..core.sequential_solve import sequential_solve
+from ..models.accounting import EvalResult, ExecutionTrace
+from ..trees.base import GameTree
+
+
+@dataclass
+class ScheduleStats:
+    """Utilisation profile of one parallel execution."""
+
+    steps: int
+    work: int
+    processors: int
+    efficiency: float
+    #: share of steps at each parallel degree.
+    step_share_by_degree: Dict[int, float]
+    #: share of total work contributed by each parallel degree.
+    work_share_by_degree: Dict[int, float]
+    #: mean parallel degree over the run.
+    mean_degree: float
+
+
+def schedule_stats(trace: ExecutionTrace) -> ScheduleStats:
+    """Summarise a trace's processor utilisation."""
+    steps = trace.num_steps
+    work = trace.total_work
+    procs = trace.processors
+    if steps == 0:
+        raise ValueError("empty trace has no schedule")
+    hist = trace.degree_histogram()
+    return ScheduleStats(
+        steps=steps,
+        work=work,
+        processors=procs,
+        efficiency=work / (steps * procs) if procs else 0.0,
+        step_share_by_degree={
+            k: count / steps for k, count in sorted(hist.items())
+        },
+        work_share_by_degree={
+            k: k * count / work for k, count in sorted(hist.items())
+        },
+        mean_degree=work / steps,
+    )
+
+
+@dataclass
+class SpeedupCeilings:
+    """A run's speed-up against its two structural ceilings."""
+
+    sequential_steps: int
+    parallel_steps: int
+    span: int
+    processors: int
+    speedup: float
+    #: S(T) / span(T): no schedule can beat this.
+    span_ceiling: float
+    #: fraction of the span ceiling achieved.
+    span_fraction: float
+    #: fraction of the processor (Brent) ceiling achieved.
+    processor_fraction: float
+
+
+def speedup_ceilings(
+    tree: GameTree,
+    parallel_result: EvalResult,
+    sequential_result: Optional[EvalResult] = None,
+) -> SpeedupCeilings:
+    """Relate a parallel run's speed-up to the instance's ceilings."""
+    seq = sequential_result or sequential_solve(tree)
+    sp = instance_span(tree)
+    speedup = seq.num_steps / parallel_result.num_steps
+    span_ceiling = seq.num_steps / sp
+    procs = parallel_result.processors
+    return SpeedupCeilings(
+        sequential_steps=seq.num_steps,
+        parallel_steps=parallel_result.num_steps,
+        span=sp,
+        processors=procs,
+        speedup=speedup,
+        span_ceiling=span_ceiling,
+        span_fraction=speedup / span_ceiling if span_ceiling else 1.0,
+        processor_fraction=speedup / procs if procs else 0.0,
+    )

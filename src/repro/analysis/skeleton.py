@@ -1,0 +1,106 @@
+"""Skeleton construction (Section 3).
+
+The skeleton H_T of a NOR tree T is obtained by deleting every node
+that is not an ancestor of a leaf in L(T) — the set of leaves
+Sequential SOLVE evaluates.  Key facts the experiments use:
+
+* Sequential SOLVE behaves identically on T and H_T (same leaves, same
+  order, same result);
+* Proposition 2: Parallel SOLVE of any width is at least as fast on T
+  as on H_T, so worst-case analysis may focus on skeletons;
+* in the node-expansion model, H_T is exactly the set of nodes
+  N-Sequential SOLVE expands.
+
+``minmax_skeleton_of`` is the H-tilde analogue for MIN/MAX trees using
+Sequential alpha-beta's leaf set (Proposition 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.alphabeta.sequential import alpha_beta_leaf_set
+from ..core.sequential_solve import sequential_leaf_set
+from ..trees.base import GameTree, NodeId
+from ..trees.explicit import ExplicitTree
+from ..types import Gate, TreeKind
+
+
+def _ancestor_closure(
+    tree: GameTree, leaves: List[NodeId]
+) -> Set[NodeId]:
+    keep: Set[NodeId] = set()
+    for leaf in leaves:
+        for anc in tree.ancestors(leaf):
+            if anc in keep:
+                break
+            keep.add(anc)
+    return keep
+
+
+def _build_restriction(
+    tree: GameTree, keep: Set[NodeId]
+) -> Tuple[ExplicitTree, Dict[NodeId, int]]:
+    """Materialise the restriction of ``tree`` to ``keep`` as an
+    ExplicitTree, preserving child order, leaf values and (for Boolean
+    trees) per-node gates.  Returns the new tree and the node mapping.
+    """
+    mapping: Dict[NodeId, int] = {}
+    children: List[Tuple[int, ...]] = []
+    leaf_values: Dict[int, float] = {}
+    gates: Dict[int, Gate] = {}
+
+    def alloc(node: NodeId) -> int:
+        mapping[node] = len(children)
+        children.append(())
+        return mapping[node]
+
+    root_id = alloc(tree.root)
+    stack = [(tree.root, root_id)]
+    while stack:
+        node, new_id = stack.pop()
+        if tree.is_leaf(node):
+            leaf_values[new_id] = tree.leaf_value(node)
+            continue
+        kept_kids = [c for c in tree.children(node) if c in keep]
+        if not kept_kids:
+            # An internal node of T kept only because it is itself an
+            # ancestor of an evaluated leaf must have a kept child; a
+            # bare internal node cannot appear.
+            raise AssertionError(
+                f"skeleton node {node!r} lost all its children"
+            )
+        ids = [alloc(c) for c in kept_kids]
+        children[mapping[node]] = tuple(ids)
+        if tree.kind is TreeKind.BOOLEAN:
+            gates[new_id] = tree.gate(node)
+        stack.extend(zip(kept_kids, ids))
+
+    if tree.kind is TreeKind.BOOLEAN:
+        out = ExplicitTree(children, leaf_values, kind=TreeKind.BOOLEAN,
+                           gates=gates)
+    else:
+        out = ExplicitTree(children, leaf_values, kind=TreeKind.MINMAX)
+    return out, mapping
+
+
+def skeleton_of(tree: GameTree) -> ExplicitTree:
+    """H_T: the restriction of a Boolean tree to the ancestors of L(T)."""
+    if tree.kind is not TreeKind.BOOLEAN:
+        raise ValueError("skeleton_of expects a Boolean tree; "
+                         "use minmax_skeleton_of for MIN/MAX trees")
+    leaves = sequential_leaf_set(tree)
+    keep = _ancestor_closure(tree, leaves)
+    skeleton, _ = _build_restriction(tree, keep)
+    return skeleton
+
+
+def minmax_skeleton_of(tree: GameTree) -> ExplicitTree:
+    """H-tilde_T: the restriction of a MIN/MAX tree to the ancestors of
+    the leaves evaluated by Sequential alpha-beta."""
+    if tree.kind is not TreeKind.MINMAX:
+        raise ValueError("minmax_skeleton_of expects a MIN/MAX tree")
+    leaves = alpha_beta_leaf_set(tree)
+    keep = _ancestor_closure(tree, leaves)
+    skeleton, _ = _build_restriction(tree, keep)
+    return skeleton

@@ -1,0 +1,112 @@
+"""Speed-up measurement helpers shared by tests and benchmarks.
+
+The theorems all have the shape "steps(sequential) / steps(parallel)
+>= c * (n + 1) for n large enough"; these helpers measure the ratio,
+normalise it by the processor count, and fit the linearity of the
+speed-up across a height sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..models.accounting import EvalResult
+from ..trees.base import GameTree
+
+
+@dataclass
+class SpeedupSample:
+    """Speed-up of one parallel run against one sequential run."""
+
+    height: int
+    sequential_steps: int
+    parallel_steps: int
+    parallel_work: int
+    processors: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_steps / self.parallel_steps
+
+    @property
+    def normalized_speedup(self) -> float:
+        """Speed-up per processor — Theorem 1's constant c when the
+        processor count is n + 1."""
+        return self.speedup / self.processors
+
+    @property
+    def work_ratio(self) -> float:
+        """W(T) / S(T) — Corollary 1's constant c'."""
+        return self.parallel_work / self.sequential_steps
+
+
+def measure_speedup(
+    tree: GameTree,
+    sequential: Callable[[GameTree], EvalResult],
+    parallel: Callable[[GameTree], EvalResult],
+) -> SpeedupSample:
+    """Run both algorithms on ``tree`` and package the comparison."""
+    seq = sequential(tree)
+    par = parallel(tree)
+    if seq.value != par.value:
+        raise AssertionError(
+            f"algorithms disagree: {seq.value!r} vs {par.value!r}"
+        )
+    return SpeedupSample(
+        height=tree.height(),
+        sequential_steps=seq.num_steps,
+        parallel_steps=par.num_steps,
+        parallel_work=par.total_work,
+        processors=par.processors,
+    )
+
+
+@dataclass
+class LinearFit:
+    """Least-squares fit of speed-up against n + 1."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def fit_speedup_linearity(samples: Sequence[SpeedupSample]) -> LinearFit:
+    """Fit speedup ~ slope * (n + 1) + intercept over a height sweep.
+
+    The theorems predict slope > 0 (the achievable constant c) once n
+    exceeds the instance-family threshold n0.
+    """
+    x = np.array([s.height + 1 for s in samples], dtype=float)
+    y = np.array([s.speedup for s in samples], dtype=float)
+    if len(x) < 2:
+        raise ValueError("need at least two samples to fit")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept),
+                     r_squared=r2)
+
+
+def mean_samples(samples: Sequence[SpeedupSample]) -> SpeedupSample:
+    """Average a set of same-height samples into one representative."""
+    heights = {s.height for s in samples}
+    if len(heights) != 1:
+        raise ValueError("mean_samples expects samples of equal height")
+    return SpeedupSample(
+        height=samples[0].height,
+        sequential_steps=round(
+            float(np.mean([s.sequential_steps for s in samples]))
+        ),
+        parallel_steps=round(
+            float(np.mean([s.parallel_steps for s in samples]))
+        ),
+        parallel_work=round(
+            float(np.mean([s.parallel_work for s in samples]))
+        ),
+        processors=max(s.processors for s in samples),
+    )

@@ -1,0 +1,17 @@
+"""Benchmark harness: experiment registry, tables and workload seeds."""
+
+from .harness import (
+    ExperimentTable,
+    default_results_dir,
+    experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "experiment",
+    "run_experiment",
+    "list_experiments",
+    "default_results_dir",
+]

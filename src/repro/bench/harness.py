@@ -1,0 +1,136 @@
+"""Experiment harness: tables, registry and result persistence.
+
+Every experiment in DESIGN.md's index is a function returning an
+:class:`ExperimentTable`.  The benchmark files under ``benchmarks/``
+call :func:`run_experiment`, assert the paper-shaped properties of the
+rows, time a representative kernel with pytest-benchmark, and persist
+the rendered table under ``benchmarks/results/`` so EXPERIMENTS.md can
+quote measured numbers verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import WorkloadError
+
+
+@dataclass
+class ExperimentTable:
+    """A rendered-result table for one experiment."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise WorkloadError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List:
+        """All values of one column, for shape assertions."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.3f}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in cells)) if cells
+            else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"[{self.experiment}] {self.title}"]
+        header = "  ".join(
+            str(col).rjust(w) for col, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append(
+                "  ".join(v.rjust(w) for v, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV (columns header + rows), for plotting."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def save(self, directory: Optional[str] = None) -> str:
+        """Write the table to ``results/<experiment>.txt`` (+ ``.csv``)."""
+        if directory is None:
+            directory = default_results_dir()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment}.txt")
+        with open(path, "w") as fh:
+            fh.write(self.render() + "\n")
+        with open(os.path.join(
+                directory, f"{self.experiment}.csv"), "w") as fh:
+            fh.write(self.to_csv())
+        return path
+
+
+def default_results_dir() -> str:
+    """``benchmarks/results`` next to this repository's benchmarks."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(repo, "benchmarks", "results")
+
+
+_REGISTRY: Dict[str, Callable[[], ExperimentTable]] = {}
+
+
+def experiment(name: str):
+    """Decorator registering an experiment function under ``name``."""
+
+    def register(fn: Callable[[], ExperimentTable]):
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def run_experiment(name: str, save: bool = True) -> ExperimentTable:
+    """Run a registered experiment; optionally persist its table."""
+    # Import populates the registry on first use.
+    from . import experiments  # noqa: F401
+
+    if name not in _REGISTRY:
+        raise WorkloadError(
+            f"unknown experiment {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    table = _REGISTRY[name]()
+    if save:
+        table.save()
+    return table
+
+
+def list_experiments() -> List[str]:
+    from . import experiments  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,179 @@
+"""Step-synchronous engine for the pruning process (Section 4).
+
+A general step consists of
+
+1. a *leaf-evaluation step*: the policy selects unfinished leaves of
+   the current pruned tree and all of them are evaluated; then
+2. a maximal sequence of free *propagation steps* (finishing nodes whose
+   remaining children are finished) and *pruning steps* (deleting
+   unfinished nodes whose alpha-bound reaches their beta-bound).
+
+Bounds follow the paper's definitions: the alpha-bound of v is the
+largest value among finished siblings of MIN-ancestors of v (v counts
+as its own ancestor), the beta-bound the smallest value among finished
+siblings of MAX-ancestors.  Since a *finished* sibling of an unfinished
+child u of a MAX node x is just a finished child of x, the bounds are
+computed in one top-down pass: descending from x into u,
+
+* x MAX:  alpha(u) = max(alpha(x), max value of x's finished children)
+* x MIN:  beta(u)  = min(beta(x),  min value of x's finished children)
+
+The pruning pass repeats until fixpoint: pruning a child can finish its
+parent, which sharpens bounds elsewhere.  Because bounds only ever
+tighten, working with momentarily stale bounds merely delays a prune to
+the next round of the fixpoint loop — it never prunes wrongly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ...errors import ModelViolationError
+from ...models.accounting import EvalResult, ExecutionTrace
+from ...trees.base import GameTree, NodeId
+from ...types import NodeType
+from .state import AlphaBetaState
+
+#: A selection policy: (tree, state) -> batch of unfinished leaves.
+MinmaxPolicy = Callable[[GameTree, AlphaBetaState], List[NodeId]]
+
+#: Per-step hook: (state, step index, batch).
+MinmaxStepHook = Callable[[AlphaBetaState, int, List[NodeId]], None]
+
+
+def prune_to_fixpoint(state: AlphaBetaState) -> int:
+    """Apply the pruning rule until nothing more can be deleted.
+
+    Returns the number of nodes pruned.  Cost is not charged to the
+    model (pruning and propagation are free).
+    """
+    total = 0
+    while True:
+        pruned_now = _prune_pass(state)
+        total += pruned_now
+        if pruned_now == 0:
+            return total
+
+
+def _prune_pass(state: AlphaBetaState) -> int:
+    tree = state.tree
+    root = tree.root
+    if state.is_finished(root):
+        return 0
+    count = 0
+    stack = [(root, -math.inf, math.inf)]
+    while stack:
+        node, alpha, beta = stack.pop()
+        if node in state.pruned or node in state.finished_value:
+            continue  # settled by a cascade after being pushed
+        is_max = tree.node_type(node) is NodeType.MAX
+        finished_vals = [
+            state.finished_value[c]
+            for c in tree.children(node)
+            if c in state.finished_value and c not in state.pruned
+        ]
+        if is_max:
+            child_alpha = max([alpha] + finished_vals)
+            child_beta = beta
+        else:
+            child_alpha = alpha
+            child_beta = min([beta] + finished_vals)
+        for child in tree.children(node):
+            if child in state.pruned or child in state.finished_value:
+                continue
+            if child_alpha >= child_beta:
+                state.prune(child)
+                count += 1
+                if node in state.finished_value or node in state.pruned:
+                    break  # the prune cascaded; siblings are settled
+                continue
+            if not tree.is_leaf(child) and child in state.touched:
+                stack.append((child, child_alpha, child_beta))
+    return count
+
+
+def select_unfinished_by_pruning_number(
+    tree: GameTree, state: AlphaBetaState, width: int
+) -> List[NodeId]:
+    """Unfinished leaves of T-tilde with pruning number <= ``width``.
+
+    Same budgeted DFS as the Boolean case, with "determined" replaced by
+    "finished" and pruned children excluded from both the walk and the
+    sibling counts.
+    """
+    out: List[NodeId] = []
+    root = tree.root
+    if state.is_finished(root) or root in state.pruned:
+        return out
+    stack = [(root, width)]
+    while stack:
+        node, budget = stack.pop()
+        if tree.is_leaf(node):
+            out.append(node)
+            continue
+        frames = []
+        unfinished_seen = 0
+        for child in tree.children(node):
+            if child in state.pruned:
+                continue  # not part of T-tilde
+            if child in state.finished_value:
+                continue  # finished: not an unfinished sibling
+            remaining = budget - unfinished_seen
+            if remaining < 0:
+                break
+            frames.append((child, remaining))
+            unfinished_seen += 1
+        stack.extend(reversed(frames))
+    return out
+
+
+class AlphaBetaWidthPolicy:
+    """Parallel alpha-beta of width w (w = 0: Sequential alpha-beta)."""
+
+    def __init__(self, width: int):
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"parallel-alpha-beta(w={width})"
+
+    def __call__(
+        self, tree: GameTree, state: AlphaBetaState
+    ) -> List[NodeId]:
+        return select_unfinished_by_pruning_number(tree, state, self.width)
+
+
+def run_minmax(
+    tree: GameTree,
+    policy: MinmaxPolicy,
+    *,
+    keep_batches: bool = False,
+    on_step: Optional[MinmaxStepHook] = None,
+    max_steps: Optional[int] = None,
+) -> EvalResult:
+    """Run the pruning process under ``policy``; return value and trace."""
+    state = AlphaBetaState(tree)
+    trace = ExecutionTrace(keep_batches=keep_batches)
+    evaluated: List[NodeId] = []
+    root = tree.root
+
+    step = 0
+    while not state.is_finished(root):
+        batch = policy(tree, state)
+        if not batch:
+            raise ModelViolationError(
+                f"policy {getattr(policy, 'name', policy)!r} selected no "
+                f"leaves while the root is unfinished"
+            )
+        for leaf in batch:
+            state.finish_leaf(leaf)
+        prune_to_fixpoint(state)
+        trace.record(batch)
+        evaluated.extend(batch)
+        if on_step is not None:
+            on_step(state, step, batch)
+        step += 1
+        if max_steps is not None and step > max_steps:
+            raise ModelViolationError(f"exceeded {max_steps} steps")
+
+    return EvalResult(state.finished_value[root], trace, evaluated)

@@ -1,0 +1,39 @@
+"""Sequential and Parallel alpha-beta as pruning-process policies.
+
+``sequential_alpha_beta`` is the paper's leaf-evaluation-model statement
+"at each step, evaluate the leftmost unfinished leaf of the current
+pruned tree" — i.e. the width-0 policy.  ``parallel_alpha_beta`` is the
+width-w generalisation of Section 4 (Theorem 3: width 1 gives a c(n+1)
+speed-up on uniform MIN/MAX trees using n+1 processors).
+"""
+
+from __future__ import annotations
+
+from ...models.accounting import EvalResult
+from ...trees.base import GameTree
+from .engine import AlphaBetaWidthPolicy, run_minmax
+
+
+def sequential_alpha_beta(
+    tree: GameTree, *, keep_batches: bool = False
+) -> EvalResult:
+    """The alpha-beta pruning procedure, one leaf per basic step."""
+    return run_minmax(
+        tree, AlphaBetaWidthPolicy(0), keep_batches=keep_batches
+    )
+
+
+def parallel_alpha_beta(
+    tree: GameTree,
+    width: int = 1,
+    *,
+    keep_batches: bool = False,
+    on_step=None,
+) -> EvalResult:
+    """Parallel alpha-beta of the given width."""
+    return run_minmax(
+        tree,
+        AlphaBetaWidthPolicy(width),
+        keep_batches=keep_batches,
+        on_step=on_step,
+    )

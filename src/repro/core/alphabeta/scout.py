@@ -1,0 +1,97 @@
+"""SCOUT (Pearl 1984) — the test-then-search variant of alpha-beta.
+
+Section 6's remark motivates including it: a randomized version of
+SCOUT is known to be optimal among randomized sequential algorithms for
+uniform MIN/MAX trees (Saks & Wigderson 1986), whereas the analogous
+question for R-Sequential alpha-beta is open.  We provide SCOUT as an
+additional sequential baseline for the benchmark suite.
+
+SCOUT evaluates the first child exactly, then *tests* each remaining
+child against the current value with a Boolean-cheap test search, only
+re-searching children that pass the test.  Leaves may be visited by
+several test calls; the leaf-evaluation model charges every visit, so
+the trace records evaluation *events* (``distinct_leaves`` reports the
+deduplicated count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...models.accounting import EvalResult, ExecutionTrace
+from ...trees.base import GameTree, NodeId
+from ...types import NodeType
+
+
+@dataclass
+class ScoutResult(EvalResult):
+    """SCOUT outcome; ``evaluated`` lists evaluation events in order."""
+
+    @property
+    def distinct_leaves(self) -> int:
+        return len(set(self.evaluated))
+
+
+def scout(tree: GameTree) -> ScoutResult:
+    """Evaluate a MIN/MAX tree with SCOUT."""
+    events: List[NodeId] = []
+    value = _scout_eval(tree, tree.root, events)
+    trace = ExecutionTrace()
+    for leaf in events:
+        trace.record([leaf])
+    return ScoutResult(value, trace, events)
+
+
+def _scout_eval(tree: GameTree, node: NodeId, events: List[NodeId]) -> float:
+    if tree.is_leaf(node):
+        events.append(node)
+        return float(tree.leaf_value(node))
+    kids = tree.children(node)
+    value = _scout_eval(tree, kids[0], events)
+    is_max = tree.node_type(node) is NodeType.MAX
+    for child in kids[1:]:
+        if is_max:
+            # Re-search only if the child can beat the current value.
+            if _scout_test_gt(tree, child, value, events):
+                value = _scout_eval(tree, child, events)
+        else:
+            if _scout_test_lt(tree, child, value, events):
+                value = _scout_eval(tree, child, events)
+    return value
+
+
+def _scout_test_gt(
+    tree: GameTree, node: NodeId, bound: float, events: List[NodeId]
+) -> bool:
+    """Whether val(node) > bound, by Boolean short-circuit search."""
+    if tree.is_leaf(node):
+        events.append(node)
+        return float(tree.leaf_value(node)) > bound
+    if tree.node_type(node) is NodeType.MAX:
+        return any(
+            _scout_test_gt(tree, c, bound, events)
+            for c in tree.children(node)
+        )
+    return all(
+        _scout_test_gt(tree, c, bound, events)
+        for c in tree.children(node)
+    )
+
+
+def _scout_test_lt(
+    tree: GameTree, node: NodeId, bound: float, events: List[NodeId]
+) -> bool:
+    """Whether val(node) < bound, by Boolean short-circuit search."""
+    if tree.is_leaf(node):
+        events.append(node)
+        return float(tree.leaf_value(node)) < bound
+    if tree.node_type(node) is NodeType.MAX:
+        return all(
+            _scout_test_lt(tree, c, bound, events)
+            for c in tree.children(node)
+        )
+    return any(
+        _scout_test_lt(tree, c, bound, events)
+        for c in tree.children(node)
+    )

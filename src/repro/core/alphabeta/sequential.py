@@ -1,0 +1,84 @@
+"""Classical depth-first alpha-beta and plain minimax baselines.
+
+``alpha_beta`` is the textbook Knuth–Moore procedure (fail-soft, deep
+cutoffs, cut on v >= beta / v <= alpha).  It serves two purposes:
+
+* it is the *sequential baseline* whose leaf count S-tilde(T) Theorem 3
+  compares against, and
+* it is an independent oracle: the pruning-process engine with the
+  width-0 policy must evaluate exactly the same leaves in the same
+  order (enforced by the test suite).
+
+``minimax`` evaluates every leaf — the no-pruning baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ...models.accounting import EvalResult, ExecutionTrace
+from ...trees.base import GameTree, NodeId
+from ...types import NodeType
+
+
+def alpha_beta(tree: GameTree) -> EvalResult:
+    """Left-to-right alpha-beta; one degree-1 step per leaf evaluated."""
+    evaluated: List[NodeId] = []
+    value = _ab(tree, tree.root, -math.inf, math.inf, evaluated)
+    trace = ExecutionTrace()
+    for leaf in evaluated:
+        trace.record([leaf])
+    return EvalResult(value, trace, evaluated)
+
+
+def _ab(
+    tree: GameTree,
+    node: NodeId,
+    alpha: float,
+    beta: float,
+    evaluated: List[NodeId],
+) -> float:
+    if tree.is_leaf(node):
+        evaluated.append(node)
+        return float(tree.leaf_value(node))
+    if tree.node_type(node) is NodeType.MAX:
+        value = -math.inf
+        for child in tree.children(node):
+            value = max(value, _ab(tree, child, alpha, beta, evaluated))
+            alpha = max(alpha, value)
+            if value >= beta:
+                break
+        return value
+    value = math.inf
+    for child in tree.children(node):
+        value = min(value, _ab(tree, child, alpha, beta, evaluated))
+        beta = min(beta, value)
+        if value <= alpha:
+            break
+    return value
+
+
+def alpha_beta_leaf_set(tree: GameTree) -> List[NodeId]:
+    """L-tilde(T): leaves Sequential alpha-beta evaluates, in order."""
+    return alpha_beta(tree).evaluated
+
+
+def minimax(tree: GameTree) -> EvalResult:
+    """Full minimax: evaluates every leaf (the no-pruning baseline)."""
+    evaluated: List[NodeId] = []
+    value = _mm(tree, tree.root, evaluated)
+    trace = ExecutionTrace()
+    for leaf in evaluated:
+        trace.record([leaf])
+    return EvalResult(value, trace, evaluated)
+
+
+def _mm(tree: GameTree, node: NodeId, evaluated: List[NodeId]) -> float:
+    if tree.is_leaf(node):
+        evaluated.append(node)
+        return float(tree.leaf_value(node))
+    child_vals = [_mm(tree, c, evaluated) for c in tree.children(node)]
+    if tree.node_type(node) is NodeType.MAX:
+        return max(child_vals)
+    return min(child_vals)

@@ -1,0 +1,133 @@
+"""SSS* (Stockman 1979) — the best-first MIN/MAX comparator.
+
+The paper's related work contrasts parallel alpha-beta with parallel
+SSS* (Vornberger 1987, reference [11]); this module supplies the
+sequential SSS* baseline so the benchmark suite can reproduce that
+comparison's sequential side: SSS* never evaluates more leaves than
+left-to-right alpha-beta (Stockman's dominance theorem, which holds
+with leftmost tie-breaking on trees with distinct leaf values), at the
+price of maintaining a priority queue of partial solution trees.
+
+Implementation notes.  States are (node, LIVE/SOLVED, merit h) as in
+Stockman's case table, with the root a MAX node:
+
+* LIVE leaf          -> SOLVED with merit min(h, leaf value)   (this is
+  the only place a leaf is evaluated, and what the trace charges);
+* LIVE MAX internal  -> all children enter LIVE with merit h (each is
+  an alternative strategy choice);
+* LIVE MIN internal  -> the first child enters LIVE (a solution tree
+  needs every child; siblings enter when predecessors solve);
+* SOLVED child of a MIN node -> next sibling LIVE, or parent SOLVED
+  when it was the last;
+* SOLVED child of a MAX node -> parent SOLVED, and every state below
+  the parent is purged (no alternative strategy there can beat h).
+
+The OPEN list pops the highest merit; ties break *leftmost first*
+(lexicographically smallest root-path), which is the ordering the
+dominance theorem needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ...models.accounting import EvalResult, ExecutionTrace
+from ...trees.base import GameTree, NodeId
+from ...types import NodeType, TreeKind
+
+_LIVE = 0
+_SOLVED = 1
+
+
+def sss_star(tree: GameTree) -> EvalResult:
+    """Evaluate a MIN/MAX tree with SSS*; trace = leaf evaluations."""
+    if tree.kind is not TreeKind.MINMAX:
+        raise ValueError("SSS* evaluates MIN/MAX trees")
+    root = tree.root
+    evaluated: List[NodeId] = []
+
+    # Heap entries: (-merit, path, tiebreak, node, status).  ``path``
+    # is the tuple of child indices from the root, so lexicographic
+    # order = leftmost-first.
+    counter = itertools.count()
+    heap: List[tuple] = []
+    paths: Dict[NodeId, Tuple[int, ...]] = {root: ()}
+    purged_roots: List[NodeId] = []
+
+    def push(node: NodeId, status: int, merit: float) -> None:
+        heapq.heappush(
+            heap, (-merit, paths[node], next(counter), node, status)
+        )
+
+    def is_purged(node: NodeId) -> bool:
+        for anc in tree.ancestors(node):
+            if anc in purge_set:
+                return True
+            if anc == root:
+                break
+        return False
+
+    purge_set: set = set()
+
+    push(root, _LIVE, float("inf"))
+    while True:
+        neg_merit, _path, _tb, node, status = heapq.heappop(heap)
+        merit = -neg_merit
+        if is_purged(node):
+            continue
+        if status == _SOLVED and node == root:
+            trace = ExecutionTrace()
+            for leaf in evaluated:
+                trace.record([leaf])
+            return EvalResult(merit, trace, evaluated)
+
+        if status == _LIVE:
+            if tree.is_leaf(node):
+                evaluated.append(node)
+                value = float(tree.leaf_value(node))
+                push(node, _SOLVED, min(merit, value))
+            elif tree.node_type(node) is NodeType.MAX:
+                for idx, child in enumerate(tree.children(node)):
+                    paths[child] = paths[node] + (idx,)
+                    push(child, _LIVE, merit)
+            else:  # MIN internal: first child only
+                child = tree.children(node)[0]
+                paths[child] = paths[node] + (0,)
+                push(child, _LIVE, merit)
+            continue
+
+        # status == _SOLVED, node != root
+        parent = tree.parent(node)
+        if tree.node_type(parent) is NodeType.MIN:
+            siblings = tree.children(parent)
+            idx = paths[node][-1]
+            if idx + 1 < len(siblings):
+                nxt = siblings[idx + 1]
+                paths[nxt] = paths[parent] + (idx + 1,)
+                push(nxt, _LIVE, merit)
+            else:
+                push(parent, _SOLVED, merit)
+        else:  # parent is MAX: solve it and purge the competition
+            paths.setdefault(parent, paths[node][:-1])
+            _purge_descendants(heap, tree, parent, purge_set)
+            push(parent, _SOLVED, merit)
+
+
+def _purge_descendants(heap, tree, parent, purge_set) -> None:
+    """Mark every *strict* descendant of ``parent`` as purged.
+
+    Implemented as a marker set consulted on pop (lazy deletion):
+    entering the parent into the set would also kill the parent's own
+    SOLVED entry, so instead each child subtree root is marked.
+    """
+    if tree.is_leaf(parent):  # pragma: no cover - MAX leaf impossible here
+        return
+    for child in tree.children(parent):
+        purge_set.add(child)
+
+
+def sss_leaf_count(tree: GameTree) -> int:
+    """Number of leaves SSS* evaluates on ``tree``."""
+    return sss_star(tree).total_work

@@ -1,0 +1,143 @@
+"""Vectorised evaluation of uniform trees (NumPy fast path).
+
+The generic engines walk trees node by node — the right tool for
+policy-driven step semantics, but needlessly slow for whole-tree
+quantities on `UniformTree`, whose implicit layout makes every level a
+contiguous array slice.  This module computes, level by level with
+NumPy:
+
+* the exact tree value (`uniform_value`),
+* Sequential SOLVE's leaf-evaluation cost S(T)
+  (`uniform_sequential_cost`),
+* N-Sequential SOLVE's expansion cost S*(T) = |H_T|
+  (`uniform_expansion_cost`), and
+* the evaluated-leaf mask (which leaves are in L(T)).
+
+This is what lets the benchmark suite measure Theorem 1 at heights
+where the sequential baseline alone touches millions of leaves.  Every
+function is cross-checked against the generic implementations in the
+test suite.
+
+How it works.  A short-circuit gate reads its children left to right
+and stops at the first *absorbing* value.  Bottom-up, each level keeps
+two arrays — value and cost — and folds d children at a time::
+
+    has_abs   = any(child value == absorbing)        per node
+    first_abs = index of the first absorbing child   per node
+    cost      = sum of child costs up to and including first_abs,
+                or of all d children when no child absorbs
+
+The expansion count additionally needs which nodes Sequential SOLVE
+*visits*; a second, top-down pass marks, for each visited node, its
+first ``first_abs + 1`` (or d) children visited.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import TreeStructureError
+from ..trees.uniform import UniformTree
+from ..types import TreeKind
+
+
+def _level_fold(tree: UniformTree, values: np.ndarray,
+                level: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fold child values of one level into parent (value, visited-count).
+
+    Returns (parent values, children-visited counts, first-absorb
+    indices); the caller combines them with costs as needed.
+    ``level`` is the parents' depth.
+    """
+    d = tree.branching
+    gate = tree._scheme.gate_at(level)
+    vals2d = values.reshape(-1, d)
+    is_abs = vals2d == gate.absorbing
+    has_abs = is_abs.any(axis=1)
+    first_abs = np.argmax(is_abs, axis=1)
+    visited = np.where(has_abs, first_abs + 1, d)
+    parent_vals = np.where(has_abs, gate.on_absorb, gate.otherwise
+                           ).astype(np.int8)
+    return parent_vals, visited, first_abs
+
+
+def uniform_value(tree: UniformTree) -> int:
+    """Exact Boolean value by level-wise reduction."""
+    _require_boolean(tree)
+    values = tree.leaf_values_array.astype(np.int8)
+    for level in range(tree.height() - 1, -1, -1):
+        values, _, _ = _level_fold(tree, values, level)
+    return int(values[0])
+
+
+def uniform_sequential_cost(tree: UniformTree) -> Tuple[int, int]:
+    """(value, S(T)): Sequential SOLVE's leaf-evaluation count."""
+    _require_boolean(tree)
+    d = tree.branching
+    values = tree.leaf_values_array.astype(np.int8)
+    costs = np.ones(len(values), dtype=np.int64)
+    for level in range(tree.height() - 1, -1, -1):
+        parent_vals, visited, _ = _level_fold(tree, values, level)
+        cum = np.cumsum(costs.reshape(-1, d), axis=1)
+        rows = np.arange(len(parent_vals))
+        costs = cum[rows, visited - 1]
+        values = parent_vals
+    return int(values[0]), int(costs[0])
+
+
+def uniform_expansion_cost(tree: UniformTree) -> Tuple[int, int]:
+    """(value, S*(T)): N-Sequential SOLVE's expansion count = |H_T|."""
+    value, _, visited_masks = _visitation(tree)
+    total = 1  # the root
+    for mask in visited_masks:
+        total += int(mask.sum())
+    return value, total
+
+
+def uniform_evaluated_leaf_mask(tree: UniformTree) -> np.ndarray:
+    """Boolean mask over the leaves: membership in L(T)."""
+    _, leaf_mask, _ = _visitation(tree, want_leaves=True)
+    return leaf_mask
+
+
+def _visitation(tree: UniformTree, want_leaves: bool = False):
+    """Bottom-up fold + top-down visited marks.
+
+    Returns (root value, leaf mask or None, per-level visited masks
+    for levels 1..n).
+    """
+    _require_boolean(tree)
+    d = tree.branching
+    n = tree.height()
+    values = tree.leaf_values_array.astype(np.int8)
+    per_level_visited_counts = []
+    for level in range(n - 1, -1, -1):
+        parent_vals, visited, _ = _level_fold(tree, values, level)
+        per_level_visited_counts.append(visited)
+        values = parent_vals
+    per_level_visited_counts.reverse()  # index 0 = root's children
+
+    # Top-down: which nodes of each level Sequential SOLVE visits.
+    visited_mask = np.ones(1, dtype=bool)  # the root
+    masks = []
+    for level in range(n):
+        counts = per_level_visited_counts[level]
+        child_mask = (
+            visited_mask[:, None]
+            & (np.arange(d)[None, :] < counts[:, None])
+        ).reshape(-1)
+        masks.append(child_mask)
+        visited_mask = child_mask
+    leaf_mask = masks[-1] if (masks and want_leaves) else None
+    if n == 0:
+        leaf_mask = np.ones(1, dtype=bool) if want_leaves else None
+    return int(values[0]), leaf_mask, masks
+
+
+def _require_boolean(tree: UniformTree) -> None:
+    if not isinstance(tree, UniformTree):
+        raise TreeStructureError("the fast path needs a UniformTree")
+    if tree.kind is not TreeKind.BOOLEAN:
+        raise TreeStructureError("the fast path evaluates Boolean trees")

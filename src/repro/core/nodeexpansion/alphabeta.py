@@ -1,0 +1,234 @@
+"""Node-expansion versions of Sequential and Parallel alpha-beta.
+
+Section 5 notes that "Sequential alpha-beta and Parallel alpha-beta can
+also be converted into their node-expansion versions"; the paper omits
+the details for space.  The conversion follows the same recipe as
+SOLVE: the pruned tree T-tilde now lives over the generated tree T*,
+frontier nodes (live, unexpanded, not pruned) replace unfinished
+leaves as the selectable unit, and expansion of a leaf finishes it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from ...errors import ModelViolationError, PruningInvariantError
+from ...models.accounting import EvalResult, ExecutionTrace
+from ...trees.base import GameTree, NodeId
+from ...types import NodeType
+
+
+class ExpansionAlphaBetaState:
+    """T* plus pruned-tree bookkeeping for MIN/MAX node expansion."""
+
+    def __init__(self, tree: GameTree):
+        self.tree = tree
+        self.expanded: Set[NodeId] = set()
+        self.finished_value: Dict[NodeId, float] = {}
+        self.pruned: Set[NodeId] = set()
+        self.touched: Set[NodeId] = set()
+        self._unfinished_children: Dict[NodeId, int] = {}
+
+    # -- queries ----------------------------------------------------------
+    def is_finished(self, node: NodeId) -> bool:
+        return node in self.finished_value
+
+    # -- updates ------------------------------------------------------------
+    def expand(self, node: NodeId) -> None:
+        if node in self.expanded:
+            raise ModelViolationError(f"node {node!r} expanded twice")
+        self.expanded.add(node)
+        if self.tree.is_leaf(node):
+            self._mark_touched(node)
+            self._finish(node, float(self.tree.leaf_value(node)))
+
+    def prune(self, node: NodeId) -> None:
+        if node in self.pruned:
+            return
+        if node in self.finished_value:
+            raise ModelViolationError(
+                f"pruning rule applies only to unfinished nodes: {node!r}"
+            )
+        self.pruned.add(node)
+        parent = self.tree.parent(node)
+        if parent is not None:
+            self._child_settled(parent)
+
+    def _mark_touched(self, node: NodeId) -> None:
+        for anc in self.tree.ancestors(node):
+            if anc in self.touched:
+                break
+            self.touched.add(anc)
+
+    def _finish(self, node: NodeId, val: float) -> None:
+        if node in self.finished_value:
+            return
+        self.finished_value[node] = val
+        parent = self.tree.parent(node)
+        if parent is not None:
+            self._child_settled(parent)
+
+    def _child_settled(self, node: NodeId) -> None:
+        if node in self.finished_value or node in self.pruned:
+            return
+        if node not in self.expanded:  # pragma: no cover - defensive
+            raise ModelViolationError(
+                f"child of unexpanded node {node!r} settled"
+            )
+        remaining = self._unfinished_children.get(node)
+        if remaining is None:
+            remaining = self.tree.arity(node)
+        remaining -= 1
+        self._unfinished_children[node] = remaining
+        if remaining > 0:
+            return
+        vals = [
+            self.finished_value[c]
+            for c in self.tree.children(node)
+            if c not in self.pruned
+        ]
+        if not vals:
+            raise PruningInvariantError(
+                f"every child of {node!r} was pruned while it survived"
+            )
+        if self.tree.node_type(node) is NodeType.MAX:
+            self._finish(node, max(vals))
+        else:
+            self._finish(node, min(vals))
+
+
+def prune_expansion_to_fixpoint(state: ExpansionAlphaBetaState) -> int:
+    """Apply the pruning rule over T* until fixpoint; free in the model."""
+    total = 0
+    while True:
+        pruned_now = _prune_pass(state)
+        total += pruned_now
+        if pruned_now == 0:
+            return total
+
+
+def _prune_pass(state: ExpansionAlphaBetaState) -> int:
+    tree = state.tree
+    root = tree.root
+    if state.is_finished(root) or root not in state.expanded:
+        return 0
+    count = 0
+    stack = [(root, -math.inf, math.inf)]
+    while stack:
+        node, alpha, beta = stack.pop()
+        if node in state.pruned or node in state.finished_value:
+            continue
+        is_max = tree.node_type(node) is NodeType.MAX
+        finished_vals = [
+            state.finished_value[c]
+            for c in tree.children(node)
+            if c in state.finished_value and c not in state.pruned
+        ]
+        if is_max:
+            child_alpha = max([alpha] + finished_vals)
+            child_beta = beta
+        else:
+            child_alpha = alpha
+            child_beta = min([beta] + finished_vals)
+        for child in tree.children(node):
+            if child in state.pruned or child in state.finished_value:
+                continue
+            if child_alpha >= child_beta:
+                state.prune(child)
+                count += 1
+                if node in state.finished_value or node in state.pruned:
+                    break
+                continue
+            if child in state.expanded and child in state.touched:
+                stack.append((child, child_alpha, child_beta))
+    return count
+
+
+def select_expansion_frontier(
+    tree: GameTree, state: ExpansionAlphaBetaState, width: int
+) -> List[NodeId]:
+    """Frontier nodes of T-tilde over T* with pruning number <= width."""
+    out: List[NodeId] = []
+    root = tree.root
+    if state.is_finished(root) or root in state.pruned:
+        return out
+    stack = [(root, width)]
+    while stack:
+        node, budget = stack.pop()
+        if node not in state.expanded:
+            out.append(node)
+            continue
+        frames = []
+        unfinished_seen = 0
+        for child in tree.children(node):
+            if child in state.pruned or child in state.finished_value:
+                continue
+            remaining = budget - unfinished_seen
+            if remaining < 0:
+                break
+            frames.append((child, remaining))
+            unfinished_seen += 1
+        stack.extend(reversed(frames))
+    return out
+
+
+class NAlphaBetaWidthPolicy:
+    """N-Parallel alpha-beta of width w (w = 0: N-Sequential)."""
+
+    def __init__(self, width: int):
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"n-parallel-alpha-beta(w={width})"
+
+    def __call__(self, tree: GameTree, state: ExpansionAlphaBetaState):
+        return select_expansion_frontier(tree, state, self.width)
+
+
+def run_expansion_minmax(
+    tree: GameTree,
+    policy: Callable[[GameTree, ExpansionAlphaBetaState], List[NodeId]],
+    *,
+    keep_batches: bool = False,
+    on_step=None,
+    max_steps: Optional[int] = None,
+) -> EvalResult:
+    """Run a node-expansion alpha-beta policy; return value and trace."""
+    state = ExpansionAlphaBetaState(tree)
+    trace = ExecutionTrace(keep_batches=keep_batches)
+    expanded_order: List[NodeId] = []
+    root = tree.root
+
+    step = 0
+    while not state.is_finished(root):
+        batch = policy(tree, state)
+        if not batch:
+            raise ModelViolationError(
+                f"policy {getattr(policy, 'name', policy)!r} selected no "
+                f"frontier nodes while the root is unfinished"
+            )
+        for node in batch:
+            state.expand(node)
+        prune_expansion_to_fixpoint(state)
+        trace.record(batch)
+        expanded_order.extend(batch)
+        if on_step is not None:
+            on_step(state, step, batch)
+        step += 1
+        if max_steps is not None and step > max_steps:
+            raise ModelViolationError(f"exceeded {max_steps} steps")
+
+    return EvalResult(state.finished_value[root], trace, expanded_order)
+
+
+def n_sequential_alpha_beta(tree: GameTree, **kw) -> EvalResult:
+    """N-Sequential alpha-beta: expand the leftmost frontier node."""
+    return run_expansion_minmax(tree, NAlphaBetaWidthPolicy(0), **kw)
+
+
+def n_parallel_alpha_beta(
+    tree: GameTree, width: int = 1, **kw
+) -> EvalResult:
+    """N-Parallel alpha-beta of the given width."""
+    return run_expansion_minmax(tree, NAlphaBetaWidthPolicy(width), **kw)

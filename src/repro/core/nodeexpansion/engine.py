@@ -1,0 +1,128 @@
+"""Step-synchronous engine for the node-expansion model (Boolean trees).
+
+One basic step = select a batch of frontier nodes (per policy) and
+expand all of them simultaneously.  Running time is the number of steps,
+total work the number of expansions, processors the maximum batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ...errors import ModelViolationError
+from ...models.accounting import EvalResult, ExecutionTrace
+from ...trees.base import GameTree, NodeId
+from .state import ExpansionState
+
+ExpansionPolicy = Callable[[GameTree, ExpansionState], List[NodeId]]
+
+ExpansionStepHook = Callable[[ExpansionState, int, List[NodeId]], None]
+
+
+def select_frontier_by_pruning_number(
+    tree: GameTree, state: ExpansionState, width: int
+) -> List[NodeId]:
+    """Frontier nodes of T* with pruning number <= ``width``.
+
+    The walk mirrors the leaf-evaluation selection, but its terminals
+    are *unexpanded* live nodes rather than leaves — an expanded node is
+    an interior point of T* and the walk descends through it.
+    """
+    out: List[NodeId] = []
+    root = tree.root
+    if root in state.value:
+        return out
+    stack = [(root, width)]
+    while stack:
+        node, budget = stack.pop()
+        if node not in state.expanded:
+            out.append(node)
+            continue
+        frames = []
+        live_seen = 0
+        for child in tree.children(node):
+            if child in state.value:
+                continue
+            remaining = budget - live_seen
+            if remaining < 0:
+                break
+            frames.append((child, remaining))
+            live_seen += 1
+        stack.extend(reversed(frames))
+    return out
+
+
+def select_leftmost_frontier(
+    tree: GameTree, state: ExpansionState, limit: int
+) -> List[NodeId]:
+    """The leftmost ``limit`` frontier nodes of T*."""
+    out: List[NodeId] = []
+    root = tree.root
+    if root in state.value:
+        return out
+    stack = [root]
+    while stack and len(out) < limit:
+        node = stack.pop()
+        if node not in state.expanded:
+            out.append(node)
+            continue
+        kids = [c for c in tree.children(node) if c not in state.value]
+        stack.extend(reversed(kids))
+    return out
+
+
+class NSequentialPolicy:
+    """N-Sequential SOLVE: expand the leftmost frontier node."""
+
+    name = "n-sequential-solve"
+
+    def __call__(self, tree: GameTree, state: ExpansionState):
+        return select_leftmost_frontier(tree, state, 1)
+
+
+class NWidthPolicy:
+    """N-Parallel SOLVE of width w (w = 0: N-Sequential SOLVE)."""
+
+    def __init__(self, width: int):
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"n-parallel-solve(w={width})"
+
+    def __call__(self, tree: GameTree, state: ExpansionState):
+        return select_frontier_by_pruning_number(tree, state, self.width)
+
+
+def run_expansion(
+    tree: GameTree,
+    policy: ExpansionPolicy,
+    *,
+    keep_batches: bool = False,
+    on_step: Optional[ExpansionStepHook] = None,
+    max_steps: Optional[int] = None,
+) -> EvalResult:
+    """Evaluate a Boolean tree in the node-expansion model."""
+    state = ExpansionState(tree)
+    trace = ExecutionTrace(keep_batches=keep_batches)
+    expanded_order: List[NodeId] = []
+    root = tree.root
+
+    step = 0
+    while root not in state.value:
+        batch = policy(tree, state)
+        if not batch:
+            raise ModelViolationError(
+                f"policy {getattr(policy, 'name', policy)!r} selected no "
+                f"frontier nodes while the root is undetermined"
+            )
+        for node in batch:
+            state.expand(node)
+        trace.record(batch)
+        expanded_order.extend(batch)
+        if on_step is not None:
+            on_step(state, step, batch)
+        step += 1
+        if max_steps is not None and step > max_steps:
+            raise ModelViolationError(f"exceeded {max_steps} steps")
+
+    return EvalResult(state.value[root], trace, expanded_order)

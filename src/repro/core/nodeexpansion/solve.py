@@ -1,0 +1,24 @@
+"""N-Sequential SOLVE and N-Parallel SOLVE wrappers (Section 5).
+
+``n_sequential_solve`` is the paper's S-SOLVE* — a left-to-right
+depth-first search that generates the tree as it goes — and
+``n_parallel_solve`` its width-w parallelization P-SOLVE*.  Theorem 4:
+width 1 achieves a c(n+1) speed-up in expansions-per-step on uniform
+trees, with n+1 processors.
+"""
+
+from __future__ import annotations
+
+from ...models.accounting import EvalResult
+from ...trees.base import GameTree
+from .engine import NSequentialPolicy, NWidthPolicy, run_expansion
+
+
+def n_sequential_solve(tree: GameTree, **kw) -> EvalResult:
+    """Expand the leftmost frontier node at each step (S-SOLVE*)."""
+    return run_expansion(tree, NSequentialPolicy(), **kw)
+
+
+def n_parallel_solve(tree: GameTree, width: int = 1, **kw) -> EvalResult:
+    """Expand all frontier nodes with pruning number <= width (P-SOLVE*)."""
+    return run_expansion(tree, NWidthPolicy(width), **kw)

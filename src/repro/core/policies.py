@@ -1,0 +1,171 @@
+"""Leaf-selection policies for the leaf-evaluation model.
+
+A policy maps the current :class:`~repro.core.status.BooleanState` to
+the batch of live leaves to evaluate at the next basic step.  The
+paper's three algorithms are three policies:
+
+* :class:`SequentialPolicy` — the leftmost live leaf (Sequential SOLVE);
+* :class:`TeamPolicy` — the leftmost ``p`` live leaves (Team SOLVE);
+* :class:`WidthPolicy` — all live leaves with pruning number at most
+  ``w`` (Parallel SOLVE of width w; width 0 coincides with Sequential
+  SOLVE).
+
+Both selections run as a single left-to-right DFS that descends only
+through undetermined nodes.  For :class:`WidthPolicy` the DFS carries a
+*budget*: stepping past ``c`` live left-siblings at a node costs ``c``,
+and branches whose cumulative cost exceeds the width are cut — this
+enumerates exactly the live leaves with pruning number <= w, touching
+only their ancestors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..trees.base import GameTree, NodeId
+from .status import BooleanState
+
+
+def select_leftmost_live(
+    tree: GameTree, state: BooleanState, limit: int
+) -> List[NodeId]:
+    """The leftmost ``limit`` live leaves, in left-to-right order."""
+    out: List[NodeId] = []
+    value = state.value
+    stack = [tree.root]
+    if tree.root in value:
+        return out
+    while stack and len(out) < limit:
+        node = stack.pop()
+        if tree.is_leaf(node):
+            out.append(node)
+            continue
+        kids = [c for c in tree.children(node) if c not in value]
+        stack.extend(reversed(kids))
+    return out
+
+
+def select_by_pruning_number(
+    tree: GameTree, state: BooleanState, width: int
+) -> List[NodeId]:
+    """All live leaves with pruning number at most ``width``.
+
+    Returned in left-to-right order.
+    """
+    return [
+        leaf for leaf, _pn in
+        select_with_pruning_numbers(tree, state, width)
+    ]
+
+
+def select_with_pruning_numbers(
+    tree: GameTree, state: BooleanState, width: int
+) -> List[tuple]:
+    """Live leaves with pruning number <= ``width``, as (leaf, number).
+
+    The budget consumed on the way down *is* the leaf's exact pruning
+    number, so the numbers come free with the walk.  Left-to-right
+    order.
+    """
+    out: List[tuple] = []
+    value = state.value
+    if tree.root in value:
+        return out
+    # Stack of (node, remaining budget); node is always undetermined.
+    stack = [(tree.root, width)]
+    while stack:
+        node, budget = stack.pop()
+        if tree.is_leaf(node):
+            out.append((node, width - budget))
+            continue
+        frames = []
+        live_seen = 0
+        for child in tree.children(node):
+            if child in value:
+                continue  # dead: not a live sibling, never descended
+            remaining = budget - live_seen
+            if remaining < 0:
+                break
+            frames.append((child, remaining))
+            live_seen += 1
+        stack.extend(reversed(frames))
+    return out
+
+
+class SequentialPolicy:
+    """Sequential SOLVE: evaluate the leftmost live leaf."""
+
+    name = "sequential-solve"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        return select_leftmost_live(tree, state, 1)
+
+
+class TeamPolicy:
+    """Team SOLVE with p processors: the leftmost p live leaves."""
+
+    def __init__(self, processors: int):
+        if processors < 1:
+            raise ValueError("Team SOLVE needs at least one processor")
+        self.processors = processors
+        self.name = f"team-solve(p={processors})"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        return select_leftmost_live(tree, state, self.processors)
+
+
+class WidthPolicy:
+    """Parallel SOLVE of width w: live leaves with pruning number <= w."""
+
+    def __init__(self, width: int):
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"parallel-solve(w={width})"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        return select_by_pruning_number(tree, state, self.width)
+
+
+class BoundedWidthPolicy:
+    """Width-w selection capped at ``processors`` leaves per step.
+
+    The practical fixed-machine variant: of the live leaves with
+    pruning number <= w, evaluate the ``processors`` most urgent —
+    smallest pruning number first, leftmost on ties (so the leaf
+    Sequential SOLVE would take is always included, and with
+    processors = 1 this *is* Sequential SOLVE for any width).
+    """
+
+    def __init__(self, width: int, processors: int):
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.width = width
+        self.processors = processors
+        self.name = f"parallel-solve(w={width}, p={processors})"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        scored = select_with_pruning_numbers(tree, state, self.width)
+        if len(scored) <= self.processors:
+            return [leaf for leaf, _ in scored]
+        ranked = sorted(
+            range(len(scored)), key=lambda i: (scored[i][1], i)
+        )[: self.processors]
+        return [scored[i][0] for i in sorted(ranked)]
+
+
+class SaturationPolicy:
+    """Evaluate *every* live leaf each step (unbounded parallelism).
+
+    The number of steps this takes is the instance's *span* — the
+    depth of the evaluation dependency structure — which lower-bounds
+    every parallel schedule's step count (Brent's argument); speed-up
+    of any policy is capped by S(T) / span(T).
+    """
+
+    name = "saturation-solve"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        return select_leftmost_live(tree, state, float("inf"))

@@ -1,0 +1,100 @@
+"""Randomized algorithms (Section 6).
+
+R-Sequential SOLVE is N-Sequential SOLVE acting on a randomly permuted
+input tree: at every node the children are visited in a uniformly random
+order, with randomization performed lazily, "only to the extent
+necessary to determine the steps of the algorithm".  R-Parallel SOLVE,
+R-Sequential alpha-beta and R-Parallel alpha-beta extend the same
+randomization to the other algorithms.
+
+All functions here take a ``seed``; running the deterministic algorithm
+on ``PermutedTree(tree, seed)`` *is* the randomized algorithm.
+``estimate_expectation`` averages any of them over a seed ensemble,
+giving the quantities E(S*_R) and E(P*_R) of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..models.accounting import EvalResult
+from ..trees.base import GameTree
+from ..trees.permuted import PermutedTree
+from .nodeexpansion import (
+    n_parallel_alpha_beta,
+    n_parallel_solve,
+    n_sequential_alpha_beta,
+    n_sequential_solve,
+)
+
+
+def r_sequential_solve(tree: GameTree, seed: int) -> EvalResult:
+    """R-Sequential SOLVE: random depth-first search (node expansion)."""
+    return n_sequential_solve(PermutedTree(tree, seed))
+
+
+def r_parallel_solve(
+    tree: GameTree, width: int = 1, *, seed: int
+) -> EvalResult:
+    """R-Parallel SOLVE of the given width."""
+    return n_parallel_solve(PermutedTree(tree, seed), width)
+
+
+def r_sequential_alpha_beta(tree: GameTree, seed: int) -> EvalResult:
+    """R-Sequential alpha-beta: random-order depth-first alpha-beta."""
+    return n_sequential_alpha_beta(PermutedTree(tree, seed))
+
+
+def r_parallel_alpha_beta(
+    tree: GameTree, width: int = 1, *, seed: int
+) -> EvalResult:
+    """R-Parallel alpha-beta of the given width."""
+    return n_parallel_alpha_beta(PermutedTree(tree, seed), width)
+
+
+@dataclass
+class ExpectationEstimate:
+    """Sample statistics of a randomized algorithm over a seed ensemble."""
+
+    mean_steps: float
+    mean_work: float
+    max_processors: int
+    std_steps: float
+    num_samples: int
+
+    @classmethod
+    def from_results(cls, results: Sequence[EvalResult]):
+        steps = np.array([r.num_steps for r in results], dtype=float)
+        work = np.array([r.total_work for r in results], dtype=float)
+        return cls(
+            mean_steps=float(steps.mean()),
+            mean_work=float(work.mean()),
+            max_processors=max(r.processors for r in results),
+            std_steps=float(steps.std(ddof=1)) if len(steps) > 1 else 0.0,
+            num_samples=len(results),
+        )
+
+
+def estimate_expectation(
+    algorithm: Callable[..., EvalResult],
+    tree: GameTree,
+    seeds: Sequence[int],
+    **kwargs,
+) -> ExpectationEstimate:
+    """Run ``algorithm(tree, seed=s, **kwargs)`` for each seed; aggregate.
+
+    Also checks that every run computed the same root value (they must:
+    permutation never changes the value).
+    """
+    results: List[EvalResult] = [
+        algorithm(tree, seed=s, **kwargs) for s in seeds
+    ]
+    values = {r.value for r in results}
+    if len(values) != 1:
+        raise AssertionError(
+            f"randomized runs disagreed on the root value: {values}"
+        )
+    return ExpectationEstimate.from_results(results)

@@ -1,0 +1,27 @@
+"""Team SOLVE — the naive parallelization (Section 2, Proposition 1).
+
+At each step the team evaluates the leftmost ``p`` live leaves.  On
+uniform trees this guarantees only an Omega(sqrt(p)) speed-up over
+Sequential SOLVE, and instances exist where sqrt(p) is also an upper
+bound (see :func:`repro.trees.generators.team_solve_hard_instance`).
+It is the baseline that Parallel SOLVE's width strategy improves on.
+"""
+
+from __future__ import annotations
+
+from ..models.accounting import EvalResult
+from ..trees.base import GameTree
+from .policies import TeamPolicy
+from .solve_engine import run_boolean
+
+
+def team_solve(
+    tree: GameTree,
+    processors: int,
+    *,
+    keep_batches: bool = False,
+) -> EvalResult:
+    """Run Team SOLVE with ``processors`` processors on a Boolean tree."""
+    return run_boolean(
+        tree, TeamPolicy(processors), keep_batches=keep_batches
+    )

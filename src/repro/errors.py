@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TreeStructureError(ReproError):
+    """A tree violates a structural requirement (arity, height, values)."""
+
+
+class ModelViolationError(ReproError):
+    """An algorithm broke an invariant of its cost model.
+
+    Raised, for example, when a selection policy returns an empty batch
+    while the root is still undetermined, or when a leaf is evaluated
+    twice.
+    """
+
+
+class PruningInvariantError(ReproError):
+    """The alpha-beta pruning process violated Theorem 2's invariant.
+
+    The pruning rule of Karp & Zhang (Section 4) must preserve the root
+    value of the pruned tree at every step; this error signals a bug in
+    the engine (it is raised by the optional self-check machinery, never
+    during normal unchecked operation).
+    """
+
+
+class SimulationError(ReproError):
+    """The message-passing simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload was mis-specified."""

@@ -1,0 +1,32 @@
+"""Game substrates feeding the node-expansion algorithms."""
+
+from .base import Game, game_tree, win_loss_tree
+from .connect import ConnectK
+from .nim import Nim, NimMove, NimPosition
+from .player import (
+    GameRecord,
+    MoveChoice,
+    best_move,
+    play_game,
+    principal_variation,
+)
+from .synthetic import SyntheticGame
+from .tictactoe import TicTacToe, winner
+
+__all__ = [
+    "Game",
+    "game_tree",
+    "win_loss_tree",
+    "TicTacToe",
+    "winner",
+    "Nim",
+    "NimPosition",
+    "NimMove",
+    "SyntheticGame",
+    "ConnectK",
+    "best_move",
+    "play_game",
+    "principal_variation",
+    "MoveChoice",
+    "GameRecord",
+]

@@ -1,0 +1,117 @@
+"""Connect-k on an m x n board with gravity (Connect Four family).
+
+A "wide-and-shallow" game in the sense of the paper's Section 8
+remark — relatively large branching factor (one move per non-full
+column) and bounded depth — used by the examples and benchmarks to
+exercise depth-limited heuristic search through the game-tree
+adapters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import Game
+
+#: (columns tuple of piece-tuples bottom-up, player to move).
+ConnectPosition = Tuple[Tuple[Tuple[int, ...], ...], int]
+
+
+class ConnectK(Game):
+    """Drop pieces into columns; first to align ``k`` wins.
+
+    Player 1 (the MAX player) moves first.  Alignment counts rows,
+    columns and both diagonals.
+    """
+
+    def __init__(self, columns: int = 4, rows: int = 4, k: int = 3):
+        if columns < 1 or rows < 1 or k < 2:
+            raise ValueError("need columns, rows >= 1 and k >= 2")
+        self.columns = columns
+        self.rows = rows
+        self.k = k
+
+    def initial_position(self) -> ConnectPosition:
+        return (tuple(() for _ in range(self.columns)), 1)
+
+    def moves(self, position: ConnectPosition) -> List[int]:
+        board, _player = position
+        if self._winner(board) != 0:
+            return []
+        return [
+            c for c in range(self.columns) if len(board[c]) < self.rows
+        ]
+
+    def apply(self, position: ConnectPosition, move: int) -> ConnectPosition:
+        board, player = position
+        if len(board[move]) >= self.rows:
+            raise ValueError(f"column {move} is full")
+        new_col = board[move] + (player,)
+        new_board = board[:move] + (new_col,) + board[move + 1:]
+        return (new_board, 3 - player)
+
+    def terminal_value(self, position: ConnectPosition) -> float:
+        board, _player = position
+        w = self._winner(board)
+        if w == 1:
+            return 1.0
+        if w == 2:
+            return -1.0
+        return 0.0
+
+    def evaluate(self, position: ConnectPosition) -> float:
+        """Heuristic: difference in open k-windows, squashed to (-1, 1)."""
+        board, _player = position
+        w = self._winner(board)
+        if w:
+            return 1.0 if w == 1 else -1.0
+        score = 0
+        for window in self._windows():
+            cells = [self._cell(board, c, r) for c, r in window]
+            if 2 not in cells and 1 in cells:
+                score += 1
+            if 1 not in cells and 2 in cells:
+                score -= 1
+        return score / (1.0 + abs(score)) * 0.5
+
+    # -- board geometry ----------------------------------------------------
+    def _cell(self, board, col: int, row: int) -> int:
+        column = board[col]
+        return column[row] if row < len(column) else 0
+
+    def _windows(self):
+        k = self.k
+        for c in range(self.columns):
+            for r in range(self.rows):
+                if c + k <= self.columns:
+                    yield [(c + i, r) for i in range(k)]
+                if r + k <= self.rows:
+                    yield [(c, r + i) for i in range(k)]
+                if c + k <= self.columns and r + k <= self.rows:
+                    yield [(c + i, r + i) for i in range(k)]
+                if c + k <= self.columns and r - k + 1 >= 0:
+                    yield [(c + i, r - i) for i in range(k)]
+
+    def _winner(self, board) -> int:
+        for window in self._windows():
+            cells = [self._cell(board, c, r) for c, r in window]
+            if cells[0] != 0 and all(x == cells[0] for x in cells):
+                return cells[0]
+        return 0
+
+    @staticmethod
+    def pretty(position: ConnectPosition) -> str:
+        board, player = position
+        rows = len(board[0]) if board else 0
+        height = max((len(col) for col in board), default=0)
+        sym = {0: ".", 1: "X", 2: "O"}
+        lines = []
+        max_row = max(height, 1)
+        for r in range(max_row - 1, -1, -1):
+            lines.append(
+                " ".join(
+                    sym[col[r] if r < len(col) else 0] for col in board
+                )
+            )
+        lines.append(f"({sym[player]} to move)")
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Nim — a win/loss game with a closed-form ground truth.
+
+Multi-heap Nim under the normal-play convention: a move removes 1..k
+objects from one heap; whoever cannot move loses.  The Sprague-Grundy
+theorem gives the exact answer (first player wins iff the XOR of the
+heap Grundy numbers is non-zero; with take-limit k a heap of size s has
+Grundy number s mod (k+1)), making Nim a perfect oracle for the Boolean
+win/loss trees and the node-expansion algorithms.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import List, Optional, Tuple
+
+from .base import Game
+
+#: Immutable multiset of heap sizes.
+NimPosition = Tuple[int, ...]
+
+#: Moves are (heap index, number of objects taken).
+NimMove = Tuple[int, int]
+
+
+class Nim(Game):
+    """Normal-play Nim with an optional per-move take limit."""
+
+    def __init__(self, heaps: Tuple[int, ...], max_take: Optional[int] = None):
+        if not heaps or any(h < 0 for h in heaps):
+            raise ValueError("heaps must be non-negative and non-empty")
+        self._initial = tuple(heaps)
+        self.max_take = max_take
+
+    def initial_position(self) -> NimPosition:
+        return self._initial
+
+    def moves(self, position: NimPosition) -> List[NimMove]:
+        out: List[NimMove] = []
+        for i, heap in enumerate(position):
+            limit = heap if self.max_take is None else min(heap, self.max_take)
+            out.extend((i, take) for take in range(1, limit + 1))
+        return out
+
+    def apply(self, position: NimPosition, move: NimMove) -> NimPosition:
+        i, take = move
+        if not 1 <= take <= position[i]:
+            raise ValueError(f"cannot take {take} from heap {i}")
+        if self.max_take is not None and take > self.max_take:
+            raise ValueError(f"take limit is {self.max_take}")
+        return position[:i] + (position[i] - take,) + position[i + 1:]
+
+    def terminal_value(self, position: NimPosition) -> float:
+        # The mover has no objects left to take: they lose.  From the
+        # MAX player's perspective this is only meaningful relative to
+        # whose turn it is, so win/loss analyses should use
+        # ``win_loss_tree`` / ``first_player_wins``.
+        return -1.0
+
+    def grundy(self, position: NimPosition) -> int:
+        """Grundy number of ``position`` (closed form)."""
+        if self.max_take is None:
+            return reduce(lambda a, b: a ^ b, position, 0)
+        k = self.max_take
+        return reduce(lambda a, b: a ^ b, (h % (k + 1) for h in position), 0)
+
+    def first_player_wins(self, position: Optional[NimPosition] = None) -> bool:
+        """Ground truth from Sprague-Grundy theory."""
+        if position is None:
+            position = self._initial
+        return self.grundy(position) != 0

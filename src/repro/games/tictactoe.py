@@ -1,0 +1,86 @@
+"""Tic-tac-toe — a fully solvable MIN/MAX workload.
+
+Positions are immutable 9-tuples over {0, 1, 2} (empty / X / O) plus
+the player to move; X is the MAX player.  The complete game tree from
+the empty board has height <= 9 and its value is 0 (draw) — a classic
+end-to-end check for every alpha-beta variant in the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .base import Game
+
+Board = Tuple[int, ...]
+#: (board, player to move): player 1 = X (MAX), player 2 = O (MIN).
+TTTPosition = Tuple[Board, int]
+
+_LINES = (
+    (0, 1, 2), (3, 4, 5), (6, 7, 8),   # rows
+    (0, 3, 6), (1, 4, 7), (2, 5, 8),   # columns
+    (0, 4, 8), (2, 4, 6),              # diagonals
+)
+
+
+def winner(board: Board) -> int:
+    """1 if X has a line, 2 if O has one, 0 otherwise."""
+    for a, b, c in _LINES:
+        if board[a] != 0 and board[a] == board[b] == board[c]:
+            return board[a]
+    return 0
+
+
+class TicTacToe(Game):
+    """Standard 3x3 tic-tac-toe; X (player 1) is the MAX player."""
+
+    def initial_position(self) -> TTTPosition:
+        return ((0,) * 9, 1)
+
+    def moves(self, position: TTTPosition) -> List[int]:
+        board, _player = position
+        if winner(board) != 0:
+            return []
+        return [i for i in range(9) if board[i] == 0]
+
+    def apply(self, position: TTTPosition, move: int) -> TTTPosition:
+        board, player = position
+        if board[move] != 0:
+            raise ValueError(f"square {move} is occupied")
+        new_board = board[:move] + (player,) + board[move + 1:]
+        return (new_board, 3 - player)
+
+    def terminal_value(self, position: TTTPosition) -> float:
+        board, _player = position
+        w = winner(board)
+        if w == 1:
+            return 1.0
+        if w == 2:
+            return -1.0
+        return 0.0
+
+    def evaluate(self, position: TTTPosition) -> float:
+        """Cheap heuristic for depth-limited search: open-line count."""
+        board, _player = position
+        w = winner(board)
+        if w:
+            return 1.0 if w == 1 else -1.0
+        score = 0.0
+        for a, b, c in _LINES:
+            cells = (board[a], board[b], board[c])
+            if 2 not in cells and 1 in cells:
+                score += 0.1
+            if 1 not in cells and 2 in cells:
+                score -= 0.1
+        return score
+
+    @staticmethod
+    def pretty(position: TTTPosition) -> str:
+        """Render a position for example scripts."""
+        board, player = position
+        sym = {0: ".", 1: "X", 2: "O"}
+        rows = [
+            " ".join(sym[board[r * 3 + c]] for c in range(3))
+            for r in range(3)
+        ]
+        return "\n".join(rows) + f"\n({sym[player]} to move)"

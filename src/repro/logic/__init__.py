@@ -1,0 +1,6 @@
+"""Propositional backward chaining over AND/OR trees."""
+
+from .goal_tree import goal_tree, prove
+from .kb import KnowledgeBase, Rule
+
+__all__ = ["KnowledgeBase", "Rule", "goal_tree", "prove"]

@@ -1,0 +1,76 @@
+"""Backward chaining as AND/OR tree evaluation.
+
+``goal_tree(kb, goal)`` builds the lazily expanded AND/OR tree of the
+backward-chaining search:
+
+* a *goal node* (even depth, OR gate) has one child per rule whose head
+  is the goal; it is a leaf 1 if the goal is a fact, and a leaf 0 if it
+  is neither a fact nor the head of any rule;
+* a *rule node* (odd depth, AND gate) has one child per body atom, and
+  is a leaf 1 when the body is empty.
+
+Cycle handling: an atom already under proof on the current path cannot
+support itself (propositional Horn logic has finite derivations in the
+minimal model), so re-encountering it yields a leaf 0.  This keeps the
+tree finite and the evaluation equal to forward chaining — which the
+test suite verifies on random knowledge bases.
+
+Running :func:`repro.core.sequential_solve` on this tree *is*
+left-to-right SLD resolution with memo-free backtracking; running
+:func:`repro.core.parallel_solve` parallelizes the prover exactly as
+Section 2 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple, Union
+
+from ..trees.gates import GateScheme
+from ..trees.lazy import LazyTree
+from ..types import Gate, TreeKind
+from .kb import KnowledgeBase, Rule
+
+#: ("goal", atom, atoms on the path) or ("rule", rule, atoms on the path)
+GoalPayload = Tuple[str, Union[str, Rule], FrozenSet[str]]
+
+
+def goal_tree(kb: KnowledgeBase, goal: str) -> LazyTree:
+    """The backward-chaining AND/OR tree for proving ``goal`` from ``kb``."""
+
+    def expand(payload: GoalPayload, depth: int):
+        kind, item, on_path = payload
+        if kind == "goal":
+            atom = item
+            if kb.is_fact(atom):
+                return ("leaf", 1)
+            if atom in on_path:
+                return ("leaf", 0)  # cyclic support proves nothing
+            rules = kb.rules_for(atom)
+            if not rules:
+                return ("leaf", 0)
+            extended = on_path | {atom}
+            return (
+                "internal",
+                [("rule", rule, extended) for rule in rules],
+            )
+        rule = item
+        if not rule.body:
+            return ("leaf", 1)
+        return (
+            "internal",
+            [("goal", atom, on_path) for atom in rule.body],
+        )
+
+    return LazyTree(
+        ("goal", goal, frozenset()),
+        expand,
+        kind=TreeKind.BOOLEAN,
+        gates=GateScheme([Gate.OR, Gate.AND]),
+    )
+
+
+def prove(kb: KnowledgeBase, goal: str) -> bool:
+    """Convenience: evaluate the goal tree with Sequential SOLVE."""
+    from ..core.sequential_solve import sequential_solve
+
+    return bool(sequential_solve(goal_tree(kb, goal)).value)

@@ -1,0 +1,77 @@
+"""Propositional Horn-clause knowledge bases.
+
+The paper's introduction notes that AND/OR tree evaluation "is closely
+related to the problem of efficiently executing theorem-proving
+algorithms for the propositional calculus based on backward-chaining
+deduction" — this module is that substrate.  A knowledge base holds
+facts (atoms known true) and Horn rules ``head :- body``; backward
+chaining from a goal produces an AND/OR tree (see
+:mod:`repro.logic.goal_tree`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule: ``head`` holds if every atom of ``body`` holds."""
+
+    head: str
+    body: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.head:
+            raise ValueError("rule head must be a non-empty atom")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(self.body)}"
+
+
+class KnowledgeBase:
+    """Facts plus Horn rules with simple indexing by head."""
+
+    def __init__(
+        self,
+        facts: Sequence[str] = (),
+        rules: Sequence[Rule] = (),
+    ):
+        self.facts: Set[str] = set(facts)
+        self.rules: List[Rule] = list(rules)
+        self._by_head: Dict[str, List[Rule]] = {}
+        for rule in self.rules:
+            self._by_head.setdefault(rule.head, []).append(rule)
+
+    def add_fact(self, atom: str) -> None:
+        self.facts.add(atom)
+
+    def add_rule(self, head: str, body: Sequence[str]) -> None:
+        rule = Rule(head, tuple(body))
+        self.rules.append(rule)
+        self._by_head.setdefault(head, []).append(rule)
+
+    def rules_for(self, atom: str) -> List[Rule]:
+        """Rules whose head is ``atom`` (in declaration order)."""
+        return self._by_head.get(atom, [])
+
+    def is_fact(self, atom: str) -> bool:
+        return atom in self.facts
+
+    def forward_closure(self) -> FrozenSet[str]:
+        """All atoms derivable by forward chaining — the ground truth
+        the backward-chaining AND/OR search is checked against."""
+        known: Set[str] = set(self.facts)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                if rule.head not in known and all(
+                    atom in known for atom in rule.body
+                ):
+                    known.add(rule.head)
+                    changed = True
+        return frozenset(known)

@@ -1,0 +1,5 @@
+"""Cost models: accounting primitives and optional executors."""
+
+from .accounting import EvalResult, ExecutionTrace
+
+__all__ = ["EvalResult", "ExecutionTrace"]

@@ -1,0 +1,57 @@
+"""Optional OS-level parallel leaf evaluation.
+
+The paper's models charge one unit per leaf evaluation and assume the
+batch is evaluated simultaneously.  All measurements in this repository
+are model-step counts (CPython's GIL makes wall-clock speed-up of pure
+Python unobservable), but when the *leaf oracle itself* is expensive —
+a game-position evaluator, a SAT call — evaluating a step's batch
+across OS processes is real parallelism.  ``BatchEvaluator`` does that
+with :mod:`concurrent.futures`; it exists to demonstrate that the
+width-w batches are embarrassingly parallel, not to generate paper
+numbers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from ..trees.base import NodeId
+
+
+class BatchEvaluator:
+    """Evaluate per-step leaf batches through an executor.
+
+    Parameters
+    ----------
+    oracle:
+        Picklable function mapping a leaf payload to its value.
+    executor:
+        Any :class:`concurrent.futures.Executor`; defaults to a process
+        pool sized by the OS.
+    """
+
+    def __init__(
+        self,
+        oracle: Callable,
+        executor: Optional[Executor] = None,
+    ):
+        self.oracle = oracle
+        self._executor = executor
+        self._owned = executor is None
+
+    def __enter__(self) -> "BatchEvaluator":
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._owned and self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def evaluate(self, payloads: Sequence) -> List:
+        """Evaluate one batch; order of results matches ``payloads``."""
+        if self._executor is None:
+            raise RuntimeError("use BatchEvaluator as a context manager")
+        return list(self._executor.map(self.oracle, payloads))

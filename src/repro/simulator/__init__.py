@@ -1,0 +1,18 @@
+"""Section 7: message-passing implementation of N-Parallel SOLVE (w=1)."""
+
+from .machine import (
+    Machine,
+    SimulationResult,
+    render_event_log,
+    simulate,
+)
+from .messages import Message, MsgKind
+
+__all__ = [
+    "Machine",
+    "SimulationResult",
+    "simulate",
+    "render_event_log",
+    "Message",
+    "MsgKind",
+]

@@ -1,0 +1,193 @@
+"""The message-passing multiprocessor (Section 7).
+
+A machine simulates the implementation of N-Parallel SOLVE of width 1
+on a binary NOR tree:
+
+* one virtual processor per tree level (level d handles invocations
+  whose root node is at level d);
+* any processor can send a message to any other in unit time —
+  messages sent at tick t are delivered at tick t + 1;
+* per tick, a processor performs at most one unit of work (one node
+  expansion, or one step of a case-two path traversal with its message
+  sends); message handling and gate bookkeeping are free;
+* optionally, only ``physical_processors`` physical processors exist:
+  levels are divided into zones of that many consecutive levels,
+  physical processor i serves level i of every zone and multiplexes
+  between them round-robin (the fixed-p adaptation the paper sketches).
+
+The run terminates when processor 0 reports val(root) to the machine;
+at that point a halt broadcast would stop all processors, which the
+simulation models by simply ending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..trees.base import GameTree, NodeId
+from ..types import TreeKind
+from .messages import Message, MsgKind
+from .processor import LevelProcessor
+
+
+@dataclass
+class SimulationResult:
+    """Outcome and cost profile of one machine run."""
+
+    value: int
+    ticks: int
+    expansions: int
+    messages: int
+    #: expansions performed at each tick (the machine's "parallel degree").
+    degree_by_tick: List[int] = field(default_factory=list)
+    #: delivered messages as (tick, Message), when event tracing is on.
+    events: Optional[List[tuple]] = None
+
+    @property
+    def max_degree(self) -> int:
+        return max(self.degree_by_tick) if self.degree_by_tick else 0
+
+
+def render_event_log(result: SimulationResult,
+                     max_lines: Optional[int] = None) -> str:
+    """Human-readable delivery log of a traced run."""
+    if result.events is None:
+        return "(run without trace_events=True)"
+    lines = []
+    for tick, msg in result.events[:max_lines]:
+        lines.append(f"t={tick:>4}  L{msg.dest_level:>2}  {msg!r}")
+    if max_lines is not None and len(result.events) > max_lines:
+        lines.append(f"... {len(result.events) - max_lines} more")
+    return "\n".join(lines)
+
+
+class Machine:
+    """Discrete-event simulator of the Section 7 implementation."""
+
+    def __init__(
+        self,
+        tree: GameTree,
+        physical_processors: Optional[int] = None,
+        work_priority: str = "p_first",
+        trace_events: bool = False,
+    ):
+        if tree.kind is not TreeKind.BOOLEAN:
+            raise SimulationError("the implementation evaluates NOR trees")
+        if work_priority not in ("p_first", "s_first"):
+            raise SimulationError(
+                "work_priority must be 'p_first' or 's_first'"
+            )
+        self.work_priority = work_priority
+        self.tree = tree
+        self.num_levels = tree.height() + 1
+        if physical_processors is not None and physical_processors < 1:
+            raise SimulationError("need at least one physical processor")
+        self.physical = physical_processors
+        self.procs: Dict[int, LevelProcessor] = {
+            d: LevelProcessor(self, d) for d in range(self.num_levels)
+        }
+        self._mailbox: Dict[int, List[Message]] = {}
+        self._seq = 0
+        self._tick = 0
+        self._expansions = 0
+        self._expansions_this_tick = 0
+        self._messages = 0
+        self._root_value: Optional[int] = None
+        self._rr: Dict[int, int] = {}  # round-robin cursor per phys proc
+        self._events: Optional[List[tuple]] = [] if trace_events else None
+
+    # -- messaging ---------------------------------------------------------
+    def send(self, kind: MsgKind, node: NodeId, dest_level: int,
+             value: Optional[int] = None) -> None:
+        self._seq += 1
+        self._messages += 1
+        msg = Message(kind=kind, node=node, dest_level=dest_level,
+                      seq=self._seq, sent_at=self._tick, value=value)
+        self._mailbox.setdefault(self._tick + 1, []).append(msg)
+
+    def count_expansion(self, node: NodeId) -> None:
+        self._expansions += 1
+        self._expansions_this_tick += 1
+
+    # -- run loop ------------------------------------------------------------
+    def run(self, max_ticks: Optional[int] = None) -> SimulationResult:
+        """Simulate until the root's value reaches the machine."""
+        if max_ticks is None:
+            # Generous default: the sequential algorithm expands at most
+            # every node once; allow a constant factor of slack.
+            max_ticks = 64 * (self.tree.num_leaves() * 2 + 16) \
+                * max(1, self.num_levels)
+        degree_by_tick: List[int] = []
+        # Kick-off: the machine directs processor 0 to solve the root.
+        self.send(MsgKind.P_SOLVE, self.tree.root, 0)
+        while self._root_value is None:
+            self._tick += 1
+            if self._tick > max_ticks:
+                raise SimulationError(
+                    f"no result after {max_ticks} ticks — deadlock?"
+                )
+            self._expansions_this_tick = 0
+            arrivals = self._mailbox.pop(self._tick, [])
+            if self._events is not None:
+                self._events.extend(
+                    (self._tick, msg) for msg in arrivals
+                )
+            by_level: Dict[int, List[Message]] = {}
+            for msg in arrivals:
+                if msg.dest_level < 0:
+                    if msg.kind is not MsgKind.VAL:  # pragma: no cover
+                        raise SimulationError(f"bad machine message {msg!r}")
+                    self._root_value = msg.value
+                elif msg.dest_level >= self.num_levels:
+                    raise SimulationError(
+                        f"message below the deepest level: {msg!r}"
+                    )
+                else:
+                    by_level.setdefault(msg.dest_level, []).append(msg)
+            for level in sorted(by_level):
+                self.procs[level].handle_inbox(by_level[level])
+            if self._root_value is not None:
+                degree_by_tick.append(self._expansions_this_tick)
+                break
+            self._work_phase()
+            degree_by_tick.append(self._expansions_this_tick)
+        return SimulationResult(
+            value=self._root_value,
+            ticks=self._tick,
+            expansions=self._expansions,
+            messages=self._messages,
+            degree_by_tick=degree_by_tick,
+            events=self._events,
+        )
+
+    def _work_phase(self) -> None:
+        if self.physical is None:
+            for level in range(self.num_levels):
+                self.procs[level].work()
+            return
+        p = self.physical
+        for phys in range(min(p, self.num_levels)):
+            levels = list(range(phys, self.num_levels, p))
+            start = self._rr.get(phys, 0)
+            for i in range(len(levels)):
+                level = levels[(start + i) % len(levels)]
+                if self.procs[level].has_work():
+                    self.procs[level].work()
+                    self._rr[phys] = (start + i + 1) % len(levels)
+                    break
+
+
+def simulate(
+    tree: GameTree,
+    physical_processors: Optional[int] = None,
+    max_ticks: Optional[int] = None,
+    work_priority: str = "p_first",
+    trace_events: bool = False,
+) -> SimulationResult:
+    """Run the Section 7 machine on a binary NOR tree."""
+    machine = Machine(tree, physical_processors,
+                      work_priority=work_priority,
+                      trace_events=trace_events)
+    return machine.run(max_ticks)

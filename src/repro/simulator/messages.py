@@ -1,0 +1,69 @@
+"""The six message types of the Section 7 implementation.
+
+A processor may send or receive messages of six types::
+
+    S-SOLVE*(v)    P-SOLVE*(v)    P-SOLVE**(v)    P-SOLVE***(v)
+    val(v) = 0     val(v) = 1
+
+The first four are invocation messages directed at processor d(v) (the
+processor owning v's level); the value messages travel from d(v) to
+d(v) - 1.  Messages are timestamped with a global sequence number so
+the pre-emption rule ("work only on the most recent invocation") is
+deterministic even when several invocations arrive in one tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..trees.base import NodeId
+
+
+class MsgKind(enum.Enum):
+    S_SOLVE = "S-SOLVE*"
+    P_SOLVE = "P-SOLVE*"
+    P_SOLVE2 = "P-SOLVE**"
+    P_SOLVE3 = "P-SOLVE***"
+    VAL = "val"
+
+
+#: Invocation kinds, i.e. everything except VAL.
+INVOCATIONS = (
+    MsgKind.S_SOLVE,
+    MsgKind.P_SOLVE,
+    MsgKind.P_SOLVE2,
+    MsgKind.P_SOLVE3,
+)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight.
+
+    Attributes
+    ----------
+    kind / node / value:
+        Payload: ``value`` is only set for :attr:`MsgKind.VAL`.
+    dest_level:
+        Level (virtual processor index) the message is addressed to;
+        ``-1`` addresses the machine itself (the root's value report).
+    seq:
+        Global send order; higher = more recent (pre-emption tiebreak).
+    sent_at:
+        Tick at which the message was sent; it is delivered at
+        ``sent_at + 1`` (unit-time message passing).
+    """
+
+    kind: MsgKind
+    node: NodeId
+    dest_level: int
+    seq: int
+    sent_at: int
+    value: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is MsgKind.VAL:
+            return f"<val({self.node})={self.value} -> L{self.dest_level}>"
+        return f"<{self.kind.value}({self.node}) -> L{self.dest_level}>"

@@ -1,0 +1,132 @@
+"""Per-level (virtual) processors and the pre-emption rule.
+
+Each level of the NOR tree has a processor assigned to it; the
+processor owning level d handles exactly the invocations whose root
+node lies at level d.  The pre-emption rule replaces abort messages:
+
+    a processor works only on the most recent invocation of S-SOLVE*
+    whose root is at its level and on the most recent invocation of
+    P-SOLVE*/P-SOLVE**/P-SOLVE*** whose root is at its level; all
+    other invocations automatically terminate.
+
+One deliberate strengthening over the paper's prose: every ``val``
+message a processor receives is remembered (``val_memory``).  Value
+messages carry ground truth (each reports the true NOR value of its
+node), so replaying remembered values into a freshly installed waiting
+task is always sound — and it is needed, because a value can arrive
+while the path traversal that will install its consumer is still in
+flight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..trees.base import NodeId
+from .messages import Message, MsgKind
+from .tasks import Case1Task, STask, TraverseTask, Wait2Task, Wait3Task
+
+
+class LevelProcessor:
+    """The virtual processor responsible for one tree level."""
+
+    def __init__(self, machine, level: int):
+        self.machine = machine
+        self.level = level
+        self.s_task: Optional[STask] = None
+        self.p_task = None
+        self.val_memory: Dict[NodeId, int] = {}
+
+    # -- messaging helpers (used by tasks) ---------------------------------
+    def send_val(self, node: NodeId, value: int) -> None:
+        self.machine.send(MsgKind.VAL, node, self.level - 1, value=value)
+
+    def send_invocation(self, kind_name: str, node: NodeId,
+                        dest_level: int) -> None:
+        self.machine.send(MsgKind[kind_name], node, dest_level)
+
+    def install_pending(self, pending) -> None:
+        """Install the deferred self-directed task of a path traversal."""
+        if pending is None:  # pragma: no cover - defensive
+            raise SimulationError("traversal finished without a self task")
+        tag, node = pending
+        if tag == "terminal":
+            self.p_task = Case1Task(node)
+        elif tag == "left":
+            self.p_task = Wait2Task(node, self)
+        else:
+            self.p_task = Wait3Task(node, self)
+
+    # -- message handling ----------------------------------------------------
+    def handle_inbox(self, inbox: List[Message]) -> None:
+        """Apply one tick's arrivals: newest invocation per slot wins."""
+        newest_s: Optional[Message] = None
+        newest_p: Optional[Message] = None
+        vals: List[Message] = []
+        for msg in inbox:
+            if msg.kind is MsgKind.VAL:
+                vals.append(msg)
+            elif msg.kind is MsgKind.S_SOLVE:
+                if newest_s is None or msg.seq > newest_s.seq:
+                    newest_s = msg
+            else:
+                if newest_p is None or msg.seq > newest_p.seq:
+                    newest_p = msg
+
+        if newest_s is not None:
+            self.s_task = STask(newest_s.node)
+        if newest_p is not None:
+            self._install_p(newest_p)
+        for msg in vals:
+            self.val_memory[msg.node] = msg.value
+            if self.p_task is not None and not self.p_task.finished:
+                self.p_task.on_val(self, msg.node, msg.value)
+
+    def _install_p(self, msg: Message) -> None:
+        if msg.kind is MsgKind.P_SOLVE:
+            in_progress = (
+                self.s_task is not None
+                and not self.s_task.done
+                and self.s_task.root == msg.node
+            )
+            if in_progress:
+                # Case two: convert the running sequential search.
+                self.p_task = TraverseTask(self.s_task, self)
+                self.s_task = None
+            else:
+                self.p_task = Case1Task(msg.node)
+        elif msg.kind is MsgKind.P_SOLVE2:
+            self.p_task = Wait2Task(msg.node, self)
+        elif msg.kind is MsgKind.P_SOLVE3:
+            self.p_task = Wait3Task(msg.node, self)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unexpected invocation {msg!r}")
+
+    # -- work scheduling -------------------------------------------------------
+    def has_work(self) -> bool:
+        if self.p_task is not None and not self.p_task.finished \
+                and self.p_task.needs_work:
+            return True
+        return self.s_task is not None and not self.s_task.done
+
+    def work(self) -> None:
+        """One unit of work.
+
+        By default the P-task (expansion / traversal on the critical
+        cascade) has priority over the S-task (the speculative sibling
+        search); the machine's ``work_priority`` knob flips this for
+        the ablation benchmark.
+        """
+        p_ready = (
+            self.p_task is not None
+            and not self.p_task.finished
+            and self.p_task.needs_work
+        )
+        s_ready = self.s_task is not None and not self.s_task.done
+        prefer_s = getattr(self.machine, "work_priority", "p_first") \
+            == "s_first"
+        if p_ready and not (prefer_s and s_ready):
+            self.p_task.work(self)
+        elif s_ready:
+            self.s_task.work(self)

@@ -1,0 +1,23 @@
+"""Tree substrate: representations, views and instance generators."""
+
+from .base import GameTree, NodeId, exact_value, subtree_leaves
+from .explicit import ExplicitTree
+from .gates import GateScheme, all_nor, alternating
+from .lazy import LazyTree, lazy_view
+from .permuted import PermutedTree
+from .uniform import UniformTree
+
+__all__ = [
+    "GameTree",
+    "NodeId",
+    "exact_value",
+    "subtree_leaves",
+    "ExplicitTree",
+    "UniformTree",
+    "LazyTree",
+    "lazy_view",
+    "PermutedTree",
+    "GateScheme",
+    "all_nor",
+    "alternating",
+]

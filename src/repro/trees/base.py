@@ -1,0 +1,234 @@
+"""Abstract game-tree interface.
+
+Every tree exposes opaque hashable node identifiers.  Algorithms never
+assume anything about identifiers beyond hashability and the accessor
+methods below, so the same engines run on dense array-backed uniform
+trees, pointer-backed explicit trees, lazily expanded trees and permuted
+views alike.
+
+The MIN/MAX polarity of a node is derived from its depth (the root is a
+MAX node, per the paper's definition), so :meth:`GameTree.node_type`
+has a default implementation.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Any, Hashable, Iterator, Optional, Sequence, Tuple
+
+from ..errors import TreeStructureError
+from ..types import Gate, LeafValue, NodeType, TreeKind
+
+NodeId = Hashable
+
+
+class GameTree(abc.ABC):
+    """A finite rooted ordered tree with valued leaves.
+
+    Subclasses must provide structure accessors; evaluation semantics
+    (Boolean gates vs MIN/MAX) are selected by :attr:`kind`.
+    """
+
+    #: Evaluation semantics of this tree.
+    kind: TreeKind
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def root(self) -> NodeId:
+        """Identifier of the root node."""
+
+    @abc.abstractmethod
+    def children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Ordered children of ``node`` (empty tuple for a leaf)."""
+
+    @abc.abstractmethod
+    def is_leaf(self, node: NodeId) -> bool:
+        """Whether ``node`` is a leaf."""
+
+    @abc.abstractmethod
+    def leaf_value(self, node: NodeId) -> LeafValue:
+        """The value attached to leaf ``node``."""
+
+    @abc.abstractmethod
+    def depth(self, node: NodeId) -> int:
+        """Distance from the root (the root has depth 0)."""
+
+    @abc.abstractmethod
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Parent of ``node``; ``None`` for the root."""
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def gate(self, node: NodeId) -> Gate:
+        """Boolean gate of internal node ``node`` (Boolean trees only)."""
+        raise TreeStructureError(f"{type(self).__name__} has no Boolean gates")
+
+    def node_type(self, node: NodeId) -> NodeType:
+        """MIN/MAX polarity of ``node`` — MAX at even depth."""
+        return NodeType.MAX if self.depth(node) % 2 == 0 else NodeType.MIN
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def arity(self, node: NodeId) -> int:
+        """Number of children of ``node``."""
+        return len(self.children(node))
+
+    def iter_nodes(self) -> Iterator[NodeId]:
+        """Breadth-first iteration over all nodes.
+
+        Forces full materialisation of lazy trees; use with care.
+        """
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            yield node
+            if not self.is_leaf(node):
+                queue.extend(self.children(node))
+
+    def iter_leaves(self) -> Iterator[NodeId]:
+        """Left-to-right iteration over all leaves (depth-first order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if self.is_leaf(node):
+                yield node
+            else:
+                stack.extend(reversed(self.children(node)))
+
+    def num_nodes(self) -> int:
+        """Total node count (materialises lazy trees)."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def num_leaves(self) -> int:
+        """Total leaf count (materialises lazy trees)."""
+        return sum(1 for _ in self.iter_leaves())
+
+    def height(self) -> int:
+        """Length (in edges) of the longest root-leaf path."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if self.is_leaf(node):
+                best = max(best, d)
+            else:
+                stack.extend((c, d + 1) for c in self.children(node))
+        return best
+
+    def ancestors(self, node: NodeId) -> Iterator[NodeId]:
+        """Ancestors of ``node`` from the node itself up to the root.
+
+        Per the paper's convention, a node is an ancestor of itself.
+        """
+        cur: Optional[NodeId] = node
+        while cur is not None:
+            yield cur
+            cur = self.parent(cur)
+
+    def path_from_root(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The root-to-``node`` path, inclusive on both ends."""
+        return tuple(reversed(list(self.ancestors(node))))
+
+    def left_siblings(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Siblings of ``node`` that precede it in their parent's order."""
+        p = self.parent(node)
+        if p is None:
+            return ()
+        sibs = self.children(p)
+        idx = sibs.index(node)
+        return sibs[:idx]
+
+    def right_siblings(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Siblings of ``node`` that follow it in their parent's order."""
+        p = self.parent(node)
+        if p is None:
+            return ()
+        sibs = self.children(p)
+        idx = sibs.index(node)
+        return sibs[idx + 1:]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Consistency-check the tree structure; raises on problems.
+
+        Materialises lazy trees.  Checks parent/child symmetry, depth
+        bookkeeping and leaf-value accessibility.
+        """
+        for node in self.iter_nodes():
+            if self.is_leaf(node):
+                self.leaf_value(node)  # must not raise
+                if self.children(node):
+                    raise TreeStructureError(f"leaf {node!r} has children")
+            else:
+                kids = self.children(node)
+                if not kids:
+                    raise TreeStructureError(
+                        f"internal node {node!r} has no children"
+                    )
+                for kid in kids:
+                    if self.parent(kid) != node:
+                        raise TreeStructureError(
+                            f"parent({kid!r}) != {node!r}"
+                        )
+                    if self.depth(kid) != self.depth(node) + 1:
+                        raise TreeStructureError(
+                            f"depth({kid!r}) != depth({node!r}) + 1"
+                        )
+        if self.parent(self.root) is not None:
+            raise TreeStructureError("root has a parent")
+        if self.depth(self.root) != 0:
+            raise TreeStructureError("root depth is not 0")
+
+
+def exact_value(tree: GameTree, node: NodeId = None) -> LeafValue:
+    """Ground-truth value of ``node`` (default: the root) by full evaluation.
+
+    Evaluates *every* leaf in the subtree; used as the oracle against
+    which all pruning algorithms are checked.  Iterative post-order so
+    arbitrarily tall trees do not hit the recursion limit.
+    """
+    if node is None:
+        node = tree.root
+    # Post-order with an explicit stack: (node, next-child-index, acc).
+    values: dict = {}
+    stack = [node]
+    while stack:
+        cur = stack[-1]
+        if tree.is_leaf(cur):
+            values[cur] = tree.leaf_value(cur)
+            stack.pop()
+            continue
+        kids = tree.children(cur)
+        pending = [k for k in kids if k not in values]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        child_vals = [values[k] for k in kids]
+        if tree.kind is TreeKind.BOOLEAN:
+            values[cur] = tree.gate(cur).output(child_vals)
+        else:
+            if tree.node_type(cur) is NodeType.MAX:
+                values[cur] = max(child_vals)
+            else:
+                values[cur] = min(child_vals)
+        stack.pop()
+    return values[node]
+
+
+def subtree_leaves(tree: GameTree, node: NodeId) -> Iterator[NodeId]:
+    """Left-to-right leaves of the subtree rooted at ``node``."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if tree.is_leaf(cur):
+            yield cur
+        else:
+            stack.extend(reversed(tree.children(cur)))

@@ -1,0 +1,172 @@
+"""Pointer-backed explicit trees for arbitrary (non-uniform) shapes.
+
+Nodes are dense integers ``0 .. N-1`` with the root at 0.  This is the
+representation used for skeletons (H_T), near-uniform Corollary-2
+instances and hand-built test fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import TreeStructureError
+from ..types import Gate, LeafValue, TreeKind
+from .base import GameTree, NodeId
+from .gates import GateScheme, GateSpec, all_nor, coerce_scheme
+
+Nested = Union[LeafValue, bool, Sequence]
+
+
+class ExplicitTree(GameTree):
+    """A fully materialised ordered tree.
+
+    Parameters
+    ----------
+    children:
+        ``children[i]`` is the tuple of child ids of node ``i`` (empty
+        for leaves).  Node 0 is the root and every non-root node must
+        appear in exactly one child tuple.
+    leaf_values:
+        Mapping from leaf id to its value.
+    kind:
+        Boolean or MIN/MAX semantics.
+    gates:
+        For Boolean trees: a :class:`Gate`, a depth-cycled gate sequence,
+        a :class:`GateScheme`, or a per-node ``{node: Gate}`` dict.
+    """
+
+    def __init__(
+        self,
+        children: Sequence[Sequence[int]],
+        leaf_values: Dict[int, LeafValue],
+        kind: TreeKind = TreeKind.BOOLEAN,
+        gates: Union[GateSpec, Dict[int, Gate], None] = None,
+    ):
+        self.kind = kind
+        self._children: List[Tuple[int, ...]] = [tuple(c) for c in children]
+        n = len(self._children)
+        self._parent: List[Optional[int]] = [None] * n
+        self._depth: List[int] = [0] * n
+        seen = [False] * n
+        seen[0] = True
+        order = [0]
+        for i in order:
+            for c in self._children[i]:
+                if not (0 <= c < n):
+                    raise TreeStructureError(f"child id {c} out of range")
+                if seen[c]:
+                    raise TreeStructureError(f"node {c} has two parents")
+                seen[c] = True
+                self._parent[c] = i
+                self._depth[c] = self._depth[i] + 1
+                order.append(c)
+        if not all(seen):
+            missing = [i for i, s in enumerate(seen) if not s]
+            raise TreeStructureError(f"unreachable nodes: {missing[:5]}...")
+        self._leaf_values = dict(leaf_values)
+        for i in range(n):
+            if not self._children[i] and i not in self._leaf_values:
+                raise TreeStructureError(f"leaf {i} has no value")
+
+        self._node_gates: Optional[Dict[int, Gate]] = None
+        self._scheme: GateScheme
+        if isinstance(gates, dict):
+            self._node_gates = dict(gates)
+            self._scheme = all_nor()
+        elif gates is None:
+            self._scheme = all_nor()
+        else:
+            self._scheme = coerce_scheme(gates)
+
+    # -- structure -----------------------------------------------------
+    @property
+    def root(self) -> int:
+        return 0
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        return self._children[node]
+
+    def is_leaf(self, node: int) -> bool:
+        return not self._children[node]
+
+    def leaf_value(self, node: int) -> LeafValue:
+        return self._leaf_values[node]
+
+    def depth(self, node: int) -> int:
+        return self._depth[node]
+
+    def parent(self, node: int) -> Optional[int]:
+        return self._parent[node]
+
+    def gate(self, node: int) -> Gate:
+        if self.kind is not TreeKind.BOOLEAN:
+            raise TreeStructureError("MIN/MAX trees have no gates")
+        if self._node_gates is not None:
+            return self._node_gates[node]
+        return self._scheme.gate_at(self._depth[node])
+
+    # -- convenience ---------------------------------------------------
+    def num_nodes(self) -> int:
+        return len(self._children)
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    @classmethod
+    def from_nested(
+        cls,
+        nested: Nested,
+        kind: TreeKind = TreeKind.BOOLEAN,
+        gates: Union[GateSpec, None] = None,
+    ) -> "ExplicitTree":
+        """Build a tree from nested lists.
+
+        A list denotes an internal node whose items are the subtrees; a
+        bare number (or bool) denotes a leaf.
+
+        Nodes are numbered in preorder (root = 0, then each subtree
+        left to right), so hand-written tests can rely on the ids.
+
+        >>> t = ExplicitTree.from_nested([[0, 1], [1, 1]])
+        >>> t.num_leaves()
+        4
+        """
+        child_lists: List[List[int]] = []
+        leaf_values: Dict[int, LeafValue] = {}
+
+        def alloc() -> int:
+            child_lists.append([])
+            return len(child_lists) - 1
+
+        # LIFO with reversed pushes yields preorder allocation.
+        stack: List[Tuple[Nested, Optional[int]]] = [(nested, None)]
+        while stack:
+            spec, parent = stack.pop()
+            node = alloc()
+            if parent is not None:
+                child_lists[parent].append(node)
+            if isinstance(spec, (list, tuple)):
+                if len(spec) == 0:
+                    raise TreeStructureError("internal node with no children")
+                for kid_spec in reversed(spec):
+                    stack.append((kid_spec, node))
+            else:
+                if isinstance(spec, bool):
+                    spec = int(spec)
+                leaf_values[node] = spec
+        return cls(
+            [tuple(kids) for kids in child_lists],
+            leaf_values,
+            kind=kind,
+            gates=gates,
+        )
+
+    def to_nested(self) -> Nested:
+        """Inverse of :meth:`from_nested` (values only, gates dropped)."""
+
+        def build(node: int) -> Nested:
+            if self.is_leaf(node):
+                return self._leaf_values[node]
+            return [build(c) for c in self._children[node]]
+
+        return build(self.root)

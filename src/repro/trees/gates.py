@@ -1,0 +1,61 @@
+"""Gate-assignment schemes for Boolean trees.
+
+A :class:`GateScheme` maps a node's depth to the Boolean gate it
+computes.  The two schemes used by the paper are:
+
+* all-NOR (Section 2's presentation), and
+* alternating OR/AND (the native AND/OR tree presentation).
+
+Schemes are depth-based because the paper's trees assign gates by level;
+per-node assignment is supported by :class:`repro.trees.ExplicitTree`
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from ..types import Gate
+
+GateSpec = Union[Gate, Sequence[Gate], "GateScheme"]
+
+
+class GateScheme:
+    """Maps depth -> gate by cycling through a finite gate sequence."""
+
+    def __init__(self, cycle: Sequence[Gate]):
+        if not cycle:
+            raise ValueError("gate cycle must be non-empty")
+        self._cycle = tuple(cycle)
+
+    def gate_at(self, depth: int) -> Gate:
+        return self._cycle[depth % len(self._cycle)]
+
+    @property
+    def cycle(self) -> tuple:
+        return self._cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateScheme({[g.label for g in self._cycle]})"
+
+
+def all_nor() -> GateScheme:
+    """Every internal node is a NOR gate (the paper's presentation)."""
+    return GateScheme([Gate.NOR])
+
+
+def alternating(top: Gate = Gate.OR) -> GateScheme:
+    """OR/AND (or AND/OR) alternating by level, starting with ``top``."""
+    if top not in (Gate.OR, Gate.AND):
+        raise ValueError("alternating scheme starts with OR or AND")
+    other = Gate.AND if top is Gate.OR else Gate.OR
+    return GateScheme([top, other])
+
+
+def coerce_scheme(spec: GateSpec) -> GateScheme:
+    """Accept a Gate, a gate sequence or a scheme; return a scheme."""
+    if isinstance(spec, GateScheme):
+        return spec
+    if isinstance(spec, Gate):
+        return GateScheme([spec])
+    return GateScheme(list(spec))

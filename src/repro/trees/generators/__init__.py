@@ -1,0 +1,45 @@
+"""Workload instance generators for every experiment family.
+
+* :mod:`repro.trees.generators.iid` — the i.i.d. random models of
+  Section 6 (Bernoulli-p Boolean leaves, continuous MIN/MAX leaves,
+  including the golden-ratio bias used by Althofer's analysis).
+* :mod:`repro.trees.generators.adversarial` — deterministic hard
+  instances (Sequential SOLVE forced to read every leaf; Team SOLVE
+  capped at a square-root speed-up).
+* :mod:`repro.trees.generators.structured` — extreme/minimal instances
+  (constant leaves, single-proof-tree instances).
+* :mod:`repro.trees.generators.near_uniform` — the (alpha, beta)
+  near-uniform trees of Corollary 2.
+"""
+
+from .adversarial import (
+    alpha_beta_worst_case,
+    sequential_worst_case,
+    team_solve_hard_instance,
+)
+from .iid import (
+    golden_ratio_instance,
+    iid_boolean,
+    iid_minmax,
+    iid_minmax_integers,
+)
+from .near_uniform import near_uniform_boolean
+from .structured import (
+    all_ones,
+    all_zeros,
+    forced_value_instance,
+)
+
+__all__ = [
+    "iid_boolean",
+    "iid_minmax",
+    "iid_minmax_integers",
+    "golden_ratio_instance",
+    "sequential_worst_case",
+    "alpha_beta_worst_case",
+    "team_solve_hard_instance",
+    "all_ones",
+    "all_zeros",
+    "forced_value_instance",
+    "near_uniform_boolean",
+]

@@ -1,0 +1,103 @@
+"""Deterministic hard instances.
+
+``sequential_worst_case`` realises the Section 6 remark that "it is easy
+to construct instances of uniform AND/OR trees such that Sequential
+SOLVE would have to evaluate all the leaves": in a NOR tree, a node's
+evaluation visits all of its children exactly when its first d-1
+children evaluate to 0 (no early absorption), so we force every
+internal node's first d-1 children to 0 and steer the last child to
+whatever value the parent requires.  The construction is vectorised
+level by level.
+
+``team_solve_hard_instance`` is the family on which Team SOLVE's
+speed-up caps at O(sqrt(p)) (the converse direction of Proposition 1):
+with every leaf equal to 1, the levels of a NOR tree alternate between
+"one child suffices" (where a team of p wastes a factor of d) and "all
+children needed" (where it gains its full parallelism), which compounds
+to a sqrt(p) effective speed-up when p = d**k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ...types import Gate, TreeKind
+from ..uniform import UniformTree
+
+
+def sequential_worst_case(
+    branching: int,
+    height: int,
+    root_value: int = 1,
+) -> UniformTree:
+    """A uniform NOR instance on which Sequential SOLVE reads every leaf.
+
+    Parameters
+    ----------
+    root_value:
+        The value the root should take (0 or 1); both are achievable.
+
+    Notes
+    -----
+    Requirement propagation: a NOR node required to be 1 needs all
+    children 0; required to be 0, it needs its *last* child to be 1 and
+    — to avoid early absorption — its first d-1 children to be 0.
+    Either way the first d-1 children are 0 and the last child is
+    ``1 - required``.
+    """
+    if root_value not in (0, 1):
+        raise WorkloadError("root_value must be 0 or 1")
+    d = branching
+    required = np.array([root_value], dtype=np.int8)
+    for _level in range(height):
+        child = np.zeros((len(required), d), dtype=np.int8)
+        child[:, d - 1] = 1 - required
+        required = child.reshape(-1)
+    return UniformTree(d, height, required, kind=TreeKind.BOOLEAN,
+                       gates=Gate.NOR)
+
+
+def alpha_beta_worst_case(branching: int, height: int) -> UniformTree:
+    """A uniform MIN/MAX instance on which alpha-beta reads every leaf.
+
+    Section 6: "One can also construct such worst-case instances for
+    the alpha-beta pruning procedure."  The classical construction
+    (Knuth & Moore): order every MAX node's children by increasing
+    value and every MIN node's children by decreasing value — each new
+    child then strictly improves the running bound, so no cutoff ever
+    fires.  Realised by nested value intervals, vectorised level by
+    level: a MAX node with interval (lo, hi) gives child i the i-th
+    ascending sub-interval, a MIN node the i-th descending one; leaves
+    take their interval midpoint.
+    """
+    d = branching
+    lo = np.array([0.0])
+    hi = np.array([1.0])
+    for level in range(height):
+        width = (hi - lo) / d
+        # shape (nodes, d) sub-interval starts
+        steps = np.arange(d, dtype=np.float64)
+        if level % 2 == 0:  # MAX level: ascending children
+            starts = lo[:, None] + steps[None, :] * width[:, None]
+        else:  # MIN level: descending children
+            starts = hi[:, None] - (steps[None, :] + 1.0) * width[:, None]
+        ends = starts + width[:, None]
+        lo = starts.reshape(-1)
+        hi = ends.reshape(-1)
+    leaves = (lo + hi) / 2.0
+    return UniformTree(d, height, leaves, kind=TreeKind.MINMAX)
+
+
+def team_solve_hard_instance(branching: int, height: int) -> UniformTree:
+    """The all-ones NOR instance capping Team SOLVE at ~sqrt(p) speed-up.
+
+    With all leaves 1 the sequential algorithm evaluates exactly one
+    proof tree (d**ceil(n/2) leaves, alternating degree 1 and d), while
+    a team of p leftmost processors burns d-fold redundant work on every
+    "degree-1" level.
+    """
+    d = branching
+    leaves = np.ones(d ** height, dtype=np.int8)
+    return UniformTree(d, height, leaves, kind=TreeKind.BOOLEAN,
+                       gates=Gate.NOR)

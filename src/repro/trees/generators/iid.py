@@ -1,0 +1,116 @@
+"""I.i.d. random instances (the probabilistic model of Section 6).
+
+In the i.i.d. model each Boolean leaf is an independent coin flip with
+bias ``p`` (probability of a 1), and each MIN/MAX leaf is an independent
+draw from a common distribution.  Under this model the sequential
+procedures the paper parallelizes are known to be asymptotically optimal
+(Pearl 1982; Tarsi 1983), which is why they are the right baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...types import GOLDEN_BIAS, TreeKind
+from ..gates import GateSpec
+from ..uniform import UniformTree
+
+
+def iid_boolean(
+    branching: int,
+    height: int,
+    p: float,
+    seed: int,
+    gates: Optional[GateSpec] = None,
+) -> UniformTree:
+    """A uniform Boolean tree with i.i.d. Bernoulli(p) leaves.
+
+    Parameters
+    ----------
+    p:
+        Probability that a leaf is 1.
+    gates:
+        Gate scheme (default all-NOR, the paper's presentation).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"bias p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    leaves = (rng.random(branching ** height) < p).astype(np.int8)
+    return UniformTree(
+        branching, height, leaves, kind=TreeKind.BOOLEAN, gates=gates
+    )
+
+
+def level_invariant_bias(branching: int) -> float:
+    """The bias p* with p = (1 - p)**d — the NOR-tree fixed point.
+
+    With leaves i.i.d. Bernoulli(p*), every level of a uniform d-ary
+    NOR tree is again i.i.d. Bernoulli(p*), so no level's value is
+    forced as the tree grows; these are the hardest i.i.d. instances.
+    For d = 2 this is the golden-ratio bias (sqrt(5) - 1) / 2.
+    """
+    if branching < 1:
+        raise ValueError("branching must be >= 1")
+    # Bisection on f(p) = (1 - p)**d - p, decreasing in p on [0, 1].
+    lo, hi = 0.0, 1.0
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if (1.0 - mid) ** branching - mid > 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def golden_ratio_instance(height: int, seed: int) -> UniformTree:
+    """A uniform binary AND/OR tree at the golden-ratio bias.
+
+    This is the setting of Althofer's probabilistic analysis discussed
+    in Section 6: d = 2 and p = (sqrt(5) - 1) / 2.  Since
+    p**2 = 1 - p, the leaf bias reproduces itself every two levels of
+    the alternating OR/AND structure, so no level's value is
+    asymptotically forced — the hardest i.i.d. family.  (For the NOR
+    presentation the analogous single-level fixed point is
+    :func:`level_invariant_bias`: p* = (3 - sqrt(5)) / 2.)
+    """
+    from ..gates import alternating
+
+    return iid_boolean(2, height, GOLDEN_BIAS, seed, gates=alternating())
+
+
+def iid_minmax(
+    branching: int,
+    height: int,
+    seed: int,
+) -> UniformTree:
+    """A uniform MIN/MAX tree with i.i.d. Uniform[0, 1) leaves.
+
+    Continuous values make ties almost surely absent, which is the
+    cleanest setting for comparing alpha-beta variants.
+    """
+    rng = np.random.default_rng(seed)
+    leaves = rng.random(branching ** height)
+    return UniformTree(branching, height, leaves, kind=TreeKind.MINMAX)
+
+
+def iid_minmax_integers(
+    branching: int,
+    height: int,
+    seed: int,
+    num_values: int = 8,
+) -> UniformTree:
+    """A uniform MIN/MAX tree with i.i.d. integer leaves.
+
+    Few distinct values produce many ties, exercising the non-strict
+    (alpha >= beta) pruning rule and the tie-handling paths that
+    continuous leaves never reach.
+    """
+    if num_values < 1:
+        raise ValueError("num_values must be >= 1")
+    rng = np.random.default_rng(seed)
+    leaves = rng.integers(0, num_values, size=branching ** height)
+    return UniformTree(
+        branching, height, leaves.astype(np.float64), kind=TreeKind.MINMAX
+    )

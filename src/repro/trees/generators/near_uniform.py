@@ -1,0 +1,81 @@
+"""Near-uniform trees for Corollary 2.
+
+Corollary 2 extends Theorem 1 to trees that are only *close* to uniform:
+every internal node has between ``alpha * d`` and ``d`` children and
+every root-leaf path has length between ``beta * n`` and ``n``.  This
+generator samples such trees uniformly at random (degree per node, leaf
+cut-off depth per path) with i.i.d. Bernoulli leaf values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ...types import TreeKind
+from ..explicit import ExplicitTree
+from ..gates import GateSpec
+
+
+def near_uniform_boolean(
+    branching: int,
+    height: int,
+    alpha: float,
+    beta: float,
+    p: float,
+    seed: int,
+    gates: GateSpec = None,
+    leaf_prob: float = 0.25,
+) -> ExplicitTree:
+    """Sample an (alpha, beta)-near-uniform Boolean tree.
+
+    Parameters
+    ----------
+    alpha:
+        Lower bound on relative degree: each internal node has between
+        ``ceil(alpha * branching)`` and ``branching`` children.
+    beta:
+        Lower bound on relative depth: no leaf occurs above depth
+        ``ceil(beta * height)``.
+    p:
+        Bernoulli bias of the leaf values.
+    leaf_prob:
+        Probability that a node in the "free" depth band
+        [ceil(beta*n), n) becomes a leaf.
+    """
+    if not 0 < alpha <= 1 or not 0 < beta <= 1:
+        raise WorkloadError("alpha and beta must be in (0, 1]")
+    if not 0 <= leaf_prob < 1:
+        raise WorkloadError("leaf_prob must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    d_min = max(1, math.ceil(alpha * branching))
+    min_depth = math.ceil(beta * height)
+
+    children: List[Tuple[int, ...]] = []
+    leaf_values: Dict[int, int] = {}
+
+    def alloc() -> int:
+        children.append(())
+        return len(children) - 1
+
+    root = alloc()
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        is_leaf = depth >= height or (
+            depth >= min_depth and rng.random() < leaf_prob
+        )
+        if is_leaf:
+            leaf_values[node] = int(rng.random() < p)
+            continue
+        degree = int(rng.integers(d_min, branching + 1))
+        kid_ids = [alloc() for _ in range(degree)]
+        children[node] = tuple(kid_ids)
+        for kid in kid_ids:
+            stack.append((kid, depth + 1))
+
+    return ExplicitTree(children, leaf_values, kind=TreeKind.BOOLEAN,
+                        gates=gates)

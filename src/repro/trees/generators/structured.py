@@ -1,0 +1,63 @@
+"""Structured extreme instances used by lower-bound experiments.
+
+``forced_value_instance`` builds the *cheapest* instance with a given
+root value: Sequential SOLVE evaluates exactly one minimal proof tree
+of it (Fact 1's d**floor(n/2) bound is tight on this family, which is
+how benchmark E1 demonstrates tightness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import WorkloadError
+from ...types import Gate, TreeKind
+from ..gates import GateSpec
+from ..uniform import UniformTree
+
+
+def all_ones(
+    branching: int, height: int, gates: GateSpec = Gate.NOR
+) -> UniformTree:
+    """Uniform Boolean tree with every leaf equal to 1."""
+    leaves = np.ones(branching ** height, dtype=np.int8)
+    return UniformTree(branching, height, leaves, kind=TreeKind.BOOLEAN,
+                       gates=gates)
+
+
+def all_zeros(
+    branching: int, height: int, gates: GateSpec = Gate.NOR
+) -> UniformTree:
+    """Uniform Boolean tree with every leaf equal to 0."""
+    leaves = np.zeros(branching ** height, dtype=np.int8)
+    return UniformTree(branching, height, leaves, kind=TreeKind.BOOLEAN,
+                       gates=gates)
+
+
+def forced_value_instance(
+    branching: int,
+    height: int,
+    root_value: int = 1,
+) -> UniformTree:
+    """A NOR instance whose root takes ``root_value`` at minimal cost.
+
+    Requirement propagation (vectorised level by level):
+
+    * a node required to be 1 requires all its children to be 0;
+    * a node required to be 0 requires only its *first* child to be 1 —
+      Sequential SOLVE then short-circuits, so the remaining children
+      are filled with the cheap "required 0" pattern.
+
+    On this instance Sequential SOLVE evaluates exactly one proof tree.
+    """
+    if root_value not in (0, 1):
+        raise WorkloadError("root_value must be 0 or 1")
+    d = branching
+    required = np.array([root_value], dtype=np.int8)
+    for _level in range(height):
+        child = np.zeros((len(required), d), dtype=np.int8)
+        # required == 0 rows get a leading 1; required == 1 rows stay 0.
+        child[:, 0] = 1 - required
+        required = child.reshape(-1)
+    return UniformTree(d, height, required, kind=TreeKind.BOOLEAN,
+                       gates=Gate.NOR)

@@ -1,0 +1,111 @@
+"""Serialization of tree instances.
+
+Benchmark ensembles are regenerable from seeds, but a library user who
+finds an interesting instance (a Prop-5 counterexample, a hard game
+position) needs to save it.  Uniform trees serialise to ``.npz``
+(parameters + the leaf array); explicit trees to JSON-compatible dicts.
+Round-trips preserve structure, values, kind and gate assignment.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..errors import TreeStructureError
+from ..types import Gate, TreeKind
+from .explicit import ExplicitTree
+from .gates import GateScheme
+from .uniform import UniformTree
+
+
+def save_uniform(tree: UniformTree, path: str) -> None:
+    """Write a uniform tree to an ``.npz`` file."""
+    gates = [g.name for g in tree._scheme.cycle]
+    np.savez_compressed(
+        path,
+        branching=tree.branching,
+        height=tree.height(),
+        kind=tree.kind.value,
+        gates=np.array(gates),
+        leaves=tree.leaf_values_array,
+    )
+
+
+def load_uniform(path: str) -> UniformTree:
+    """Read a uniform tree written by :func:`save_uniform`."""
+    with np.load(path, allow_pickle=False) as data:
+        kind = TreeKind(str(data["kind"]))
+        gates = GateScheme([Gate[str(g)] for g in data["gates"]])
+        return UniformTree(
+            int(data["branching"]),
+            int(data["height"]),
+            data["leaves"],
+            kind=kind,
+            gates=gates if kind is TreeKind.BOOLEAN else None,
+        )
+
+
+def explicit_to_dict(tree: ExplicitTree) -> Dict[str, Any]:
+    """JSON-compatible representation of an explicit tree."""
+    n = tree.num_nodes()
+    gates = None
+    if tree.kind is TreeKind.BOOLEAN:
+        gates = [
+            None if tree.is_leaf(i) else tree.gate(i).name
+            for i in range(n)
+        ]
+    return {
+        "kind": tree.kind.value,
+        "children": [list(tree.children(i)) for i in range(n)],
+        "leaf_values": {
+            str(i): tree.leaf_value(i)
+            for i in range(n)
+            if tree.is_leaf(i)
+        },
+        "gates": gates,
+    }
+
+
+def explicit_from_dict(data: Dict[str, Any]) -> ExplicitTree:
+    """Inverse of :func:`explicit_to_dict`."""
+    kind = TreeKind(data["kind"])
+    leaf_values = {int(k): v for k, v in data["leaf_values"].items()}
+    gates = None
+    if kind is TreeKind.BOOLEAN:
+        raw = data.get("gates")
+        if raw is None:
+            raise TreeStructureError("Boolean tree dict must carry gates")
+        gates = {
+            i: Gate[name] for i, name in enumerate(raw) if name is not None
+        }
+    return ExplicitTree(
+        data["children"], leaf_values, kind=kind, gates=gates
+    )
+
+
+def save_explicit(tree: ExplicitTree, path: str) -> None:
+    """Write an explicit tree to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(explicit_to_dict(tree), fh)
+
+
+def load_explicit(path: str) -> ExplicitTree:
+    """Read an explicit tree written by :func:`save_explicit`."""
+    with open(path) as fh:
+        return explicit_from_dict(json.load(fh))
+
+
+def save_tree(tree: Union[UniformTree, ExplicitTree], path: str) -> None:
+    """Dispatch on tree type: ``.npz`` for uniform, JSON otherwise."""
+    if isinstance(tree, UniformTree):
+        save_uniform(tree, path)
+    elif isinstance(tree, ExplicitTree):
+        save_explicit(tree, path)
+    else:
+        raise TreeStructureError(
+            f"cannot serialise {type(tree).__name__}; materialise lazy "
+            f"trees first"
+        )

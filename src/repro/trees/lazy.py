@@ -1,0 +1,177 @@
+"""Lazily expanded trees for the node-expansion model (Section 5).
+
+In the node-expansion model the algorithm is given only the root and
+discovers the tree by applying the *node expansion* operation, which
+either evaluates a leaf or produces its children.  :class:`LazyTree`
+captures this: a user-supplied ``expand`` callback maps an application
+payload (a game position, a proof goal, ...) to either a leaf value or a
+list of child payloads.  Expansions are memoised, so the portion of the
+tree generated so far (the paper's ``T*``) is exactly the set of nodes
+this object has materialised.
+
+Node identifiers are dense integers assigned in expansion order; id 0 is
+the root.  Identifiers are stable for the lifetime of the instance, so
+several algorithms may share one ``LazyTree`` (and its cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import TreeStructureError
+from ..types import Gate, LeafValue, TreeKind
+from .base import GameTree
+from .gates import GateScheme, GateSpec, all_nor, coerce_scheme
+
+#: ``expand(payload, depth)`` returns either ``("leaf", value)`` or
+#: ``("internal", [child payloads])``.
+ExpandFn = Callable[[Any, int], Tuple[str, Any]]
+
+
+class LazyTree(GameTree):
+    """A tree generated on demand by an expansion callback."""
+
+    def __init__(
+        self,
+        root_payload: Any,
+        expand: ExpandFn,
+        kind: TreeKind = TreeKind.BOOLEAN,
+        gates: Optional[GateSpec] = None,
+        root_is_max: bool = True,
+    ):
+        self.kind = kind
+        self.root_is_max = root_is_max
+        self._expand_fn = expand
+        self._payload: List[Any] = [root_payload]
+        self._parent: List[Optional[int]] = [None]
+        self._depth: List[int] = [0]
+        self._children: Dict[int, Tuple[int, ...]] = {}
+        self._leaf_value: Dict[int, LeafValue] = {}
+        self._scheme: GateScheme = (
+            coerce_scheme(gates) if gates is not None else all_nor()
+        )
+        #: number of times the expansion callback has run (model work).
+        self.expansions = 0
+
+    # -- expansion ------------------------------------------------------
+    def is_expanded(self, node: int) -> bool:
+        """Whether ``node`` has been expanded already."""
+        return node in self._children or node in self._leaf_value
+
+    def expand(self, node: int) -> None:
+        """Apply the node-expansion operation to ``node`` (memoised).
+
+        After this call either ``is_leaf(node)`` is true and
+        ``leaf_value(node)`` is available, or ``children(node)`` is
+        non-empty.
+        """
+        if self.is_expanded(node):
+            return
+        self.expansions += 1
+        tag, data = self._expand_fn(self._payload[node], self._depth[node])
+        if tag == "leaf":
+            if isinstance(data, bool):
+                data = int(data)
+            if self.kind is TreeKind.BOOLEAN and data not in (0, 1):
+                raise TreeStructureError(
+                    f"Boolean leaf value must be 0/1, got {data!r}"
+                )
+            self._leaf_value[node] = data
+        elif tag == "internal":
+            payloads = list(data)
+            if not payloads:
+                raise TreeStructureError(
+                    "expansion produced an internal node with no children"
+                )
+            ids = []
+            for payload in payloads:
+                self._payload.append(payload)
+                self._parent.append(node)
+                self._depth.append(self._depth[node] + 1)
+                ids.append(len(self._payload) - 1)
+            self._children[node] = tuple(ids)
+        else:  # pragma: no cover - defensive
+            raise TreeStructureError(f"unknown expansion tag {tag!r}")
+
+    def payload(self, node: int) -> Any:
+        """The application payload carried by ``node``."""
+        return self._payload[node]
+
+    def generated_nodes(self) -> int:
+        """Number of nodes generated so far (the size of ``T*``)."""
+        return len(self._payload)
+
+    # -- GameTree interface (auto-expands where necessary) ---------------
+    @property
+    def root(self) -> int:
+        return 0
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        self.expand(node)
+        return self._children.get(node, ())
+
+    def is_leaf(self, node: int) -> bool:
+        self.expand(node)
+        return node in self._leaf_value
+
+    def leaf_value(self, node: int) -> LeafValue:
+        self.expand(node)
+        if node not in self._leaf_value:
+            raise TreeStructureError(f"{node} is not a leaf")
+        return self._leaf_value[node]
+
+    def depth(self, node: int) -> int:
+        return self._depth[node]
+
+    def parent(self, node: int) -> Optional[int]:
+        return self._parent[node]
+
+    def gate(self, node: int) -> Gate:
+        if self.kind is not TreeKind.BOOLEAN:
+            raise TreeStructureError("MIN/MAX trees have no gates")
+        return self._scheme.gate_at(self._depth[node])
+
+    def node_type(self, node: int):
+        """MIN/MAX polarity, honouring ``root_is_max``.
+
+        Game trees rooted at a position where the *minimising* player
+        moves set ``root_is_max=False``; polarity still alternates by
+        depth.
+        """
+        from ..types import NodeType
+
+        even = self._depth[node] % 2 == 0
+        if even == self.root_is_max:
+            return NodeType.MAX
+        return NodeType.MIN
+
+
+class _WrappedLazyTree(LazyTree):
+    """Lazy view over a materialised tree; payloads are base-tree node ids."""
+
+    def __init__(self, base: GameTree):
+        self._base = base
+
+        def expand(payload, depth):
+            node = payload
+            if base.is_leaf(node):
+                return ("leaf", base.leaf_value(node))
+            return ("internal", list(base.children(node)))
+
+        super().__init__(base.root, expand, kind=base.kind)
+
+    def gate(self, node: int) -> Gate:
+        return self._base.gate(self.payload(node))
+
+    def node_type(self, node: int):
+        return self._base.node_type(self.payload(node))
+
+
+def lazy_view(tree: GameTree) -> LazyTree:
+    """Wrap any materialised tree as a :class:`LazyTree`.
+
+    The wrapper's expansion counter then measures how much of ``tree`` a
+    node-expansion algorithm actually generates.  Gates delegate to the
+    wrapped tree, so per-node gate assignments are preserved.
+    """
+    return _WrappedLazyTree(tree)

@@ -1,0 +1,86 @@
+"""Randomly child-permuted views of trees (Section 6).
+
+The randomized algorithms R-Sequential SOLVE, R-Parallel SOLVE and the
+R-alpha-beta variants are, conceptually, the deterministic algorithms
+run on a tree whose children have been randomly permuted at every node.
+:class:`PermutedTree` implements exactly that view: node identifiers
+pass through unchanged, only the *order* returned by ``children`` is
+permuted.
+
+Permutations are derived deterministically from ``(seed, node id)`` via
+``numpy.random.Generator``, so they are stable across visits and across
+algorithms sharing one view — and, as the paper notes, they are computed
+"only to the extent necessary", i.e. lazily per node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..types import Gate, LeafValue, TreeKind
+from .base import GameTree, NodeId
+
+
+class PermutedTree(GameTree):
+    """A view of ``base`` with each node's children randomly permuted."""
+
+    def __init__(self, base: GameTree, seed: int):
+        self._base = base
+        self._seed = int(seed)
+        self.kind = base.kind
+        self._perm_cache: Dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    @property
+    def base(self) -> GameTree:
+        return self._base
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    # -- structure -------------------------------------------------------
+    @property
+    def root(self) -> NodeId:
+        return self._base.root
+
+    def children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        cached = self._perm_cache.get(node)
+        if cached is not None:
+            return cached
+        kids = self._base.children(node)
+        if len(kids) > 1:
+            rng = np.random.default_rng(
+                (self._seed, _node_entropy(node))
+            )
+            order = rng.permutation(len(kids))
+            kids = tuple(kids[i] for i in order)
+        self._perm_cache[node] = kids
+        return kids
+
+    def is_leaf(self, node: NodeId) -> bool:
+        return self._base.is_leaf(node)
+
+    def leaf_value(self, node: NodeId) -> LeafValue:
+        return self._base.leaf_value(node)
+
+    def depth(self, node: NodeId) -> int:
+        return self._base.depth(node)
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        return self._base.parent(node)
+
+    def gate(self, node: NodeId) -> Gate:
+        return self._base.gate(node)
+
+    def node_type(self, node: NodeId):
+        return self._base.node_type(node)
+
+
+def _node_entropy(node: NodeId) -> int:
+    """A stable non-negative integer derived from a node id."""
+    if isinstance(node, (int, np.integer)):
+        return int(node)
+    # Fall back to the builtin hash; adequate for ints/strings/tuples.
+    return hash(node) & 0x7FFFFFFF

@@ -1,0 +1,88 @@
+"""ASCII rendering of trees and execution schedules.
+
+Debugging and teaching aids used by the examples: ``render_tree``
+draws a tree with gates/polarities and leaf values; ``render_schedule``
+draws the per-step parallel degrees of a trace as a bar timeline, which
+makes the difference between Team SOLVE's ragged schedule and Parallel
+SOLVE's pruning-number cascade visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..models.accounting import ExecutionTrace
+from ..types import TreeKind
+from .base import GameTree, NodeId
+
+
+def render_tree(
+    tree: GameTree,
+    node: Optional[NodeId] = None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """Draw the (sub)tree rooted at ``node`` as indented ASCII art.
+
+    Materialises lazy subtrees down to ``max_depth``.
+    """
+    if node is None:
+        node = tree.root
+    lines: List[str] = []
+
+    def label(n: NodeId) -> str:
+        if tree.is_leaf(n):
+            value = tree.leaf_value(n)
+            if tree.kind is TreeKind.MINMAX:
+                return f"leaf {value:g}"
+            return f"leaf {value}"
+        if tree.kind is TreeKind.BOOLEAN:
+            return tree.gate(n).label.upper()
+        return tree.node_type(n).value.upper()
+
+    def walk(n: NodeId, prefix: str, tail: str, depth: int) -> None:
+        lines.append(prefix + tail + label(n))
+        if tree.is_leaf(n):
+            return
+        if max_depth is not None and depth >= max_depth:
+            lines.append(
+                prefix + ("   " if tail in ("", "`- ") else "|  ")
+                + "`- ..."
+            )
+            return
+        kids = tree.children(n)
+        child_prefix = prefix + (
+            "" if tail == "" else ("   " if tail == "`- " else "|  ")
+        )
+        for i, kid in enumerate(kids):
+            walk(
+                kid,
+                child_prefix,
+                "`- " if i == len(kids) - 1 else "|- ",
+                depth + 1,
+            )
+
+    walk(node, "", "", 0)
+    return "\n".join(lines)
+
+
+def render_schedule(
+    trace: ExecutionTrace,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Draw per-step parallel degrees as a horizontal bar chart."""
+    if not trace.degrees:
+        return "(empty trace)"
+    peak = max(trace.degrees)
+    scale = max(1.0, peak / width)
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(
+        f"steps={trace.num_steps} work={trace.total_work} "
+        f"processors={peak}"
+    )
+    for step, degree in enumerate(trace.degrees):
+        bar = "#" * max(1, round(degree / scale))
+        lines.append(f"{step:>4} |{bar} {degree}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Core value types shared across the package.
+
+The paper works with two families of trees:
+
+* *Boolean* trees (AND/OR trees, presented as NOR trees in Section 2),
+  whose internal nodes are short-circuiting Boolean gates; and
+* *MIN/MAX* trees (Section 4), whose internal nodes alternate MAX (root,
+  even depth) and MIN (odd depth) and whose leaves carry real values.
+
+We generalise the Boolean side slightly: every internal node carries a
+:class:`Gate`, and the engine only relies on each gate having an
+*absorbing* input value (a child taking that value determines the node
+immediately) plus an *otherwise* output (the node's value when every
+child is determined non-absorbing).  NOR, OR, AND and NAND all fit this
+mould, so the paper's NOR presentation and the native AND/OR
+presentation share a single evaluation engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+#: A Boolean leaf holds 0/1; a MIN/MAX leaf holds a float.
+LeafValue = Union[int, float]
+
+
+class TreeKind(enum.Enum):
+    """Which evaluation semantics a tree uses."""
+
+    BOOLEAN = "boolean"
+    MINMAX = "minmax"
+
+
+class NodeType(enum.Enum):
+    """MIN/MAX polarity of an internal node (root is MAX, alternating)."""
+
+    MAX = "max"
+    MIN = "min"
+
+    @property
+    def opponent(self) -> "NodeType":
+        return NodeType.MIN if self is NodeType.MAX else NodeType.MAX
+
+
+class Gate(enum.Enum):
+    """A short-circuiting Boolean gate.
+
+    Attributes
+    ----------
+    absorbing:
+        The input value that determines the gate's output on its own.
+    on_absorb:
+        The output produced when some child takes the absorbing value.
+    otherwise:
+        The output produced when *all* children are determined and none
+        took the absorbing value.
+    """
+
+    AND = ("and", 0, 0, 1)
+    OR = ("or", 1, 1, 0)
+    NOR = ("nor", 1, 0, 1)
+    NAND = ("nand", 0, 1, 0)
+
+    def __init__(self, label: str, absorbing: int, on_absorb: int, otherwise: int):
+        self.label = label
+        self.absorbing = absorbing
+        self.on_absorb = on_absorb
+        self.otherwise = otherwise
+
+    def output(self, child_values) -> int:
+        """The gate's value given a full tuple of child values."""
+        vals = list(child_values)
+        if not vals:
+            raise ValueError("gate applied to zero children")
+        if self.absorbing in vals:
+            return self.on_absorb
+        return self.otherwise
+
+    @property
+    def dual(self) -> "Gate":
+        """The gate computing the complement on complemented inputs."""
+        return _GATE_DUAL[self]
+
+
+_GATE_DUAL = {
+    Gate.AND: Gate.OR,
+    Gate.OR: Gate.AND,
+    Gate.NOR: Gate.NAND,
+    Gate.NAND: Gate.NOR,
+}
+
+
+#: Golden-ratio leaf bias used in Althofer's i.i.d. setting (Section 6):
+#: the unique positive p with p**2 = 1 - p, i.e. p = (sqrt(5) - 1) / 2.
+#: On a uniform binary alternating AND/OR tree this bias reproduces
+#: itself every two levels, so instances stay maximally "undecided" as
+#: the tree grows.
+GOLDEN_BIAS = (5 ** 0.5 - 1) / 2

@@ -1,0 +1,91 @@
+"""Edge cases for MIN/MAX algorithms: extreme and degenerate values."""
+
+import math
+
+import pytest
+
+from repro.core.alphabeta import (
+    alpha_beta,
+    alpha_beta_leaf_set,
+    minimax,
+    parallel_alpha_beta,
+    sequential_alpha_beta,
+    scout,
+    sss_star,
+)
+from repro.trees import ExplicitTree, exact_value
+from repro.types import TreeKind
+
+
+def tree_of(spec):
+    return ExplicitTree.from_nested(spec, kind=TreeKind.MINMAX)
+
+
+ALGORITHMS = [
+    minimax,
+    alpha_beta,
+    sequential_alpha_beta,
+    lambda t: parallel_alpha_beta(t, 1),
+    scout,
+    sss_star,
+]
+
+
+class TestExtremeValues:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_large_magnitudes(self, algo):
+        t = tree_of([[1e18, -1e18], [5.0, -5.0]])
+        assert algo(t).value == exact_value(t)
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_all_negative(self, algo):
+        # MAX(MIN(-3, -1), MIN(-4, -2)) = MAX(-3, -4) = -3.
+        t = tree_of([[-3.0, -1.0], [-4.0, -2.0]])
+        assert algo(t).value == exact_value(t) == -3.0
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_all_identical(self, algo):
+        t = tree_of([[7.0, 7.0], [7.0, 7.0], [7.0, 7.0]])
+        assert algo(t).value == 7.0
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_height_one(self, algo):
+        t = tree_of([3.0, 1.0, 2.0])
+        assert algo(t).value == 3.0  # root is MAX
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_unary_chain(self, algo):
+        t = tree_of([[[5.0]]])
+        assert algo(t).value == 5.0
+
+
+class TestDegenerateShapes:
+    def test_left_deep_tree(self):
+        spec = 1.0
+        for i in range(8):
+            spec = [spec, float(i)]
+        t = tree_of(spec)
+        assert sequential_alpha_beta(t).value == exact_value(t)
+        assert alpha_beta_leaf_set(t) == \
+            sequential_alpha_beta(t).evaluated
+
+    def test_right_deep_tree(self):
+        spec = 1.0
+        for i in range(8):
+            spec = [float(i), spec]
+        t = tree_of(spec)
+        assert parallel_alpha_beta(t, 1).value == exact_value(t)
+
+    def test_wide_flat_tree(self):
+        t = tree_of([[float(i) for i in range(30)],
+                     [float(i) for i in range(30, 60)]])
+        assert sequential_alpha_beta(t).value == exact_value(t)
+
+    def test_negative_zero_and_zero(self):
+        t = tree_of([[0.0, -0.0], [-0.0, 0.0]])
+        assert sequential_alpha_beta(t).value == 0.0
+
+    def test_equivalence_holds_on_mixed_arities(self):
+        t = tree_of([[1.0], [2.0, 0.5, 3.0], [[4.0, 0.1], 2.5]])
+        assert sequential_alpha_beta(t).evaluated == \
+            alpha_beta_leaf_set(t)

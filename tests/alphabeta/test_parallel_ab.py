@@ -1,0 +1,72 @@
+"""Parallel alpha-beta: correctness, width behaviour, Theorem 2 & 3."""
+
+import pytest
+
+from repro.analysis import theorem2_holds
+from repro.core.alphabeta import (
+    parallel_alpha_beta,
+    sequential_alpha_beta,
+)
+from repro.trees import exact_value
+from repro.trees.generators import iid_minmax, iid_minmax_integers
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("width", [0, 1, 2, 3])
+    def test_value_matches_oracle(self, width):
+        for seed in range(5):
+            t = iid_minmax(2, 5, seed=seed)
+            assert parallel_alpha_beta(t, width).value == exact_value(t)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tie_heavy_trees(self, seed):
+        t = iid_minmax_integers(3, 4, seed=seed, num_values=2)
+        assert parallel_alpha_beta(t, 1).value == exact_value(t)
+
+    def test_width0_equals_sequential(self):
+        t = iid_minmax(2, 6, seed=7)
+        assert parallel_alpha_beta(t, 0).evaluated == \
+            sequential_alpha_beta(t).evaluated
+
+
+class TestWidthBehaviour:
+    def test_wider_never_slower(self):
+        t = iid_minmax(2, 8, seed=3)
+        steps = [parallel_alpha_beta(t, w).num_steps for w in range(4)]
+        assert all(a >= b for a, b in zip(steps, steps[1:]))
+
+    def test_width1_processors_at_most_n_plus_1(self):
+        for seed in range(5):
+            n = 7
+            t = iid_minmax(2, n, seed=seed)
+            assert parallel_alpha_beta(t, 1).processors <= n + 1
+
+    def test_theorem3_speedup_positive(self):
+        t = iid_minmax(2, 10, seed=5)
+        s = sequential_alpha_beta(t).num_steps
+        p = parallel_alpha_beta(t, 1).num_steps
+        assert s / p > 2.0
+
+
+class TestTheorem2Invariant:
+    @pytest.mark.parametrize("width", [1, 2])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pruned_tree_value_preserved_each_step(self, width, seed):
+        t = iid_minmax_integers(2, 5, seed=seed, num_values=4)
+        truth = exact_value(t)
+
+        def check(state, step, batch):
+            assert theorem2_holds(state, truth)
+
+        res = parallel_alpha_beta(t, width, on_step=check)
+        assert res.value == truth
+
+    def test_work_never_exceeds_leaf_count(self):
+        t = iid_minmax(2, 7, seed=9)
+        res = parallel_alpha_beta(t, 1)
+        assert res.total_work <= t.num_leaves()
+
+    def test_no_leaf_evaluated_twice(self):
+        t = iid_minmax(3, 5, seed=11)
+        res = parallel_alpha_beta(t, 2)
+        assert len(set(res.evaluated)) == len(res.evaluated)

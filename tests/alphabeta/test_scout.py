@@ -1,0 +1,55 @@
+"""Unit tests for the SCOUT baseline."""
+
+import pytest
+
+from repro.core.alphabeta import alpha_beta, minimax, scout
+from repro.trees import ExplicitTree, exact_value
+from repro.trees.generators import iid_minmax, iid_minmax_integers
+from repro.types import TreeKind
+
+
+class TestScout:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_value_matches_oracle(self, seed):
+        t = iid_minmax(2 + seed % 2, 3 + seed % 4, seed=seed)
+        assert scout(t).value == exact_value(t)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_value_with_ties(self, seed):
+        t = iid_minmax_integers(2, 5, seed=seed, num_values=3)
+        assert scout(t).value == exact_value(t)
+
+    def test_distinct_leaves_at_most_total(self):
+        t = iid_minmax(2, 7, seed=1)
+        res = scout(t)
+        assert res.distinct_leaves <= t.num_leaves()
+        # Events may exceed distinct leaves (re-searches).
+        assert len(res.evaluated) >= res.distinct_leaves
+
+    def test_first_child_searched_fully(self):
+        t = ExplicitTree.from_nested(
+            [[6.0, 8.0], [5.0, 9.0]], kind=TreeKind.MINMAX
+        )
+        res = scout(t)
+        # eval of first MIN child reads both its leaves first.
+        assert res.evaluated[:2] == [2, 3]
+
+    def test_test_search_cheaper_than_full(self):
+        # On a tree where the first child is best, SCOUT's later
+        # children are only tested, reading fewer distinct leaves than
+        # minimax would.
+        t = iid_minmax(3, 5, seed=4)
+        sc = scout(t)
+        assert sc.distinct_leaves < minimax(t).total_work
+
+    def test_single_leaf(self):
+        t = ExplicitTree([()], {0: 2.5}, kind=TreeKind.MINMAX)
+        assert scout(t).value == 2.5
+
+    def test_comparable_to_alpha_beta(self):
+        # Not a theorem, but on random instances the distinct-leaf
+        # count should be in the same ballpark as alpha-beta's.
+        t = iid_minmax(2, 8, seed=6)
+        sc = scout(t).distinct_leaves
+        ab = alpha_beta(t).total_work
+        assert sc <= 3 * ab

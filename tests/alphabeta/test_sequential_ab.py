@@ -1,0 +1,77 @@
+"""Classical alpha-beta vs minimax vs the pruning process."""
+
+import pytest
+
+from repro.core.alphabeta import (
+    alpha_beta,
+    alpha_beta_leaf_set,
+    minimax,
+    sequential_alpha_beta,
+)
+from repro.trees import ExplicitTree, exact_value
+from repro.trees.generators import iid_minmax, iid_minmax_integers
+from repro.types import TreeKind
+
+
+class TestClassicalAlphaBeta:
+    def test_knuth_moore_style_example(self):
+        # MAX over three MIN children; after the first child yields 6,
+        # the second child's second leaf is cut (5 <= 6 cut at MIN),
+        # and so on.
+        tree = ExplicitTree.from_nested(
+            [[6.0, 8.0], [5.0, 9.0], [7.0, 4.0]], kind=TreeKind.MINMAX
+        )
+        res = alpha_beta(tree)
+        assert res.value == 6.0
+        # Leaves (preorder ids): 2,3 | 5,6 | 8,9.
+        # Reads 2, 3 (MIN=6); 5 causes cutoff (5 <= alpha=6); 8, then 9
+        # is needed? MIN(7, ...) could exceed 6, so 9 is read: MIN=4.
+        assert res.evaluated == [2, 3, 5, 8, 9]
+
+    def test_cutoff_skips_leaves(self):
+        t = iid_minmax(2, 8, seed=0)
+        ab = alpha_beta(t)
+        mm = minimax(t)
+        assert ab.value == mm.value == exact_value(t)
+        assert ab.total_work < mm.total_work
+
+    def test_minimax_reads_everything(self):
+        t = iid_minmax(2, 6, seed=1)
+        assert minimax(t).total_work == t.num_leaves()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_value_matches_oracle(self, seed):
+        t = iid_minmax(3, 4, seed=seed)
+        assert alpha_beta(t).value == exact_value(t)
+
+    def test_single_leaf(self):
+        t = ExplicitTree([()], {0: 5.0}, kind=TreeKind.MINMAX)
+        assert alpha_beta(t).value == 5.0
+
+
+class TestEquivalenceWithPruningProcess:
+    """The paper's Sequential alpha-beta (leftmost unfinished leaf of
+    the pruned tree) must evaluate exactly the classical left-to-right
+    alpha-beta leaf sequence."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_leaf_sequences_identical_continuous(self, seed):
+        t = iid_minmax(2 + seed % 2, 3 + seed % 3, seed=seed)
+        assert sequential_alpha_beta(t).evaluated == \
+            alpha_beta_leaf_set(t)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_leaf_sequences_identical_with_ties(self, seed):
+        t = iid_minmax_integers(2 + seed % 2, 3 + seed % 3, seed=seed,
+                                num_values=3)
+        assert sequential_alpha_beta(t).evaluated == \
+            alpha_beta_leaf_set(t)
+
+    def test_all_equal_leaves(self):
+        # Fully tied tree: the pruning rule's non-strict comparison
+        # must cut exactly as the classical v >= beta cut does.
+        t = ExplicitTree.from_nested(
+            [[1.0, 1.0], [1.0, 1.0]], kind=TreeKind.MINMAX
+        )
+        assert sequential_alpha_beta(t).evaluated == \
+            alpha_beta_leaf_set(t)

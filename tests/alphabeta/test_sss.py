@@ -1,0 +1,65 @@
+"""Unit tests for SSS*."""
+
+import pytest
+
+from repro.core.alphabeta import alpha_beta, sss_leaf_count, sss_star
+from repro.trees import ExplicitTree, exact_value
+from repro.trees.generators import iid_boolean, iid_minmax, iid_minmax_integers
+from repro.types import TreeKind
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_value_matches_oracle(self, seed):
+        t = iid_minmax(2 + seed % 2, 2 + seed % 4, seed=seed)
+        assert sss_star(t).value == exact_value(t)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_value_with_ties(self, seed):
+        t = iid_minmax_integers(2, 5, seed=seed, num_values=3)
+        assert sss_star(t).value == exact_value(t)
+
+    def test_single_leaf(self):
+        t = ExplicitTree([()], {0: 4.5}, kind=TreeKind.MINMAX)
+        res = sss_star(t)
+        assert res.value == 4.5
+        assert res.total_work == 1
+
+    def test_rejects_boolean_tree(self):
+        t = iid_boolean(2, 3, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            sss_star(t)
+
+    def test_textbook_example(self):
+        # MAX(MIN(6,8), MIN(5,9), MIN(7,4)) = 6.
+        t = ExplicitTree.from_nested(
+            [[6.0, 8.0], [5.0, 9.0], [7.0, 4.0]], kind=TreeKind.MINMAX
+        )
+        res = sss_star(t)
+        assert res.value == 6.0
+
+
+class TestDominance:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_never_worse_than_alpha_beta(self, seed):
+        # Stockman's dominance theorem (distinct leaf values).
+        t = iid_minmax(2, 6, seed=seed)
+        assert sss_leaf_count(t) <= alpha_beta(t).total_work
+
+    def test_no_leaf_evaluated_twice(self):
+        t = iid_minmax(2, 7, seed=0)
+        res = sss_star(t)
+        assert len(set(res.evaluated)) == len(res.evaluated)
+
+    def test_work_bounded_by_leaves(self):
+        t = iid_minmax(3, 4, seed=1)
+        assert sss_leaf_count(t) <= t.num_leaves()
+
+    def test_can_beat_alpha_beta_strictly(self):
+        # Best-first order sometimes skips leaves alpha-beta reads.
+        wins = sum(
+            sss_leaf_count(iid_minmax(2, 7, seed=s))
+            < alpha_beta(iid_minmax(2, 7, seed=s)).total_work
+            for s in range(10)
+        )
+        assert wins > 0

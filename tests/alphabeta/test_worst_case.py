@@ -1,0 +1,62 @@
+"""Unit tests for the alpha-beta worst-case construction."""
+
+import pytest
+
+from repro.core.alphabeta import (
+    alpha_beta,
+    parallel_alpha_beta,
+    sequential_alpha_beta,
+    sss_star,
+)
+from repro.trees import exact_value
+from repro.trees.generators import alpha_beta_worst_case
+
+
+class TestNoCutoffs:
+    @pytest.mark.parametrize("d,n", [(2, 4), (2, 8), (3, 4), (4, 3)])
+    def test_alpha_beta_reads_every_leaf(self, d, n):
+        t = alpha_beta_worst_case(d, n)
+        assert alpha_beta(t).total_work == d ** n
+
+    @pytest.mark.parametrize("d,n", [(2, 6), (3, 4)])
+    def test_pruning_process_agrees(self, d, n):
+        t = alpha_beta_worst_case(d, n)
+        assert sequential_alpha_beta(t).total_work == d ** n
+
+    def test_children_ordering(self):
+        # MAX children ascend, MIN children descend, by construction.
+        t = alpha_beta_worst_case(2, 4)
+        for node in t.iter_nodes():
+            if t.is_leaf(node):
+                continue
+            vals = [exact_value(t, c) for c in t.children(node)]
+            from repro.types import NodeType
+
+            if t.node_type(node) is NodeType.MAX:
+                assert vals == sorted(vals)
+            else:
+                assert vals == sorted(vals, reverse=True)
+
+    def test_values_distinct(self):
+        t = alpha_beta_worst_case(2, 6)
+        leaves = list(t.leaf_values_array)
+        assert len(set(leaves)) == len(leaves)
+
+
+class TestEveryInstanceSpeedup:
+    def test_parallel_still_speeds_up(self):
+        t = alpha_beta_worst_case(2, 10)
+        s = sequential_alpha_beta(t).num_steps
+        p = parallel_alpha_beta(t, 1)
+        assert p.value == exact_value(t)
+        assert s / p.num_steps > 3.0
+        assert p.processors <= 11
+
+    def test_sss_immune_to_the_ordering(self):
+        # The no-cutoff ordering is pessimal for *left-to-right*
+        # search only; best-first SSS* is insensitive to child order
+        # and reads a small fraction of the leaves here — the gap that
+        # motivated the alpha-beta vs SSS* comparisons (reference
+        # [11]).
+        t = alpha_beta_worst_case(2, 6)
+        assert sss_star(t).total_work < 2 ** 6 / 2

@@ -1,0 +1,134 @@
+"""Unit tests for the combinatorial bounds and constants."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    fact1_lower_bound,
+    fact2_lower_bound,
+    lemma1_k1,
+    lemma2_k2,
+    proof_tree_leaf_count,
+    prop3_bound,
+    prop4_k0,
+    prop4_step_upper_bound,
+    prop6_bound,
+    x0_threshold,
+)
+
+
+class TestFacts:
+    @pytest.mark.parametrize("d,n,expected", [
+        (2, 4, 4), (2, 5, 4), (2, 6, 8), (3, 4, 9), (5, 3, 5),
+    ])
+    def test_fact1_values(self, d, n, expected):
+        assert fact1_lower_bound(d, n) == expected
+
+    @pytest.mark.parametrize("d,n,expected", [
+        (2, 2, 2 + 2 - 1), (2, 3, 2 + 4 - 1), (3, 4, 9 + 9 - 1),
+        (2, 5, 4 + 8 - 1),
+    ])
+    def test_fact2_values(self, d, n, expected):
+        assert fact2_lower_bound(d, n) == expected
+
+    def test_fact2_exceeds_fact1(self):
+        for d in (2, 3, 4):
+            for n in range(1, 12):
+                assert fact2_lower_bound(d, n) > fact1_lower_bound(d, n)
+
+    @pytest.mark.parametrize("d,n,value,expected", [
+        (2, 4, 0, 4), (2, 4, 1, 4), (2, 5, 0, 4), (2, 5, 1, 8),
+        (3, 3, 1, 9), (3, 3, 0, 3),
+    ])
+    def test_proof_tree_leaf_count(self, d, n, value, expected):
+        assert proof_tree_leaf_count(d, n, value) == expected
+
+    def test_proof_tree_bad_value(self):
+        with pytest.raises(ValueError):
+            proof_tree_leaf_count(2, 3, 2)
+
+    def test_fact1_is_min_of_proof_trees(self):
+        for d in (2, 3):
+            for n in range(1, 10):
+                assert fact1_lower_bound(d, n) == min(
+                    proof_tree_leaf_count(d, n, 0),
+                    proof_tree_leaf_count(d, n, 1),
+                )
+
+
+class TestPropositionBounds:
+    def test_prop3_explicit(self):
+        assert prop3_bound(10, 0, 2) == 1
+        assert prop3_bound(10, 2, 2) == math.comb(10, 2)
+        assert prop3_bound(8, 3, 3) == math.comb(8, 3) * 2 ** 3
+
+    def test_prop3_out_of_range(self):
+        assert prop3_bound(5, -1, 2) == 0
+        assert prop3_bound(5, 6, 2) == 0
+
+    def test_prop6_at_least_prop3(self):
+        for n in (6, 10):
+            for k in range(n + 1):
+                assert prop6_bound(n, k, 2) >= prop3_bound(n, k, 2)
+
+    def test_prop6_summation(self):
+        # Exact summation for k = 0: sum_m 1 = n + 1 base paths.
+        assert prop6_bound(7, 0, 2) == 8
+
+    def test_prop4_k0_monotone_in_work(self):
+        assert prop4_k0(12, 2, 10) <= prop4_k0(12, 2, 10_000)
+
+    def test_prop4_upper_bound_at_least_ideal(self):
+        # With work S the parallel time cannot be below S / (n+1); the
+        # bound must respect that.
+        n, d, S = 12, 2, 5000
+        bound = prop4_step_upper_bound(n, d, S)
+        assert bound >= S // (n + 1)
+        assert bound <= S  # and never worse than sequential
+
+
+class TestLemmas:
+    def test_k2_at_most_k1_style_relation(self):
+        # Lemma 2's proof gives k2 >= k1 for n >= n0; check at large n.
+        for d in (2, 3):
+            assert lemma2_k2(400, d) >= lemma1_k1(400, d)
+
+    def test_k1_definition(self):
+        n, d = 16, 2
+        k1 = lemma1_k1(n, d)
+        assert math.comb(n, k1) * d ** k1 <= d ** (n // 2)
+        assert math.comb(n, k1 + 1) * d ** (k1 + 1) > d ** (n // 2)
+
+    def test_k2_definition(self):
+        n, d = 16, 2
+        k2 = lemma2_k2(n, d)
+        total = sum(
+            (i + 1) * math.comb(n, i) * (d - 1) ** i
+            for i in range(k2 + 1)
+        )
+        assert total <= d ** (n // 2)
+
+    def test_linear_growth(self):
+        for d in (2, 3):
+            assert lemma1_k1(320, d) >= 2 * lemma1_k1(80, d) * 0.9
+            assert lemma2_k2(320, d) >= 2 * lemma2_k2(80, d) * 0.9
+
+
+class TestX0:
+    @pytest.mark.parametrize("d", [2, 3, 4, 8])
+    def test_x0_is_threshold(self, d):
+        x0 = x0_threshold(d)
+        just_above = x0 * 1.01
+        just_below = x0 * 0.99
+        assert (just_above + 1) ** 2 * (d - 1) ** just_above \
+            <= d ** just_above * 1.01
+        assert (just_below + 1) ** 2 * (d - 1) ** just_below \
+            > d ** just_below * 0.99
+
+    def test_x0_grows_with_d(self):
+        assert x0_threshold(2) < x0_threshold(3) < x0_threshold(6)
+
+    def test_x0_undefined_below_2(self):
+        with pytest.raises(ValueError):
+            x0_threshold(1)

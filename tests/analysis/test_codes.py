@@ -1,0 +1,69 @@
+"""Unit tests for base-path codes (Proposition 3's counting argument)."""
+
+import pytest
+
+from repro.analysis import (
+    codes_lex_decreasing,
+    degree_matches_code,
+    prop3_bound,
+    skeleton_of,
+    trace_codes,
+)
+from repro.trees.generators import iid_boolean, sequential_worst_case
+
+
+class TestTraceCodes:
+    def test_one_record_per_step(self):
+        from repro.core import parallel_solve
+
+        t = iid_boolean(2, 6, 0.5, seed=0)
+        records = trace_codes(t, 1)
+        assert len(records) == parallel_solve(t, 1).num_steps
+
+    def test_base_leaf_is_leftmost_selected(self):
+        t = iid_boolean(2, 5, 0.4, seed=1)
+        for rec in trace_codes(t, 1):
+            assert rec.path[-1] == rec.base_leaf
+            assert rec.path[0] == t.root
+
+    def test_code_entries_bounded_by_siblings(self):
+        d = 3
+        t = iid_boolean(d, 4, 0.4, seed=2)
+        for rec in trace_codes(t, 1):
+            assert all(0 <= c <= d - 1 for c in rec.code)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_lex_decreasing_on_skeletons(self, seed):
+        t = iid_boolean(2, 7, 0.45, seed=seed)
+        records = trace_codes(skeleton_of(t), 1)
+        assert codes_lex_decreasing(records)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_codes_distinct_on_skeletons(self, seed):
+        t = iid_boolean(2, 7, 0.45, seed=seed)
+        records = trace_codes(skeleton_of(t), 1)
+        codes = [r.code for r in records]
+        assert len(set(codes)) == len(codes)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_degree_encoding_on_skeletons(self, seed):
+        t = iid_boolean(3, 5, 0.4, seed=seed)
+        records = trace_codes(skeleton_of(t), 1)
+        assert degree_matches_code(records)
+
+    def test_prop3_histogram_on_worst_case(self):
+        d, n = 2, 9
+        t = sequential_worst_case(d, n)
+        # Worst case tree is its own skeleton (every leaf evaluated).
+        records = trace_codes(t, 1)
+        from collections import Counter
+
+        hist = Counter(r.degree for r in records)
+        for degree, count in hist.items():
+            assert count <= prop3_bound(n, degree - 1, d)
+
+    def test_base_paths_distinct(self):
+        t = iid_boolean(2, 6, 0.5, seed=3)
+        records = trace_codes(skeleton_of(t), 1)
+        paths = [r.path for r in records]
+        assert len(set(paths)) == len(paths)

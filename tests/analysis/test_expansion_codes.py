@@ -1,0 +1,54 @@
+"""Tests for the Proposition 6 base-path instrumentation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import prop6_bound, skeleton_of
+from repro.analysis.codes import trace_expansion_codes
+from repro.core.nodeexpansion import n_parallel_solve
+from repro.trees.generators import iid_boolean
+
+
+class TestExpansionCodes:
+    def test_one_record_per_step(self):
+        t = iid_boolean(2, 6, 0.45, seed=0)
+        records = trace_expansion_codes(t, 1)
+        assert len(records) == n_parallel_solve(t, 1).num_steps
+
+    def test_paths_end_at_varying_depths(self):
+        # Frontier nodes can be internal, so base paths have varying
+        # lengths — the structural reason for Prop 6's (n - k) factor.
+        t = iid_boolean(2, 6, 0.45, seed=1)
+        lengths = {len(r.path) for r in trace_expansion_codes(t, 1)}
+        assert len(lengths) > 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_base_paths_distinct_on_skeletons(self, seed):
+        t = iid_boolean(2, 6, 0.45, seed=seed)
+        records = trace_expansion_codes(skeleton_of(t), 1)
+        keyed = [(r.path, r.code) for r in records]
+        assert len(set(keyed)) == len(keyed)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_prop6_histogram_bound(self, seed):
+        d, n = 2, 7
+        t = iid_boolean(d, n, 0.4, seed=seed)
+        records = trace_expansion_codes(skeleton_of(t), 1)
+        hist = Counter(r.degree for r in records)
+        for degree, count in hist.items():
+            assert count <= prop6_bound(n, degree - 1, d)
+
+    def test_codes_entries_in_range(self):
+        d = 3
+        t = iid_boolean(d, 5, 0.4, seed=2)
+        for rec in trace_expansion_codes(t, 1):
+            assert all(0 <= c <= d - 1 for c in rec.code)
+
+    def test_degree_bounded_by_code_plus_one(self):
+        # In the node-expansion model the degree can exceed
+        # 1 + #nonzero for short base paths (deeper searches run in
+        # subtrees the code doesn't see), but it is always at least 1.
+        t = iid_boolean(2, 6, 0.45, seed=3)
+        for rec in trace_expansion_codes(t, 1):
+            assert rec.degree >= 1

@@ -1,0 +1,93 @@
+"""Unit tests for the i.i.d. expectation theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_growth_factor,
+    pearl_branching_factor,
+    pearl_xi,
+    solve_expected_cost,
+)
+from repro.core import sequential_solve
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import level_invariant_bias
+from repro.types import GOLDEN_BIAS
+
+
+class TestSolveExpectation:
+    def test_height_zero_costs_one(self):
+        exp = solve_expected_cost(2, 0, 0.3)
+        assert exp.expected_cost == 1.0
+
+    def test_deterministic_all_ones(self):
+        # p = 1: a 1-valued level costs one child, a 0-valued level
+        # costs all d children -> cost = d^floor(n/2); matches the
+        # measured cost on the all-ones instance exactly.
+        from repro.core import sequential_solve
+        from repro.trees.generators import all_ones
+
+        for n in (2, 3, 4, 5, 6):
+            exp = solve_expected_cost(2, n, 1.0)
+            assert exp.expected_cost == 2 ** (n // 2)
+            assert exp.expected_cost == \
+                sequential_solve(all_ones(2, n)).total_work
+
+    def test_level_probabilities_follow_nor_map(self):
+        p = 0.3
+        exp = solve_expected_cost(2, 5, p)
+        q = p
+        for level_q in exp.level_one_probs:
+            assert level_q == pytest.approx(q)
+            q = (1 - q) ** 2
+
+    def test_invariant_bias_keeps_probability(self):
+        p = level_invariant_bias(3)
+        exp = solve_expected_cost(3, 6, p)
+        assert all(
+            q == pytest.approx(p, abs=1e-9)
+            for q in exp.level_one_probs
+        )
+
+    def test_bad_bias(self):
+        with pytest.raises(ValueError):
+            solve_expected_cost(2, 3, 1.5)
+
+    @pytest.mark.parametrize("d,n", [(2, 8), (2, 10), (3, 5)])
+    def test_matches_monte_carlo(self, d, n):
+        p = level_invariant_bias(d)
+        theory = solve_expected_cost(d, n, p).expected_cost
+        measured = np.mean([
+            sequential_solve(iid_boolean(d, n, p, seed=s)).total_work
+            for s in range(60)
+        ])
+        assert measured == pytest.approx(theory, rel=0.2)
+
+
+class TestPearl:
+    def test_xi_is_root(self):
+        for d in (2, 3, 5):
+            xi = pearl_xi(d)
+            assert xi ** d + xi - 1 == pytest.approx(0.0, abs=1e-9)
+
+    def test_xi2_is_golden_conjugate(self):
+        assert pearl_xi(2) == pytest.approx(GOLDEN_BIAS)
+
+    def test_branching_factor_between_sqrt_and_d(self):
+        for d in (2, 3, 4, 8):
+            bf = pearl_branching_factor(d)
+            assert np.sqrt(d) < bf < d
+
+    def test_bad_branching(self):
+        with pytest.raises(ValueError):
+            pearl_xi(0)
+
+
+class TestGrowthFit:
+    def test_exact_exponential(self):
+        costs = [(n, 3.0 * 1.7 ** n) for n in (4, 6, 8, 10)]
+        assert empirical_growth_factor(costs) == pytest.approx(1.7)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            empirical_growth_factor([(4, 10.0)])

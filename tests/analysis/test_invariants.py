@@ -1,0 +1,45 @@
+"""Unit tests for the Theorem 2 invariant checker."""
+
+import pytest
+
+from repro.analysis import pruned_tree_value, theorem2_holds
+from repro.core.alphabeta import AlphaBetaState, prune_to_fixpoint
+from repro.trees import ExplicitTree, exact_value
+from repro.trees.generators import iid_minmax
+from repro.types import TreeKind
+
+
+@pytest.fixture
+def tree():
+    return ExplicitTree.from_nested(
+        [[5.0, 6.0], [3.0, 9.0]], kind=TreeKind.MINMAX
+    )
+
+
+class TestPrunedTreeValue:
+    def test_unpruned_equals_exact(self, tree):
+        st = AlphaBetaState(tree)
+        assert pruned_tree_value(st) == exact_value(tree)
+
+    def test_after_justified_prune(self, tree):
+        st = AlphaBetaState(tree)
+        st.finish_leaf(2)
+        st.finish_leaf(3)
+        st.finish_leaf(5)
+        prune_to_fixpoint(st)
+        assert 6 in st.pruned
+        assert pruned_tree_value(st) == exact_value(tree)
+        assert theorem2_holds(st, exact_value(tree))
+
+    def test_detects_wrongful_prune(self, tree):
+        st = AlphaBetaState(tree)
+        # Pruning the best subtree changes the pruned-tree value.
+        st.prune(1)  # MIN(5,6) = 5, the maximiser
+        assert pruned_tree_value(st) == 3.0
+        assert not theorem2_holds(st, exact_value(tree))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees_unpruned(self, seed):
+        t = iid_minmax(2, 6, seed=seed)
+        st = AlphaBetaState(t)
+        assert pruned_tree_value(st) == exact_value(t)

@@ -1,0 +1,97 @@
+"""Unit tests for proof-tree extraction."""
+
+import pytest
+
+from repro.analysis import (
+    fact1_lower_bound,
+    fact2_certificate_size,
+    fact2_lower_bound,
+    minmax_proof_leaves_gt,
+    minmax_proof_leaves_lt,
+    proof_tree_leaf_count,
+    proof_tree_leaves,
+)
+from repro.trees import ExplicitTree, exact_value
+from repro.trees.generators import (
+    forced_value_instance,
+    iid_boolean,
+    iid_minmax,
+)
+from repro.types import TreeKind
+
+
+class TestBooleanProofTrees:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_leaves_verify_value(self, seed):
+        """Fixing only the proof-tree leaves forces the root value."""
+        t = iid_boolean(2, 5, 0.5, seed=seed)
+        proof = set(proof_tree_leaves(t))
+        value = exact_value(t)
+        # Flip every non-proof leaf both ways: value must not change.
+        import numpy as np
+
+        leaves = t.leaf_values_array.copy()
+        rng = np.random.default_rng(seed)
+        for flip in range(4):
+            mutated = leaves.copy()
+            for i in range(len(mutated)):
+                node = t.first_leaf_id() + i
+                if node not in proof:
+                    mutated[i] = rng.integers(0, 2)
+            from repro.trees import UniformTree
+
+            t2 = UniformTree(2, 5, mutated)
+            assert exact_value(t2) == value
+
+    def test_size_on_uniform_matches_formula(self):
+        for d, n in ((2, 6), (3, 4)):
+            for value in (0, 1):
+                t = forced_value_instance(d, n, value)
+                assert len(proof_tree_leaves(t)) == \
+                    proof_tree_leaf_count(d, n, value)
+
+    def test_size_at_least_fact1(self):
+        for seed in range(5):
+            t = iid_boolean(2, 6, 0.5, seed=seed)
+            assert len(proof_tree_leaves(t)) >= fact1_lower_bound(2, 6)
+
+    def test_rejects_minmax(self):
+        t = iid_minmax(2, 3, seed=0)
+        with pytest.raises(ValueError):
+            proof_tree_leaves(t)
+
+
+class TestMinmaxCertificates:
+    def test_gt_certificate_structure(self):
+        # MAX(MIN(3,1), MIN(4,2)) = 2; val > 1.5 certified via the
+        # second child (both of its leaves needed at the MIN).
+        t = ExplicitTree.from_nested(
+            [[3.0, 1.0], [4.0, 2.0]], kind=TreeKind.MINMAX
+        )
+        leaves = minmax_proof_leaves_gt(t, 1.5)
+        assert set(leaves) == {5, 6}
+
+    def test_lt_certificate_structure(self):
+        t = ExplicitTree.from_nested(
+            [[3.0, 1.0], [4.0, 2.0]], kind=TreeKind.MINMAX
+        )
+        # val < 2.5 needs one low leaf per MAX child.
+        leaves = minmax_proof_leaves_lt(t, 2.5)
+        assert set(leaves) == {3, 6}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_certificate_sizes(self, seed):
+        d, n = 2, 6
+        t = iid_minmax(d, n, seed=seed)
+        v = exact_value(t)
+        eps = 1e-9
+        gt = minmax_proof_leaves_gt(t, v - eps)
+        lt = minmax_proof_leaves_lt(t, v + eps)
+        assert len(gt) >= d ** (n // 2)
+        assert len(lt) >= d ** ((n + 1) // 2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fact2_certificate_meets_bound(self, seed):
+        d, n = 2, 6
+        t = iid_minmax(d, n, seed=seed)
+        assert fact2_certificate_size(t) >= fact2_lower_bound(d, n)

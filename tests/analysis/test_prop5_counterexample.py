@@ -1,0 +1,75 @@
+"""Regression artifact: the Proposition 5 counterexample.
+
+Proposition 5 states (without proof) that Parallel alpha-beta of any
+width runs at least as fast on the skeleton H~_T as on T itself.  This
+pins the concrete counterexample found during the reproduction — a
+uniform binary MIN/MAX tree of height 4 — so the finding is permanent
+and the mechanism stays documented.
+
+Mechanism on this instance: leaf 0.726 lies outside H~ (sequential
+alpha-beta prunes it using the *finished* left subtree's value 0.64 as
+an alpha-bound).  Under width-1 parallel order that bound is not yet
+available at step 2, so the leaf's MIN-parent stays unfinished, adds
+one to the pruning numbers of the leaves the run actually needs, and
+delays them by a step: P~(T) = 3 > 2 = P~(H~_T).
+"""
+
+import pytest
+
+from repro.analysis import minmax_skeleton_of
+from repro.core.alphabeta import (
+    parallel_alpha_beta,
+    sequential_alpha_beta,
+)
+from repro.trees import exact_value
+from repro.trees.generators import iid_minmax
+
+#: The seed that produced the counterexample (iid_minmax(2, 4, seed)).
+COUNTEREXAMPLE_SEED = 501
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return iid_minmax(2, 4, seed=COUNTEREXAMPLE_SEED)
+
+
+class TestCounterexample:
+    def test_literal_prop5_fails_here(self, instance):
+        skel = minmax_skeleton_of(instance)
+        p_t = parallel_alpha_beta(instance, 1).num_steps
+        p_h = parallel_alpha_beta(skel, 1).num_steps
+        assert p_t > p_h, (
+            "the counterexample evaporated — if an engine change made "
+            "Prop 5 hold exactly, update DESIGN.md section 6"
+        )
+
+    def test_sequential_still_identical(self, instance):
+        # The failure is strictly a parallel-order phenomenon:
+        # Sequential alpha-beta is step-identical on T and H~.
+        skel = minmax_skeleton_of(instance)
+        s_t = sequential_alpha_beta(instance)
+        s_h = sequential_alpha_beta(skel)
+        assert s_t.num_steps == s_h.num_steps
+
+    def test_correctness_unaffected(self, instance):
+        truth = exact_value(instance)
+        assert parallel_alpha_beta(instance, 1).value == truth
+        assert parallel_alpha_beta(
+            minmax_skeleton_of(instance), 1
+        ).value == truth
+
+    def test_violation_is_small(self, instance):
+        # The finding's second half: the gap is a small constant.
+        skel = minmax_skeleton_of(instance)
+        p_t = parallel_alpha_beta(instance, 1).num_steps
+        p_h = parallel_alpha_beta(skel, 1).num_steps
+        assert p_t <= 2 * p_h
+
+    def test_wider_widths_on_this_instance(self, instance):
+        # Document the width-2 behaviour too (may or may not violate;
+        # must stay within the same small constant).
+        skel = minmax_skeleton_of(instance)
+        for w in (2, 3):
+            p_t = parallel_alpha_beta(instance, w).num_steps
+            p_h = parallel_alpha_beta(skel, w).num_steps
+            assert p_t <= 2 * p_h

@@ -1,0 +1,62 @@
+"""Unit tests for schedule statistics."""
+
+import pytest
+
+from repro.analysis import schedule_stats, speedup_ceilings
+from repro.core import parallel_solve, sequential_solve
+from repro.models import ExecutionTrace
+from repro.trees.generators import iid_boolean
+
+
+class TestScheduleStats:
+    def test_hand_trace(self):
+        tr = ExecutionTrace()
+        tr.record([1, 2])   # degree 2
+        tr.record([3, 4])   # degree 2
+        tr.record([5])      # degree 1
+        st = schedule_stats(tr)
+        assert st.steps == 3
+        assert st.work == 5
+        assert st.processors == 2
+        assert st.efficiency == pytest.approx(5 / 6)
+        assert st.mean_degree == pytest.approx(5 / 3)
+        assert st.step_share_by_degree == {
+            1: pytest.approx(1 / 3), 2: pytest.approx(2 / 3)
+        }
+        assert st.work_share_by_degree[2] == pytest.approx(4 / 5)
+
+    def test_shares_sum_to_one(self):
+        t = iid_boolean(2, 9, 0.4, seed=1)
+        st = schedule_stats(parallel_solve(t, 1).trace)
+        assert sum(st.step_share_by_degree.values()) == pytest.approx(1)
+        assert sum(st.work_share_by_degree.values()) == pytest.approx(1)
+        assert 0 < st.efficiency <= 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_stats(ExecutionTrace())
+
+    def test_sequential_trace_is_fully_efficient(self):
+        t = iid_boolean(2, 6, 0.5, seed=2)
+        st = schedule_stats(sequential_solve(t).trace)
+        assert st.efficiency == 1.0
+        assert st.processors == 1
+
+
+class TestSpeedupCeilings:
+    def test_ceilings_ordering(self):
+        t = iid_boolean(2, 10, 0.4, seed=3)
+        par = parallel_solve(t, 1)
+        c = speedup_ceilings(t, par)
+        # Achieved speed-up respects both ceilings.
+        assert c.speedup <= c.span_ceiling + 1e-9
+        assert c.speedup <= c.processors + 1e-9
+        assert 0 < c.span_fraction <= 1
+        assert 0 < c.processor_fraction <= 1
+
+    def test_accepts_precomputed_sequential(self):
+        t = iid_boolean(2, 8, 0.4, seed=4)
+        seq = sequential_solve(t)
+        par = parallel_solve(t, 2)
+        c = speedup_ceilings(t, par, sequential_result=seq)
+        assert c.sequential_steps == seq.num_steps

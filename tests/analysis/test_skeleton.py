@@ -1,0 +1,105 @@
+"""Unit tests for skeleton construction (Section 3)."""
+
+import pytest
+
+from repro.analysis import minmax_skeleton_of, skeleton_of
+from repro.core import parallel_solve, sequential_solve
+from repro.core.alphabeta import alpha_beta_leaf_set, sequential_alpha_beta
+from repro.trees import exact_value
+from repro.trees.generators import iid_boolean, iid_minmax
+
+
+class TestBooleanSkeleton:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sequential_identical_on_skeleton(self, seed):
+        t = iid_boolean(2, 7, 0.45, seed=seed)
+        h = skeleton_of(t)
+        st, sh = sequential_solve(t), sequential_solve(h)
+        assert st.value == sh.value
+        assert st.num_steps == sh.num_steps
+
+    def test_skeleton_leaf_count_is_S(self):
+        t = iid_boolean(3, 5, 0.35, seed=1)
+        h = skeleton_of(t)
+        assert h.num_leaves() == sequential_solve(t).num_steps
+
+    def test_skeleton_value_matches(self):
+        t = iid_boolean(2, 8, 0.5, seed=2)
+        assert exact_value(skeleton_of(t)) == exact_value(t)
+
+    def test_left_sibling_closure(self):
+        # The paper: a node of H_T has the same left-siblings in T and
+        # H_T.  Since sequential search enters children left to right,
+        # every left-sibling of a kept node is kept; so in H_T each
+        # internal node's children form a prefix-closed selection,
+        # i.e. the arities never "skip" a left child.  We verify via
+        # degrees: each H node keeps a prefix of its T children.
+        t = iid_boolean(3, 5, 0.4, seed=3)
+        h = skeleton_of(t)
+        # Walk T and H in parallel.
+        pairs = [(t.root, h.root)]
+        while pairs:
+            tn, hn = pairs.pop()
+            if h.is_leaf(hn):
+                assert t.is_leaf(tn)
+                continue
+            t_kids = t.children(tn)
+            h_kids = h.children(hn)
+            assert len(h_kids) <= len(t_kids)
+            # kept children correspond to the leftmost T children
+            pairs.extend(zip(t_kids[:len(h_kids)], h_kids))
+
+    @pytest.mark.parametrize("w", [1, 2, 3])
+    def test_prop2_monotonicity(self, w):
+        for seed in range(6):
+            t = iid_boolean(2, 7, 0.4, seed=seed)
+            h = skeleton_of(t)
+            assert parallel_solve(t, w).num_steps <= \
+                parallel_solve(h, w).num_steps
+
+    def test_skeleton_idempotent(self):
+        t = iid_boolean(2, 6, 0.5, seed=4)
+        h = skeleton_of(t)
+        hh = skeleton_of(h)
+        assert hh.num_nodes() == h.num_nodes()
+
+    def test_rejects_minmax(self):
+        t = iid_minmax(2, 4, seed=0)
+        with pytest.raises(ValueError):
+            skeleton_of(t)
+
+
+class TestMinmaxSkeleton:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sequential_alpha_beta_identical(self, seed):
+        t = iid_minmax(2, 6, seed=seed)
+        h = minmax_skeleton_of(t)
+        st, sh = sequential_alpha_beta(t), sequential_alpha_beta(h)
+        assert st.value == sh.value
+        assert st.num_steps == sh.num_steps
+
+    def test_leaf_count_matches_alpha_beta(self):
+        t = iid_minmax(3, 4, seed=1)
+        h = minmax_skeleton_of(t)
+        assert h.num_leaves() == len(alpha_beta_leaf_set(t))
+
+    def test_value_preserved(self):
+        t = iid_minmax(2, 7, seed=2)
+        assert exact_value(minmax_skeleton_of(t)) == exact_value(t)
+
+    def test_rejects_boolean(self):
+        t = iid_boolean(2, 4, 0.5, seed=0)
+        with pytest.raises(ValueError):
+            minmax_skeleton_of(t)
+
+    def test_prop5_relaxed_bounded_ratio(self):
+        # REPRODUCTION FINDING: the literal Prop 5 inequality can fail;
+        # the ratio stays within a small constant (here <= 2).
+        from repro.core.alphabeta import parallel_alpha_beta
+
+        for seed in range(10):
+            t = iid_minmax(2, 6, seed=seed)
+            h = minmax_skeleton_of(t)
+            pt = parallel_alpha_beta(t, 1).num_steps
+            ph = parallel_alpha_beta(h, 1).num_steps
+            assert pt <= 2 * ph

@@ -1,0 +1,82 @@
+"""Unit tests for speed-up measurement helpers."""
+
+import pytest
+
+from repro.analysis import (
+    SpeedupSample,
+    fit_speedup_linearity,
+    mean_samples,
+    measure_speedup,
+)
+from repro.core import parallel_solve, sequential_solve
+from repro.trees.generators import iid_boolean
+
+
+def sample(height, seq, par, work=None, procs=None):
+    return SpeedupSample(
+        height=height,
+        sequential_steps=seq,
+        parallel_steps=par,
+        parallel_work=work if work is not None else seq,
+        processors=procs if procs is not None else height + 1,
+    )
+
+
+class TestSpeedupSample:
+    def test_derived_quantities(self):
+        s = sample(9, 100, 20)
+        assert s.speedup == 5.0
+        assert s.normalized_speedup == 0.5
+        assert s.work_ratio == 1.0
+
+
+class TestMeasure:
+    def test_measure_roundtrip(self):
+        t = iid_boolean(2, 8, 0.5, seed=0)
+        s = measure_speedup(
+            t, sequential_solve, lambda tree: parallel_solve(tree, 1)
+        )
+        assert s.height == 8
+        assert s.sequential_steps >= s.parallel_steps
+        assert s.processors <= 9
+
+    def test_disagreeing_algorithms_raise(self):
+        t = iid_boolean(2, 4, 0.5, seed=1)
+
+        def wrong(tree):
+            res = sequential_solve(tree)
+            res.value = 1 - res.value
+            return res
+
+        with pytest.raises(AssertionError):
+            measure_speedup(t, sequential_solve, wrong)
+
+
+class TestFit:
+    def test_perfect_line(self):
+        samples = [sample(n, 10 * (n + 1), 10) for n in range(5, 15)]
+        fit = fit_speedup_linearity(samples)
+        assert fit.slope == pytest.approx(1.0)
+        assert fit.intercept == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_flat_line(self):
+        samples = [sample(n, 50, 10) for n in range(5, 15)]
+        fit = fit_speedup_linearity(samples)
+        assert fit.slope == pytest.approx(0.0, abs=1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_speedup_linearity([sample(5, 10, 2)])
+
+
+class TestMean:
+    def test_mean_same_height(self):
+        a, b = sample(7, 100, 20), sample(7, 200, 40)
+        m = mean_samples([a, b])
+        assert m.sequential_steps == 150
+        assert m.parallel_steps == 30
+
+    def test_mixed_heights_rejected(self):
+        with pytest.raises(ValueError):
+            mean_samples([sample(7, 10, 2), sample(8, 10, 2)])

@@ -1,0 +1,65 @@
+"""Unit tests for the CLI and the EXPERIMENTS.md report generator."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench.report import (
+    EXPECTATIONS,
+    generate_experiments_md,
+    load_table_text,
+)
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e16" in out and "e21" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--height", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sequential SOLVE" in out
+        assert "Section-7 machine" in out
+        assert "root value" in out
+
+    def test_run_small_experiment(self, capsys):
+        assert main(["run", "e06", "--no-save"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemmas 1 & 2" in out
+
+    def test_verify_runs(self, capsys):
+        assert main(["verify", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "agreed with ground truth" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_expectations_cover_all_experiments(self):
+        names = {e.experiment for e in EXPECTATIONS}
+        for i in range(1, 23):
+            assert f"e{i:02d}" in names
+
+    def test_load_missing_table(self, tmp_path):
+        text = load_table_text("e01", directory=str(tmp_path))
+        assert "no saved results" in text
+
+    def test_generate_report(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "e01.txt").write_text("[e01] demo table\n1 2 3\n")
+        out = tmp_path / "EXPERIMENTS.md"
+        text = generate_experiments_md(
+            results_dir=str(results), out_path=str(out)
+        )
+        assert os.path.exists(out)
+        assert "[e01] demo table" in text
+        assert "Paper claim" in text
+        # Every experiment section is present even without results.
+        assert text.count("## E") == len(EXPECTATIONS)

@@ -1,0 +1,65 @@
+"""Unit tests for the benchmark harness."""
+
+import os
+
+import pytest
+
+from repro.bench import ExperimentTable, list_experiments, run_experiment
+from repro.errors import WorkloadError
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        t = ExperimentTable("x", "demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.0)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, 4.0]
+
+    def test_row_arity_checked(self):
+        t = ExperimentTable("x", "demo", ["a", "b"])
+        with pytest.raises(WorkloadError):
+            t.add_row(1)
+
+    def test_render_contains_everything(self):
+        t = ExperimentTable("x", "demo title", ["col"])
+        t.add_row(42)
+        t.add_note("a note")
+        out = t.render()
+        assert "demo title" in out
+        assert "42" in out
+        assert "note: a note" in out
+
+    def test_save_writes_file(self, tmp_path):
+        t = ExperimentTable("xsave", "demo", ["col"])
+        t.add_row(7)
+        path = t.save(directory=str(tmp_path))
+        assert os.path.exists(path)
+        assert "7" in open(path).read()
+        csv_path = os.path.join(str(tmp_path), "xsave.csv")
+        assert os.path.exists(csv_path)
+
+    def test_to_csv(self):
+        t = ExperimentTable("x", "demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.0)
+        lines = t.to_csv().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert len(lines) == 3
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = list_experiments()
+        for expected in [f"e{i:02d}" for i in range(1, 17)]:
+            assert expected in names
+        assert "e03b" in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(WorkloadError):
+            run_experiment("nope", save=False)
+
+    def test_run_small_experiment(self):
+        table = run_experiment("e06", save=False)
+        assert table.rows

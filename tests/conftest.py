@@ -1,0 +1,58 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.trees import ExplicitTree
+from repro.types import Gate, TreeKind
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+def nested_boolean(max_depth: int = 4, max_branch: int = 3):
+    """Nested-list specs of Boolean trees (leaves are 0/1)."""
+    return st.recursive(
+        st.integers(min_value=0, max_value=1),
+        lambda children: st.lists(children, min_size=1,
+                                  max_size=max_branch),
+        max_leaves=24,
+    )
+
+
+def nested_minmax(max_branch: int = 3):
+    """Nested-list specs of MIN/MAX trees (float leaves)."""
+    finite = st.floats(
+        min_value=-100, max_value=100, allow_nan=False,
+        allow_infinity=False,
+    )
+    return st.recursive(
+        finite,
+        lambda children: st.lists(children, min_size=1,
+                                  max_size=max_branch),
+        max_leaves=20,
+    )
+
+
+def boolean_tree_from_spec(spec, gates=Gate.NOR) -> ExplicitTree:
+    if not isinstance(spec, (list, tuple)):
+        spec = [spec]  # promote a bare leaf to a one-child root
+    return ExplicitTree.from_nested(spec, kind=TreeKind.BOOLEAN,
+                                    gates=gates)
+
+
+def minmax_tree_from_spec(spec) -> ExplicitTree:
+    if not isinstance(spec, (list, tuple)):
+        spec = [spec]
+    return ExplicitTree.from_nested(spec, kind=TreeKind.MINMAX)
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

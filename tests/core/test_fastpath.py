@@ -1,0 +1,97 @@
+"""Unit tests for the vectorised uniform-tree fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core import sequential_solve
+from repro.core.fastpath import (
+    uniform_evaluated_leaf_mask,
+    uniform_expansion_cost,
+    uniform_sequential_cost,
+    uniform_value,
+)
+from repro.core.nodeexpansion import n_sequential_solve
+from repro.errors import TreeStructureError
+from repro.trees import UniformTree, exact_value
+from repro.trees.generators import (
+    all_ones,
+    iid_boolean,
+    iid_minmax,
+    sequential_worst_case,
+)
+from repro.types import Gate
+
+
+class TestAgainstGenericEngines:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_value_and_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(1, 4))
+        n = int(rng.integers(0, 7))
+        t = iid_boolean(d, n, float(rng.random()), seed=seed)
+        ref = sequential_solve(t)
+        value, cost = uniform_sequential_cost(t)
+        assert value == ref.value
+        assert cost == ref.total_work
+        assert uniform_value(t) == exact_value(t)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_expansion_cost(self, seed):
+        t = iid_boolean(2, 6, 0.4, seed=seed)
+        ref = n_sequential_solve(t)
+        value, cost = uniform_expansion_cost(t)
+        assert value == ref.value
+        assert cost == ref.total_work
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_leaf_mask_is_L(self, seed):
+        t = iid_boolean(2, 6, 0.45, seed=seed)
+        mask = uniform_evaluated_leaf_mask(t)
+        first = t.first_leaf_id()
+        expected = {t.leaf_index(leaf)
+                    for leaf in sequential_solve(t).evaluated}
+        assert set(np.flatnonzero(mask)) == expected
+
+    def test_alternating_gates(self):
+        t = iid_boolean(2, 7, 0.6, seed=3, gates=[Gate.OR, Gate.AND])
+        value, cost = uniform_sequential_cost(t)
+        ref = sequential_solve(t)
+        assert (value, cost) == (ref.value, ref.total_work)
+
+
+class TestStructuredInstances:
+    def test_worst_case_counts_every_leaf(self):
+        t = sequential_worst_case(2, 12)
+        _, cost = uniform_sequential_cost(t)
+        assert cost == 2 ** 12
+
+    def test_all_ones_counts_proof_tree(self):
+        t = all_ones(2, 12)
+        _, cost = uniform_sequential_cost(t)
+        assert cost == 2 ** 6
+
+    def test_height_zero(self):
+        t = UniformTree(2, 0, np.array([1]))
+        assert uniform_value(t) == 1
+        assert uniform_sequential_cost(t) == (1, 1)
+        assert uniform_expansion_cost(t) == (1, 1)
+        assert uniform_evaluated_leaf_mask(t).tolist() == [True]
+
+    def test_large_instance_fast(self):
+        # A million-leaf instance evaluates in well under a second.
+        t = iid_boolean(2, 20, 0.382, seed=0)
+        value, cost = uniform_sequential_cost(t)
+        assert value in (0, 1)
+        assert cost >= 2 ** 10  # Fact 1
+
+    def test_minmax_rejected(self):
+        t = iid_minmax(2, 3, seed=0)
+        with pytest.raises(TreeStructureError):
+            uniform_value(t)
+
+    def test_non_uniform_rejected(self):
+        from repro.trees import ExplicitTree
+
+        t = ExplicitTree.from_nested([1, 0])
+        with pytest.raises(TreeStructureError):
+            uniform_value(t)

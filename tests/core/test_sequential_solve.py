@@ -1,0 +1,90 @@
+"""Unit tests for the fast recursive Sequential SOLVE."""
+
+import pytest
+
+from repro.core import sequential_leaf_set, sequential_solve, solve_subtree
+from repro.trees import ExplicitTree, exact_value
+from repro.trees.generators import iid_boolean
+from repro.types import Gate
+
+
+class TestShortCircuit:
+    def test_nor_stops_at_first_one(self):
+        t = ExplicitTree.from_nested([1, 1, 1])
+        res = sequential_solve(t)
+        assert res.value == 0
+        assert res.evaluated == [1]  # only the first leaf
+
+    def test_nor_reads_all_zeros(self):
+        t = ExplicitTree.from_nested([0, 0, 0])
+        res = sequential_solve(t)
+        assert res.value == 1
+        assert res.evaluated == [1, 2, 3]
+
+    def test_or_stops_at_first_one(self):
+        t = ExplicitTree.from_nested([0, 1, 1], gates=Gate.OR)
+        res = sequential_solve(t)
+        assert res.value == 1
+        assert res.evaluated == [1, 2]
+
+    def test_and_stops_at_first_zero(self):
+        t = ExplicitTree.from_nested([1, 0, 1], gates=Gate.AND)
+        res = sequential_solve(t)
+        assert res.value == 0
+        assert res.evaluated == [1, 2]
+
+    def test_nand(self):
+        t = ExplicitTree.from_nested([1, 0, 1], gates=Gate.NAND)
+        res = sequential_solve(t)
+        assert res.value == 1
+        assert res.evaluated == [1, 2]
+
+    def test_nested_example_from_paper_semantics(self):
+        # S-SOLVE on NOR tree: returns 0 as soon as a child yields 1.
+        t = ExplicitTree.from_nested([[0, 0], [1, 1]])
+        res = sequential_solve(t)
+        # Child 1 = NOR(0,0) = 1 -> root returns 0 immediately.
+        assert res.value == 0
+        assert res.evaluated == [2, 3]
+
+    def test_alternating_andor(self):
+        t = ExplicitTree.from_nested(
+            [[1, 0], [0, 0]], gates=[Gate.OR, Gate.AND]
+        )
+        res = sequential_solve(t)
+        # OR(AND(1,0), AND(0,0)) = 0; reads leaves 2, 3 (first AND),
+        # then leaf 5 short-circuits the second AND.
+        assert res.value == 0
+        assert res.evaluated == [2, 3, 5]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_value_matches_exact(self, seed):
+        t = iid_boolean(2 + seed % 2, 5, 0.3 + 0.05 * (seed % 5),
+                        seed=seed)
+        assert sequential_solve(t).value == exact_value(t)
+
+    def test_trace_is_unit_steps(self):
+        t = iid_boolean(2, 6, 0.5, seed=0)
+        res = sequential_solve(t)
+        assert res.trace.degrees == [1] * res.num_steps
+        assert res.total_work == res.num_steps
+        assert res.processors == 1
+
+    def test_leaf_set_helper(self):
+        t = iid_boolean(2, 5, 0.5, seed=1)
+        assert sequential_leaf_set(t) == sequential_solve(t).evaluated
+
+    def test_solve_subtree_on_inner_node(self):
+        t = ExplicitTree.from_nested([[1, 0], [0, 0]])
+        val, leaves = solve_subtree(t, 4)
+        assert val == exact_value(t, 4)
+        assert leaves == [5, 6]
+
+    def test_deep_tree_no_recursion_error(self):
+        depth = 4000
+        children = [(i + 1,) for i in range(depth)] + [()]
+        t = ExplicitTree(children, {depth: 0})
+        res = sequential_solve(t)
+        assert res.value == exact_value(t)

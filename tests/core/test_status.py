@@ -1,0 +1,108 @@
+"""Unit tests for BooleanState: determination, liveness, pruning numbers."""
+
+import pytest
+
+from repro.core import BooleanState
+from repro.errors import ModelViolationError
+from repro.trees import ExplicitTree
+from repro.types import Gate
+
+
+@pytest.fixture
+def tree():
+    # NOR tree: [[1, 0], [0, 0]]
+    return ExplicitTree.from_nested([[1, 0], [0, 0]])
+
+
+class TestDetermination:
+    def test_initially_undetermined(self, tree):
+        state = BooleanState(tree)
+        assert not state.is_determined(tree.root)
+        assert state.root_value() is None
+
+    def test_absorbing_child_determines_parent(self, tree):
+        state = BooleanState(tree)
+        # Leaf 2 (value 1) is absorbing for its NOR parent (node 1).
+        state.evaluate_leaf(2)
+        assert state.value[2] == 1
+        assert state.value[1] == 0  # NOR absorbed
+
+    def test_all_children_determine_otherwise(self, tree):
+        state = BooleanState(tree)
+        # Node 4's children (leaves 5, 6) are both 0 -> NOR gives 1,
+        # which absorbs at the root: root = 0.
+        state.evaluate_leaf(5)
+        assert not state.is_determined(4)
+        state.evaluate_leaf(6)
+        assert state.value[4] == 1
+        assert state.value[0] == 0
+
+    def test_cascade_to_root(self, tree):
+        state = BooleanState(tree)
+        state.evaluate_leaf(5)
+        state.evaluate_leaf(6)
+        assert state.root_value() == 0
+
+    def test_double_evaluation_rejected(self, tree):
+        state = BooleanState(tree)
+        state.evaluate_leaf(2)
+        with pytest.raises(ModelViolationError):
+            state.evaluate_leaf(2)
+
+    def test_internal_evaluation_rejected(self, tree):
+        state = BooleanState(tree)
+        with pytest.raises(ModelViolationError):
+            state.evaluate_leaf(1)
+
+    def test_or_gate_absorption(self):
+        t = ExplicitTree.from_nested([[1, 0], 0], gates=Gate.OR)
+        state = BooleanState(t)
+        state.evaluate_leaf(2)  # value 1 absorbs OR
+        assert state.value[1] == 1
+        assert state.value[0] == 1  # root OR absorbed too
+
+    def test_and_gate_absorption(self):
+        t = ExplicitTree.from_nested([[1, 0], 1], gates=Gate.AND)
+        state = BooleanState(t)
+        state.evaluate_leaf(3)  # value 0 absorbs AND
+        assert state.value[1] == 0
+        assert state.value[0] == 0
+
+
+class TestLiveness:
+    def test_live_initially(self, tree):
+        state = BooleanState(tree)
+        assert all(state.is_live(leaf) for leaf in (2, 3, 5, 6))
+
+    def test_dead_after_sibling_determines_parent(self, tree):
+        state = BooleanState(tree)
+        state.evaluate_leaf(2)  # node 1 determined
+        assert not state.is_live(3)  # sibling of 2 under node 1
+        assert state.is_live(5)
+
+    def test_dead_after_root_determined(self, tree):
+        state = BooleanState(tree)
+        state.evaluate_leaf(5)
+        state.evaluate_leaf(6)
+        assert all(not state.is_live(leaf) for leaf in (2, 3))
+
+
+class TestPruningNumber:
+    def test_leftmost_leaf_is_zero(self, tree):
+        state = BooleanState(tree)
+        assert state.pruning_number(2) == 0
+
+    def test_counts_live_left_siblings(self, tree):
+        state = BooleanState(tree)
+        # Leaf 3: one live left-sibling (leaf 2).
+        assert state.pruning_number(3) == 1
+        # Leaf 5: node 1 is a live left-sibling of node 4.
+        assert state.pruning_number(5) == 1
+        # Leaf 6: node 1 plus leaf 5.
+        assert state.pruning_number(6) == 2
+
+    def test_dead_siblings_do_not_count(self, tree):
+        state = BooleanState(tree)
+        state.evaluate_leaf(2)  # kills node 1
+        assert state.pruning_number(5) == 0
+        assert state.pruning_number(6) == 1

@@ -1,0 +1,96 @@
+"""Unit tests for Team SOLVE and Parallel SOLVE."""
+
+import math
+
+import pytest
+
+from repro.core import parallel_solve, sequential_solve, team_solve
+from repro.trees import exact_value
+from repro.trees.generators import (
+    all_ones,
+    iid_boolean,
+    sequential_worst_case,
+    team_solve_hard_instance,
+)
+
+
+class TestTeamSolve:
+    @pytest.mark.parametrize("p", [1, 2, 5, 16])
+    def test_value_correct(self, p):
+        t = iid_boolean(2, 7, 0.5, seed=p)
+        assert team_solve(t, p).value == exact_value(t)
+
+    def test_p1_equals_sequential(self):
+        t = iid_boolean(2, 7, 0.5, seed=0)
+        assert team_solve(t, 1).evaluated == \
+            sequential_solve(t).evaluated
+
+    def test_more_processors_never_slower(self):
+        t = iid_boolean(2, 9, 0.4, seed=1)
+        steps = [team_solve(t, p).num_steps for p in (1, 2, 4, 8, 16)]
+        assert steps == sorted(steps, reverse=True) or all(
+            a >= b for a, b in zip(steps, steps[1:])
+        )
+
+    def test_processors_bounded_by_p(self):
+        t = iid_boolean(2, 8, 0.5, seed=2)
+        assert team_solve(t, 6).processors <= 6
+
+    def test_proposition1_sqrt_lower_bound(self):
+        # Omega(sqrt(p)) on uniform instances: with p = d^k the team
+        # takes at most S / d^(k/2)-ish steps.  Use the all-ones hard
+        # instance where the bound is tight.
+        d, n, k = 2, 12, 6
+        p = d ** k
+        t = team_solve_hard_instance(d, n)
+        s = sequential_solve(t).num_steps
+        steps = team_solve(t, p).num_steps
+        speedup = s / steps
+        assert speedup >= math.sqrt(p) / 4
+        assert speedup <= 4 * math.sqrt(p)
+
+
+class TestParallelSolve:
+    @pytest.mark.parametrize("w", [0, 1, 2, 3])
+    def test_value_correct(self, w):
+        t = iid_boolean(3, 5, 0.4, seed=w)
+        assert parallel_solve(t, w).value == exact_value(t)
+
+    def test_width0_is_sequential(self):
+        t = iid_boolean(2, 8, 0.5, seed=3)
+        assert parallel_solve(t, 0).evaluated == \
+            sequential_solve(t).evaluated
+
+    def test_wider_never_slower(self):
+        t = iid_boolean(2, 10, 0.4, seed=4)
+        steps = [parallel_solve(t, w).num_steps for w in range(4)]
+        assert all(a >= b for a, b in zip(steps, steps[1:]))
+
+    def test_width1_processors_at_most_n_plus_1(self):
+        for seed in range(5):
+            n = 9
+            t = iid_boolean(2, n, 0.5, seed=seed)
+            assert parallel_solve(t, 1).processors <= n + 1
+
+    def test_theorem1_speedup_on_worst_case(self):
+        # Every-instance guarantee: even the worst-case family gets a
+        # strong speed-up.
+        t = sequential_worst_case(2, 12)
+        s = sequential_solve(t).num_steps
+        p = parallel_solve(t, 1).num_steps
+        assert s / p > 3.0
+
+    def test_work_bounded_corollary1(self):
+        # W(T) <= c' S(T) with a small constant.
+        for seed in range(5):
+            t = iid_boolean(2, 10, 0.4, seed=seed)
+            s = sequential_solve(t).total_work
+            w = parallel_solve(t, 1).total_work
+            assert w <= 3 * s
+
+    def test_all_ones_proof_tree_only(self):
+        t = all_ones(2, 8)
+        res = parallel_solve(t, 1)
+        assert res.value == exact_value(t)
+        # Sequential needs d^(n/2) = 16; parallel strictly fewer steps.
+        assert res.num_steps < 16

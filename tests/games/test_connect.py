@@ -1,0 +1,95 @@
+"""Unit tests for Connect-k."""
+
+import pytest
+
+from repro.core.nodeexpansion import (
+    n_parallel_alpha_beta,
+    n_sequential_alpha_beta,
+)
+from repro.games import ConnectK, game_tree
+from repro.trees import exact_value
+
+
+@pytest.fixture
+def game():
+    return ConnectK(3, 3, 3)
+
+
+class TestRules:
+    def test_initial_moves_are_columns(self, game):
+        assert game.moves(game.initial_position()) == [0, 1, 2]
+
+    def test_gravity_stacks_pieces(self, game):
+        pos = game.apply(game.initial_position(), 1)
+        pos = game.apply(pos, 1)
+        board, player = pos
+        assert board[1] == (1, 2)
+        assert player == 1
+
+    def test_full_column_not_listed(self, game):
+        pos = game.initial_position()
+        for _ in range(3):
+            pos = game.apply(pos, 0)
+        assert 0 not in game.moves(pos)
+
+    def test_full_column_apply_rejected(self, game):
+        pos = game.initial_position()
+        for _ in range(3):
+            pos = game.apply(pos, 0)
+        with pytest.raises(ValueError):
+            game.apply(pos, 0)
+
+    def test_vertical_win_detected(self, game):
+        pos = game.initial_position()
+        for mv in (0, 1, 0, 1, 0):  # X stacks column 0
+            pos = game.apply(pos, mv)
+        assert game.moves(pos) == []
+        assert game.terminal_value(pos) == 1.0
+
+    def test_horizontal_win_detected(self, game):
+        pos = game.initial_position()
+        for mv in (0, 0, 1, 1, 2):  # X bottom row
+            pos = game.apply(pos, mv)
+        assert game.terminal_value(pos) == 1.0
+
+    def test_diagonal_win_detected(self):
+        game = ConnectK(3, 3, 3)
+        # X at (0,0), (1,1), (2,2) rising diagonal.
+        pos = game.initial_position()
+        for mv in (0, 1, 1, 2, 2, 0, 2):
+            pos = game.apply(pos, mv)
+        assert game.terminal_value(pos) == 1.0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ConnectK(0, 3, 3)
+        with pytest.raises(ValueError):
+            ConnectK(3, 3, 1)
+
+    def test_pretty_renders(self, game):
+        pos = game.apply(game.initial_position(), 1)
+        out = ConnectK.pretty(pos)
+        assert "X" in out and "O to move" in out
+
+
+class TestSearch:
+    def test_full_game_values_agree(self, game):
+        t1 = game_tree(game)
+        t2 = game_tree(game)
+        seq = n_sequential_alpha_beta(t1)
+        par = n_parallel_alpha_beta(t2, 1)
+        assert seq.value == par.value
+        assert seq.value == exact_value(game_tree(game))
+
+    def test_depth_limited_heuristic_in_range(self):
+        game = ConnectK(4, 4, 3)
+        t = game_tree(game, max_depth=4)
+        v = exact_value(t)
+        assert -1.0 <= v <= 1.0
+
+    def test_parallel_speedup_on_depth_limited(self):
+        game = ConnectK(4, 4, 3)
+        seq = n_sequential_alpha_beta(game_tree(game, max_depth=5))
+        par = n_parallel_alpha_beta(game_tree(game, max_depth=5), 1)
+        assert abs(seq.value - par.value) < 1e-12
+        assert par.num_steps < seq.num_steps

@@ -1,0 +1,83 @@
+"""Unit tests for Nim and its Sprague-Grundy oracle."""
+
+import pytest
+
+from repro.core.nodeexpansion import n_parallel_solve, n_sequential_solve
+from repro.games import Nim, win_loss_tree
+
+
+class TestRules:
+    def test_moves_enumerate_takes(self):
+        game = Nim((3,))
+        assert game.moves((3,)) == [(0, 1), (0, 2), (0, 3)]
+
+    def test_take_limit(self):
+        game = Nim((5,), max_take=2)
+        assert game.moves((5,)) == [(0, 1), (0, 2)]
+
+    def test_multi_heap_moves(self):
+        game = Nim((1, 2))
+        assert game.moves((1, 2)) == [(0, 1), (1, 1), (1, 2)]
+
+    def test_apply(self):
+        game = Nim((3, 4))
+        assert game.apply((3, 4), (1, 2)) == (3, 2)
+
+    def test_apply_invalid(self):
+        game = Nim((3,))
+        with pytest.raises(ValueError):
+            game.apply((3,), (0, 4))
+
+    def test_apply_above_limit(self):
+        game = Nim((5,), max_take=2)
+        with pytest.raises(ValueError):
+            game.apply((5,), (0, 3))
+
+    def test_empty_heaps_terminal(self):
+        game = Nim((2, 2))
+        assert game.moves((0, 0)) == []
+
+    def test_bad_heaps(self):
+        with pytest.raises(ValueError):
+            Nim(())
+        with pytest.raises(ValueError):
+            Nim((-1,))
+
+
+class TestGrundy:
+    def test_xor_rule(self):
+        game = Nim((1, 2, 3))
+        assert game.grundy((1, 2, 3)) == 0
+        assert game.grundy((1, 2, 4)) == 7
+
+    def test_take_limit_mod_rule(self):
+        game = Nim((7,), max_take=3)
+        assert game.grundy((7,)) == 7 % 4
+
+    def test_first_player_wins(self):
+        assert Nim((1,)).first_player_wins()
+        assert not Nim((1, 1)).first_player_wins()
+
+
+class TestWinLossTrees:
+    @pytest.mark.parametrize("heaps,k", [
+        ((1,), None), ((2,), None), ((3,), 2), ((4,), 2),
+        ((1, 1), None), ((1, 2), None), ((2, 3), None),
+        ((1, 2, 3), None), ((2, 2), 1), ((6,), 3),
+    ])
+    def test_tree_value_matches_grundy(self, heaps, k):
+        game = Nim(heaps, max_take=k)
+        tree = win_loss_tree(game)
+        res = n_sequential_solve(tree)
+        assert bool(res.value) == game.first_player_wins()
+
+    def test_parallel_agrees(self):
+        game = Nim((2, 3))
+        a = n_sequential_solve(win_loss_tree(game)).value
+        b = n_parallel_solve(win_loss_tree(game), 1).value
+        assert a == b
+
+    def test_terminal_position_is_loss(self):
+        game = Nim((0,))
+        tree = win_loss_tree(game)
+        assert n_sequential_solve(tree).value == 0

@@ -1,0 +1,126 @@
+"""Unit tests for the move-selection driver."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.games import Nim, TicTacToe
+from repro.games.player import (
+    GameRecord,
+    best_move,
+    play_game,
+    principal_variation,
+)
+
+
+class TestBestMove:
+    def test_x_takes_the_win(self):
+        game = TicTacToe()
+        # X: 0, 1 on the top row; O elsewhere; X to move wins at 2.
+        pos = ((1, 1, 0, 2, 2, 0, 0, 0, 0), 1)
+        choice = best_move(game, pos)
+        assert choice.move == 2
+        assert choice.value == 1.0
+
+    def test_o_finds_a_winning_move(self):
+        game = TicTacToe()
+        # O to move; both 5 (completing the middle row) and 2
+        # (blocking X while creating the 2-4-6 diagonal threat) win.
+        pos = ((1, 1, 0, 2, 2, 0, 0, 0, 1), 2)
+        choice = best_move(game, pos)
+        assert choice.move in (2, 5)
+        assert choice.value == -1.0
+        assert dict(choice.scores)[5] == -1.0
+
+    def test_scores_cover_all_moves(self):
+        game = TicTacToe()
+        pos = game.initial_position()
+        for mv in (4, 0, 8, 2):
+            pos = game.apply(pos, mv)
+        choice = best_move(game, pos)
+        assert len(choice.scores) == len(game.moves(pos))
+        assert choice.search_steps > 0
+
+    def test_parallel_algorithm_agrees(self):
+        game = TicTacToe()
+        pos = game.initial_position()
+        for mv in (4, 0, 8, 2):
+            pos = game.apply(pos, mv)
+        seq = best_move(game, pos, algorithm="alphabeta")
+        par = best_move(game, pos, algorithm="parallel", width=1)
+        assert seq.value == par.value
+        assert dict(seq.scores) == dict(par.scores)
+
+    def test_terminal_position_rejected(self):
+        game = TicTacToe()
+        board = (1, 1, 1, 2, 2, 0, 0, 0, 0)
+        with pytest.raises(ReproError):
+            best_move(game, (board, 2))
+
+    def test_unknown_algorithm_rejected(self):
+        game = TicTacToe()
+        with pytest.raises(ReproError):
+            best_move(game, game.initial_position(), algorithm="mcts")
+
+
+class TestNimOptimalPlay:
+    @pytest.mark.parametrize("heaps", [(1, 2), (2, 2), (3,), (1, 2, 3)])
+    def test_self_play_outcome_matches_grundy(self, heaps):
+        # Nim values are win/loss for the mover; drive play through
+        # the Boolean win/loss analysis instead of minimax values.
+        game = Nim(heaps)
+        from repro.core.nodeexpansion import n_sequential_solve
+        from repro.games import win_loss_tree
+
+        position = heaps
+        mover = 1
+        while game.moves(position):
+            # Pick any move into a losing position if one exists.
+            chosen = None
+            for move in game.moves(position):
+                nxt = game.apply(position, move)
+                value = n_sequential_solve(win_loss_tree(game, nxt)).value
+                if value == 0:  # opponent loses there
+                    chosen = move
+                    break
+            if chosen is None:
+                chosen = game.moves(position)[0]
+            position = game.apply(position, chosen)
+            mover = 3 - mover
+        # The player unable to move (the current mover) loses.
+        first_player_lost = mover == 1
+        assert first_player_lost != game.first_player_wins()
+
+
+class TestPlayGame:
+    def test_tictactoe_self_play_is_draw(self):
+        # Perfect play from the empty board is a draw; cap the search
+        # cost by starting two plies in.
+        game = TicTacToe()
+        pos = game.apply(game.apply(game.initial_position(), 4), 0)
+        record = play_game(game, start=pos)
+        assert isinstance(record, GameRecord)
+        assert record.outcome == 0.0
+        assert not game.moves(record.final_position)
+
+    def test_depth_limited_play_finishes(self):
+        from repro.games import ConnectK
+
+        game = ConnectK(3, 3, 3)
+        record = play_game(game, depth=4, max_plies=9)
+        assert len(record.moves) <= 9
+        assert record.total_steps > 0
+
+
+class TestPrincipalVariation:
+    def test_pv_reaches_terminal(self):
+        game = TicTacToe()
+        pos = ((1, 1, 0, 2, 2, 0, 0, 0, 0), 1)
+        pv = principal_variation(game, pos)
+        assert pv[0] == 2  # the immediate win
+        assert len(pv) == 1
+
+    def test_pv_respects_max_plies(self):
+        game = TicTacToe()
+        pos = game.apply(game.initial_position(), 4)
+        pv = principal_variation(game, pos, max_plies=2)
+        assert len(pv) <= 2

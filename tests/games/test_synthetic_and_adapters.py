@@ -1,0 +1,110 @@
+"""Unit tests for SyntheticGame and the game->tree adapters."""
+
+import pytest
+
+from repro.core.nodeexpansion import n_sequential_alpha_beta, n_sequential_solve
+from repro.games import Game, SyntheticGame, game_tree, win_loss_tree
+from repro.trees import exact_value
+from repro.types import Gate, TreeKind
+
+
+class TestSyntheticGame:
+    def test_uniform_branching_and_depth(self):
+        g = SyntheticGame(3, 2, seed=0)
+        t = game_tree(g)
+        assert t.children(0) is not None
+        assert len(t.children(0)) == 3
+        assert t.height() == 2
+        assert t.num_leaves() == 9
+
+    def test_deterministic_values(self):
+        a = game_tree(SyntheticGame(2, 4, seed=7))
+        b = game_tree(SyntheticGame(2, 4, seed=7))
+        assert exact_value(a) == exact_value(b)
+
+    def test_seed_changes_values(self):
+        vals = {
+            exact_value(game_tree(SyntheticGame(2, 5, seed=s)))
+            for s in range(6)
+        }
+        assert len(vals) > 1
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticGame(0, 3)
+        with pytest.raises(ValueError):
+            SyntheticGame(2, -1)
+
+    def test_alpha_beta_on_synthetic(self):
+        g = SyntheticGame(2, 7, seed=1)
+        t = game_tree(g)
+        assert n_sequential_alpha_beta(t).value == exact_value(t)
+
+    def test_boolean_win_tree(self):
+        g = SyntheticGame(2, 6, seed=2)
+        t = win_loss_tree(g)
+        assert t.kind is TreeKind.BOOLEAN
+        assert t.gate(0) is Gate.NAND
+        assert n_sequential_solve(t).value in (0, 1)
+
+
+class TestAdapters:
+    def test_game_tree_is_minmax(self):
+        t = game_tree(SyntheticGame(2, 3, seed=0))
+        assert t.kind is TreeKind.MINMAX
+
+    def test_max_depth_cuts_with_heuristic(self):
+        class Counting(Game):
+            def initial_position(self):
+                return 0
+
+            def moves(self, pos):
+                return [0, 1]  # never terminal on its own
+
+            def apply(self, pos, move):
+                return pos * 2 + move
+
+            def terminal_value(self, pos):  # pragma: no cover
+                return 0.0
+
+            def evaluate(self, pos):
+                return float(pos % 5)
+
+        t = game_tree(Counting(), max_depth=3)
+        assert t.height() == 3
+        assert 0.0 <= exact_value(t) <= 4.0
+
+    def test_no_heuristic_raises(self):
+        class NoEval(Game):
+            def initial_position(self):
+                return 0
+
+            def moves(self, pos):
+                return [0]
+
+            def apply(self, pos, move):
+                return pos + 1
+
+            def terminal_value(self, pos):  # pragma: no cover
+                return 0.0
+
+        t = game_tree(NoEval(), max_depth=1)
+        with pytest.raises(NotImplementedError):
+            exact_value(t)
+
+    def test_default_normal_play_terminals(self):
+        class Trivial(Game):
+            def initial_position(self):
+                return 0
+
+            def moves(self, pos):
+                return []
+
+            def apply(self, pos, move):  # pragma: no cover
+                return pos
+
+            def terminal_value(self, pos):
+                return -1.0
+
+        t = win_loss_tree(Trivial())
+        assert n_sequential_solve(t).value == 0

@@ -1,0 +1,84 @@
+"""Unit tests for the tic-tac-toe game."""
+
+import pytest
+
+from repro.core.nodeexpansion import n_sequential_alpha_beta
+from repro.games import TicTacToe, game_tree, winner
+from repro.trees import exact_value
+
+
+@pytest.fixture
+def game():
+    return TicTacToe()
+
+
+class TestRules:
+    def test_initial_position(self, game):
+        board, player = game.initial_position()
+        assert board == (0,) * 9
+        assert player == 1
+
+    def test_moves_are_empty_squares(self, game):
+        pos = game.apply(game.initial_position(), 4)
+        assert 4 not in game.moves(pos)
+        assert len(game.moves(pos)) == 8
+
+    def test_apply_alternates_players(self, game):
+        pos = game.initial_position()
+        pos = game.apply(pos, 0)
+        assert pos[1] == 2
+        pos = game.apply(pos, 1)
+        assert pos[1] == 1
+
+    def test_apply_occupied_square_rejected(self, game):
+        pos = game.apply(game.initial_position(), 0)
+        with pytest.raises(ValueError):
+            game.apply(pos, 0)
+
+    def test_winner_rows_columns_diagonals(self):
+        assert winner((1, 1, 1, 0, 0, 0, 0, 0, 0)) == 1
+        assert winner((2, 0, 0, 2, 0, 0, 2, 0, 0)) == 2
+        assert winner((1, 0, 0, 0, 1, 0, 0, 0, 1)) == 1
+        assert winner((0, 0, 2, 0, 2, 0, 2, 0, 0)) == 2
+        assert winner((0,) * 9) == 0
+
+    def test_game_ends_on_win(self, game):
+        board = (1, 1, 1, 2, 2, 0, 0, 0, 0)
+        assert game.moves((board, 2)) == []
+        assert game.terminal_value((board, 2)) == 1.0
+
+    def test_draw_value(self, game):
+        board = (1, 2, 1, 1, 2, 2, 2, 1, 1)
+        assert winner(board) == 0
+        assert game.terminal_value((board, 1)) == 0.0
+
+    def test_pretty_renders(self, game):
+        out = TicTacToe.pretty(game.initial_position())
+        assert out.count(".") == 9
+        assert "X to move" in out
+
+
+class TestGameTreeValues:
+    def test_x_wins_from_double_threat(self, game):
+        # X: 0, 4, O: 1 -> X has threats everywhere; X to move wins.
+        pos = ((1, 2, 0, 0, 1, 0, 0, 0, 0), 1)
+        t = game_tree(game, pos)
+        assert n_sequential_alpha_beta(t).value == 1.0
+
+    def test_midgame_draw_value(self, game):
+        pos = game.initial_position()
+        for mv in (4, 0, 8, 2):  # sensible opening -> draw
+            pos = game.apply(pos, mv)
+        t = game_tree(game, pos)
+        res = n_sequential_alpha_beta(t)
+        assert res.value == 0.0
+        assert res.value == exact_value(game_tree(game, pos))
+
+    def test_depth_limited_uses_heuristic(self, game):
+        t = game_tree(game, max_depth=2)
+        v = exact_value(t)
+        assert -1.0 <= v <= 1.0
+
+    def test_heuristic_prefers_winning(self, game):
+        won = ((1, 1, 1, 2, 2, 0, 0, 0, 0), 2)
+        assert game.evaluate(won) == 1.0

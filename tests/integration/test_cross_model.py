@@ -1,0 +1,69 @@
+"""Integration tests tying the three execution substrates together:
+leaf-evaluation model, node-expansion model, and the message-passing
+machine must tell one consistent story on the same instances."""
+
+import pytest
+
+from repro.core import parallel_solve, sequential_solve
+from repro.core.nodeexpansion import n_parallel_solve, n_sequential_solve
+from repro.core.randomized import r_parallel_solve, r_sequential_solve
+from repro.simulator import simulate
+from repro.trees import exact_value, lazy_view
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import level_invariant_bias
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def tree(request):
+    return iid_boolean(2, 9, level_invariant_bias(2),
+                       seed=request.param)
+
+
+class TestConsistentStory:
+    def test_all_models_same_value(self, tree):
+        truth = exact_value(tree)
+        assert sequential_solve(tree).value == truth
+        assert parallel_solve(tree, 1).value == truth
+        assert n_sequential_solve(tree).value == truth
+        assert n_parallel_solve(tree, 1).value == truth
+        assert simulate(tree).value == truth
+        assert r_sequential_solve(tree, 7).value == truth
+        assert r_parallel_solve(tree, 1, seed=7).value == truth
+
+    def test_cost_ordering_across_models(self, tree):
+        # Leaf-model sequential cost <= node-model sequential cost
+        # (expansions include internal nodes), and the machine sits
+        # between the ideal parallel model and the sequential one.
+        s_leaf = sequential_solve(tree).num_steps
+        s_node = n_sequential_solve(tree).num_steps
+        p_node = n_parallel_solve(tree, 1).num_steps
+        ticks = simulate(tree).ticks
+        assert s_leaf <= s_node
+        assert p_node <= s_node
+        assert p_node <= ticks
+
+    def test_node_model_leaf_work_matches_leaf_model(self, tree):
+        exp = n_sequential_solve(tree)
+        leaf_work = sum(1 for v in exp.evaluated if tree.is_leaf(v))
+        assert leaf_work == sequential_solve(tree).num_steps
+
+    def test_lazy_generation_is_partial(self, tree):
+        view = lazy_view(tree)
+        n_parallel_solve(view, 1)
+        # Parallel search with pruning should not generate everything
+        # on a balanced random instance.
+        assert view.generated_nodes() <= tree.num_nodes()
+
+
+class TestParallelismAccounting:
+    def test_speedup_chain(self, tree):
+        s = sequential_solve(tree).num_steps
+        p1 = parallel_solve(tree, 1).num_steps
+        p2 = parallel_solve(tree, 2).num_steps
+        assert s >= p1 >= p2 >= 1
+
+    def test_simulator_expansions_superset_of_ideal(self, tree):
+        # The machine may redo work due to pre-emption churn, so its
+        # expansion count is at least the ideal model's total work.
+        ideal = n_parallel_solve(tree, 1).total_work
+        assert simulate(tree).expansions >= ideal

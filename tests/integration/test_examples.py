@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts' entry points run end to end.
+
+Only the fast examples are exercised directly; the slower ones
+(speed-up sweep, Connect-k self-play) are covered by equivalent
+reduced-size flows in test_end_to_end.py.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "examples",
+)
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "theorem_proving",
+    "game_playing",
+])
+def test_example_main_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 3
+
+
+def test_all_examples_have_main():
+    for fname in os.listdir(EXAMPLES_DIR):
+        if fname.endswith(".py"):
+            module = load_example(fname[:-3])
+            assert hasattr(module, "main"), fname

@@ -1,0 +1,52 @@
+"""Heavier integration stress tests (still seconds, not minutes)."""
+
+import numpy as np
+
+from repro.analysis import skeleton_of
+from repro.core import parallel_solve, sequential_solve
+from repro.core.fastpath import (
+    uniform_evaluated_leaf_mask,
+    uniform_sequential_cost,
+)
+from repro.simulator import simulate
+from repro.trees import exact_value
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import level_invariant_bias
+
+
+class TestSimulatorStress:
+    def test_tall_instances(self):
+        bias = level_invariant_bias(2)
+        for n, seed in ((11, 0), (12, 1), (13, 2)):
+            t = iid_boolean(2, n, bias, seed=seed)
+            res = simulate(t)
+            assert res.value == exact_value(t)
+            # Ticks within a small multiple of the ideal model.
+            par = parallel_solve(t, 1)
+            assert res.ticks <= 6 * par.num_steps + 20
+
+    def test_many_small_instances(self):
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            n = int(rng.integers(1, 8))
+            p = float(rng.random())
+            t = iid_boolean(2, n, p, seed=int(rng.integers(10_000)))
+            phys = int(rng.integers(1, n + 2))
+            res = simulate(t, physical_processors=phys)
+            assert res.value == exact_value(t)
+
+
+class TestFastpathVsSkeleton:
+    def test_leaf_mask_matches_skeleton_leaves(self):
+        for seed in range(5):
+            t = iid_boolean(2, 9, 0.4, seed=seed)
+            mask = uniform_evaluated_leaf_mask(t)
+            skel = skeleton_of(t)
+            assert int(mask.sum()) == skel.num_leaves()
+
+    def test_cost_matches_skeleton_leaf_count(self):
+        for seed in range(5):
+            t = iid_boolean(3, 5, 0.35, seed=seed)
+            _, cost = uniform_sequential_cost(t)
+            assert cost == skeleton_of(t).num_leaves()
+            assert cost == sequential_solve(t).num_steps

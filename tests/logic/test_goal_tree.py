@@ -1,0 +1,107 @@
+"""Unit tests for backward-chaining goal trees."""
+
+import numpy as np
+import pytest
+
+from repro.core import parallel_solve, sequential_solve
+from repro.logic import KnowledgeBase, goal_tree, prove
+from repro.types import Gate
+
+
+class TestLeafCases:
+    def test_fact_is_leaf_one(self):
+        kb = KnowledgeBase(facts=["a"])
+        t = goal_tree(kb, "a")
+        assert t.is_leaf(0)
+        assert t.leaf_value(0) == 1
+
+    def test_unknown_atom_is_leaf_zero(self):
+        kb = KnowledgeBase()
+        t = goal_tree(kb, "nope")
+        assert t.leaf_value(0) == 0
+
+    def test_empty_body_rule_proves(self):
+        kb = KnowledgeBase()
+        kb.add_rule("a", [])
+        assert prove(kb, "a")
+
+    def test_fact_wins_over_rules(self):
+        kb = KnowledgeBase(facts=["a"])
+        kb.add_rule("a", ["impossible"])
+        assert prove(kb, "a")
+
+
+class TestStructure:
+    def test_gates_alternate_or_and(self):
+        kb = KnowledgeBase(facts=["f"])
+        kb.add_rule("g", ["f", "f"])
+        t = goal_tree(kb, "g")
+        assert t.gate(0) is Gate.OR
+        rule_node = t.children(0)[0]
+        assert t.gate(rule_node) is Gate.AND
+
+    def test_one_child_per_rule(self):
+        kb = KnowledgeBase(facts=["x"])
+        kb.add_rule("g", ["x"])
+        kb.add_rule("g", ["y"])
+        t = goal_tree(kb, "g")
+        assert len(t.children(0)) == 2
+
+    def test_cycles_cut_to_zero_leaf(self):
+        kb = KnowledgeBase()
+        kb.add_rule("a", ["b"])
+        kb.add_rule("b", ["a"])
+        assert not prove(kb, "a")
+
+    def test_self_loop(self):
+        kb = KnowledgeBase()
+        kb.add_rule("a", ["a"])
+        assert not prove(kb, "a")
+
+    def test_cycle_with_escape(self):
+        kb = KnowledgeBase(facts=["base"])
+        kb.add_rule("a", ["b"])
+        kb.add_rule("b", ["a"])
+        kb.add_rule("b", ["base"])
+        assert prove(kb, "a")
+
+
+class TestAgainstForwardChaining:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_kbs(self, seed):
+        rng = np.random.default_rng(seed)
+        atoms = [f"p{i}" for i in range(8)]
+        kb = KnowledgeBase(
+            facts=[a for a in atoms if rng.random() < 0.25]
+        )
+        for _ in range(12):
+            head = atoms[int(rng.integers(8))]
+            body = [
+                atoms[int(rng.integers(8))]
+                for _ in range(int(rng.integers(0, 3)))
+            ]
+            kb.add_rule(head, body)
+        closure = kb.forward_closure()
+        for atom in atoms:
+            assert prove(kb, atom) == (atom in closure)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_parallel_prover_agrees(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        atoms = [f"q{i}" for i in range(6)]
+        kb = KnowledgeBase(
+            facts=[a for a in atoms if rng.random() < 0.3]
+        )
+        for _ in range(10):
+            head = atoms[int(rng.integers(6))]
+            body = [
+                atoms[int(rng.integers(6))]
+                for _ in range(int(rng.integers(1, 3)))
+            ]
+            kb.add_rule(head, body)
+        closure = kb.forward_closure()
+        for atom in atoms:
+            seq = sequential_solve(goal_tree(kb, atom))
+            par = parallel_solve(goal_tree(kb, atom), 1)
+            assert bool(seq.value) == bool(par.value) == \
+                (atom in closure)

@@ -1,0 +1,65 @@
+"""Unit tests for the Horn knowledge base."""
+
+import pytest
+
+from repro.logic import KnowledgeBase, Rule
+
+
+class TestRule:
+    def test_repr_fact_style(self):
+        assert repr(Rule("a", ())) == "a."
+
+    def test_repr_with_body(self):
+        assert repr(Rule("a", ("b", "c"))) == "a :- b, c"
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            Rule("", ("b",))
+
+
+class TestKnowledgeBase:
+    def test_facts_and_rules(self):
+        kb = KnowledgeBase(facts=["a"], rules=[Rule("b", ("a",))])
+        assert kb.is_fact("a")
+        assert not kb.is_fact("b")
+        assert kb.rules_for("b") == [Rule("b", ("a",))]
+        assert kb.rules_for("zzz") == []
+
+    def test_add_incrementally(self):
+        kb = KnowledgeBase()
+        kb.add_fact("x")
+        kb.add_rule("y", ["x"])
+        assert kb.is_fact("x")
+        assert len(kb.rules_for("y")) == 1
+
+    def test_rules_keep_declaration_order(self):
+        kb = KnowledgeBase()
+        kb.add_rule("g", ["a"])
+        kb.add_rule("g", ["b"])
+        assert [r.body for r in kb.rules_for("g")] == [("a",), ("b",)]
+
+
+class TestForwardClosure:
+    def test_chain(self):
+        kb = KnowledgeBase(facts=["a"])
+        kb.add_rule("b", ["a"])
+        kb.add_rule("c", ["b"])
+        assert kb.forward_closure() == {"a", "b", "c"}
+
+    def test_conjunction(self):
+        kb = KnowledgeBase(facts=["a"])
+        kb.add_rule("c", ["a", "b"])
+        assert "c" not in kb.forward_closure()
+        kb.add_fact("b")
+        assert "c" in kb.forward_closure()
+
+    def test_cycle_is_not_support(self):
+        kb = KnowledgeBase()
+        kb.add_rule("a", ["b"])
+        kb.add_rule("b", ["a"])
+        assert kb.forward_closure() == frozenset()
+
+    def test_empty_body_rule_is_axiom(self):
+        kb = KnowledgeBase()
+        kb.add_rule("a", [])
+        assert kb.forward_closure() == {"a"}

@@ -1,0 +1,54 @@
+"""Unit tests for execution traces and results."""
+
+import pytest
+
+from repro.errors import ModelViolationError
+from repro.models import EvalResult, ExecutionTrace
+
+
+class TestExecutionTrace:
+    def test_empty_trace(self):
+        tr = ExecutionTrace()
+        assert tr.num_steps == 0
+        assert tr.total_work == 0
+        assert tr.processors == 0
+        assert tr.degree_histogram() == {}
+
+    def test_record_and_derive(self):
+        tr = ExecutionTrace()
+        tr.record([1, 2, 3])
+        tr.record([4])
+        tr.record([5, 6])
+        assert tr.num_steps == 3
+        assert tr.total_work == 6
+        assert tr.processors == 3
+        assert tr.degree_histogram() == {3: 1, 1: 1, 2: 1}
+        assert tr.steps_of_degree(1) == 1
+        assert tr.steps_of_degree(9) == 0
+
+    def test_empty_step_rejected(self):
+        tr = ExecutionTrace()
+        with pytest.raises(ModelViolationError):
+            tr.record([])
+
+    def test_batches_kept_on_request(self):
+        tr = ExecutionTrace(keep_batches=True)
+        tr.record(["a", "b"])
+        assert tr.batches == [("a", "b")]
+
+    def test_batches_dropped_by_default(self):
+        tr = ExecutionTrace()
+        tr.record(["a"])
+        assert tr.batches is None
+
+
+class TestEvalResult:
+    def test_passthrough_properties(self):
+        tr = ExecutionTrace()
+        tr.record([1, 2])
+        tr.record([3])
+        res = EvalResult(value=1, trace=tr, evaluated=[1, 2, 3])
+        assert res.num_steps == 2
+        assert res.total_work == 3
+        assert res.processors == 2
+        assert res.value == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the randomized R-* algorithms."""
+
+import pytest
+
+from repro.core.nodeexpansion import n_sequential_solve
+from repro.core.randomized import (
+    ExpectationEstimate,
+    estimate_expectation,
+    r_parallel_alpha_beta,
+    r_parallel_solve,
+    r_sequential_alpha_beta,
+    r_sequential_solve,
+)
+from repro.trees import exact_value
+from repro.trees.generators import (
+    iid_boolean,
+    iid_minmax,
+    sequential_worst_case,
+)
+
+
+class TestValueInvariance:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solve_value_invariant(self, seed):
+        t = iid_boolean(2, 6, 0.5, seed=3)
+        assert r_sequential_solve(t, seed).value == exact_value(t)
+        assert r_parallel_solve(t, 1, seed=seed).value == exact_value(t)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_alphabeta_value_invariant(self, seed):
+        t = iid_minmax(2, 5, seed=4)
+        assert r_sequential_alpha_beta(t, seed).value == exact_value(t)
+        assert r_parallel_alpha_beta(t, 1, seed=seed).value == \
+            exact_value(t)
+
+
+class TestRandomizationEffects:
+    def test_different_seeds_different_orders(self):
+        t = iid_boolean(2, 6, 0.5, seed=5)
+        a = r_sequential_solve(t, 0).evaluated
+        b = r_sequential_solve(t, 1).evaluated
+        assert a != b  # overwhelmingly likely
+
+    def test_beats_deterministic_on_worst_case(self):
+        # The all-leaves-forced instance is worst-case for the
+        # *left-to-right* order only (its absorbing witnesses sit in
+        # the last child); random child order finds them early, so the
+        # randomized algorithm beats the deterministic one in
+        # expectation — the phenomenon Theorem 5 formalises.
+        t = sequential_worst_case(2, 8)
+        det = n_sequential_solve(t).num_steps
+        est = estimate_expectation(r_sequential_solve, t,
+                                   seeds=range(5))
+        assert est.mean_steps < det
+
+    def test_randomized_helps_on_one_sided_instance(self):
+        # Instance whose single absorbing witness sits on the right:
+        # left-to-right reads everything, random order halves it.
+        from repro.trees import ExplicitTree
+
+        spec = [[0, 0, 0, 1]] * 2
+        t = ExplicitTree.from_nested(spec)
+        det = n_sequential_solve(t).num_steps
+        est = estimate_expectation(r_sequential_solve, t,
+                                   seeds=range(30))
+        assert est.mean_steps < det
+
+
+class TestEstimation:
+    def test_estimate_statistics(self):
+        t = iid_boolean(2, 5, 0.4, seed=6)
+        est = estimate_expectation(r_parallel_solve, t, seeds=range(8),
+                                   width=1)
+        assert isinstance(est, ExpectationEstimate)
+        assert est.num_samples == 8
+        assert est.mean_work >= est.mean_steps
+        assert est.max_processors >= 1
+        assert est.std_steps >= 0
+
+    def test_single_sample_std(self):
+        t = iid_boolean(2, 4, 0.4, seed=7)
+        est = estimate_expectation(r_sequential_solve, t, seeds=[3])
+        assert est.std_steps == 0.0

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the Boolean algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import skeleton_of
+from repro.core import (
+    parallel_solve,
+    sequential_solve,
+    team_solve,
+)
+from repro.core.nodeexpansion import n_parallel_solve, n_sequential_solve
+from repro.trees import exact_value
+from repro.types import Gate
+
+from ..conftest import boolean_tree_from_spec, nested_boolean
+
+GATES = st.sampled_from([Gate.NOR, Gate.OR, Gate.AND, Gate.NAND])
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_boolean(), GATES)
+def test_all_algorithms_agree_with_oracle(spec, gate):
+    tree = boolean_tree_from_spec(spec, gates=gate)
+    truth = exact_value(tree)
+    assert sequential_solve(tree).value == truth
+    assert team_solve(tree, 3).value == truth
+    assert parallel_solve(tree, 1).value == truth
+    assert parallel_solve(tree, 2).value == truth
+    assert n_sequential_solve(tree).value == truth
+    assert n_parallel_solve(tree, 1).value == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_boolean())
+def test_width_monotonicity(spec):
+    tree = boolean_tree_from_spec(spec)
+    steps = [parallel_solve(tree, w).num_steps for w in range(3)]
+    assert steps[0] >= steps[1] >= steps[2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_boolean())
+def test_width0_equals_recursive_sequential(spec):
+    tree = boolean_tree_from_spec(spec)
+    assert parallel_solve(tree, 0).evaluated == \
+        sequential_solve(tree).evaluated
+
+
+@settings(max_examples=50, deadline=None)
+@given(nested_boolean(), st.integers(min_value=1, max_value=6))
+def test_team_processor_bound_and_value(spec, p):
+    tree = boolean_tree_from_spec(spec)
+    res = team_solve(tree, p)
+    assert res.processors <= p
+    assert res.value == exact_value(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean())
+def test_prop2_skeleton_monotone(spec):
+    tree = boolean_tree_from_spec(spec)
+    skel = skeleton_of(tree)
+    for w in (1, 2):
+        assert parallel_solve(tree, w).num_steps <= \
+            parallel_solve(skel, w).num_steps
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean())
+def test_sequential_work_invariant_under_skeleton(spec):
+    tree = boolean_tree_from_spec(spec)
+    skel = skeleton_of(tree)
+    assert sequential_solve(tree).num_steps == \
+        sequential_solve(skel).num_steps
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean())
+def test_parallel_work_bounded_by_leaves(spec):
+    tree = boolean_tree_from_spec(spec)
+    res = parallel_solve(tree, 2)
+    assert res.total_work <= tree.num_leaves()
+    assert len(set(res.evaluated)) == len(res.evaluated)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean())
+def test_node_expansion_covers_leaf_model(spec):
+    tree = boolean_tree_from_spec(spec)
+    leaves = [
+        v for v in n_sequential_solve(tree).evaluated
+        if tree.is_leaf(v)
+    ]
+    assert leaves == sequential_solve(tree).evaluated

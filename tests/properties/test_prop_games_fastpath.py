@@ -1,0 +1,46 @@
+"""Property-based tests: Nim vs Sprague-Grundy; fast path vs engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sequential_solve
+from repro.core.fastpath import (
+    uniform_expansion_cost,
+    uniform_sequential_cost,
+    uniform_value,
+)
+from repro.core.nodeexpansion import n_sequential_solve
+from repro.games import Nim, win_loss_tree
+from repro.trees import exact_value
+from repro.trees.generators import iid_boolean
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+             max_size=3),
+    st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+)
+def test_nim_tree_always_matches_grundy(heaps, max_take):
+    game = Nim(tuple(heaps), max_take=max_take)
+    tree = win_loss_tree(game)
+    value = n_sequential_solve(tree).value
+    assert bool(value) == game.first_player_wins()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=6),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=100_000),
+)
+def test_fastpath_agrees_with_engines(d, n, p, seed):
+    tree = iid_boolean(d, n, p, seed=seed)
+    assert uniform_value(tree) == exact_value(tree)
+    value, cost = uniform_sequential_cost(tree)
+    ref = sequential_solve(tree)
+    assert (value, cost) == (ref.value, ref.total_work)
+    value2, expansions = uniform_expansion_cost(tree)
+    ref2 = n_sequential_solve(tree)
+    assert (value2, expansions) == (ref2.value, ref2.total_work)

@@ -1,0 +1,90 @@
+"""Property-based tests for the MIN/MAX algorithms."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import theorem2_holds
+from repro.core.alphabeta import (
+    alpha_beta,
+    alpha_beta_leaf_set,
+    minimax,
+    parallel_alpha_beta,
+    scout,
+    sequential_alpha_beta,
+)
+from repro.core.nodeexpansion import n_sequential_alpha_beta
+from repro.trees import exact_value
+
+from ..conftest import minmax_tree_from_spec, nested_minmax
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_minmax())
+def test_all_minmax_algorithms_agree(spec):
+    tree = minmax_tree_from_spec(spec)
+    truth = exact_value(tree)
+    assert minimax(tree).value == truth
+    assert alpha_beta(tree).value == truth
+    assert scout(tree).value == truth
+    assert sequential_alpha_beta(tree).value == truth
+    assert parallel_alpha_beta(tree, 1).value == truth
+    assert n_sequential_alpha_beta(tree).value == truth
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_minmax())
+def test_pruning_process_equals_classical_leaf_sequence(spec):
+    tree = minmax_tree_from_spec(spec)
+    assert sequential_alpha_beta(tree).evaluated == \
+        alpha_beta_leaf_set(tree)
+
+
+# Tie-heavy trees: integer leaves from a tiny domain.
+def nested_tied():
+    return st.recursive(
+        st.integers(min_value=0, max_value=2).map(float),
+        lambda kids: st.lists(kids, min_size=1, max_size=3),
+        max_leaves=16,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_tied())
+def test_pruning_process_with_ties(spec):
+    tree = minmax_tree_from_spec(spec)
+    assert sequential_alpha_beta(tree).evaluated == \
+        alpha_beta_leaf_set(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_minmax(), st.integers(min_value=0, max_value=2))
+def test_theorem2_invariant_every_step(spec, width):
+    tree = minmax_tree_from_spec(spec)
+    truth = exact_value(tree)
+
+    def check(state, step, batch):
+        assert theorem2_holds(state, truth)
+
+    res = parallel_alpha_beta(tree, width, on_step=check)
+    assert res.value == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_minmax())
+def test_alpha_beta_never_beats_fact_bounds(spec):
+    tree = minmax_tree_from_spec(spec)
+    ab = alpha_beta(tree)
+    # Alpha-beta must evaluate at least one leaf and at most all.
+    assert 1 <= ab.total_work <= tree.num_leaves()
+    # Minimax reads everything.
+    assert minimax(tree).total_work == tree.num_leaves()
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_minmax())
+def test_width_monotonicity_minmax(spec):
+    tree = minmax_tree_from_spec(spec)
+    steps = [parallel_alpha_beta(tree, w).num_steps for w in range(3)]
+    assert steps[0] >= steps[1] >= steps[2]

@@ -1,0 +1,68 @@
+"""Final property sweep: traces, near-uniform trees, goal trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import schedule_stats
+from repro.core import parallel_solve, sequential_solve
+from repro.logic import KnowledgeBase, goal_tree
+from repro.models import ExecutionTrace
+from repro.trees import exact_value
+from repro.trees.generators import near_uniform_boolean
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=40), min_size=1,
+                max_size=30))
+def test_trace_invariants(degrees):
+    trace = ExecutionTrace()
+    for d in degrees:
+        trace.record(list(range(d)))
+    assert trace.num_steps == len(degrees)
+    assert trace.total_work == sum(degrees)
+    assert trace.processors == max(degrees)
+    hist = trace.degree_histogram()
+    assert sum(hist.values()) == trace.num_steps
+    assert sum(k * v for k, v in hist.items()) == trace.total_work
+    stats = schedule_stats(trace)
+    assert 0 < stats.efficiency <= 1
+    assert stats.mean_degree <= stats.processors
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=2, max_value=7),
+    st.floats(min_value=0.1, max_value=0.9),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_near_uniform_trees_evaluate_consistently(d, n, p, seed):
+    tree = near_uniform_boolean(d, n, alpha=0.5, beta=0.5, p=p,
+                                seed=seed)
+    truth = exact_value(tree)
+    seq = sequential_solve(tree)
+    par = parallel_solve(tree, 1)
+    assert seq.value == par.value == truth
+    assert par.num_steps <= seq.num_steps
+    assert par.total_work <= tree.num_leaves()
+
+
+def kb_strategy():
+    atom = st.integers(min_value=0, max_value=6).map(lambda i: f"a{i}")
+    rule = st.tuples(atom, st.lists(atom, max_size=3))
+    return st.tuples(st.lists(atom, max_size=3),
+                     st.lists(rule, max_size=10))
+
+
+@settings(max_examples=40, deadline=None)
+@given(kb_strategy())
+def test_goal_trees_match_forward_chaining(spec):
+    facts, rules = spec
+    kb = KnowledgeBase(facts=facts)
+    for head, body in rules:
+        kb.add_rule(head, body)
+    closure = kb.forward_closure()
+    for i in range(7):
+        atom = f"a{i}"
+        tree = goal_tree(kb, atom)
+        assert bool(sequential_solve(tree).value) == (atom in closure)

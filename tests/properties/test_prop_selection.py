@@ -1,0 +1,97 @@
+"""Property-based tests for the selection machinery itself."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BooleanState, parallel_solve, select_by_pruning_number
+from repro.core.alphabeta import (
+    AlphaBetaState,
+    prune_to_fixpoint,
+    select_unfinished_by_pruning_number,
+)
+from repro.trees.generators import iid_boolean, iid_minmax
+
+from ..conftest import minmax_tree_from_spec, nested_minmax
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_width_selection_size_obeys_code_counting(d, n, w, seed):
+    """#selected leaves with pruning number <= w is bounded by the
+    code-counting sum: sum_{k<=w} C(n, k)(d-1)^k — the same counting
+    as Proposition 3, valid at every step."""
+    tree = iid_boolean(d, n, 0.4, seed=seed)
+    bound = sum(
+        math.comb(n, k) * (d - 1) ** k for k in range(w + 1)
+    )
+    state = BooleanState(tree)
+    while state.root_value() is None:
+        batch = select_by_pruning_number(tree, state, w)
+        assert len(batch) <= bound
+        for leaf in batch:
+            state.evaluate_leaf(leaf)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_processor_usage_matches_code_counting(d, n, w, seed):
+    tree = iid_boolean(d, n, 0.4, seed=seed)
+    bound = sum(
+        math.comb(n, k) * (d - 1) ** k for k in range(w + 1)
+    )
+    assert parallel_solve(tree, w).processors <= bound
+
+
+@settings(max_examples=30, deadline=None)
+@given(nested_minmax(), st.integers(min_value=0, max_value=2))
+def test_minmax_selection_matches_definition(spec, width):
+    """Budgeted-DFS selection equals the brute-force definition at
+    every step of a full run (MIN/MAX side)."""
+    tree = minmax_tree_from_spec(spec)
+    state = AlphaBetaState(tree)
+    while not state.is_finished(tree.root):
+        batch = select_unfinished_by_pruning_number(tree, state, width)
+        brute = [
+            leaf
+            for leaf in tree.iter_leaves()
+            if leaf not in state.finished_value
+            and state.in_pruned_tree(leaf)
+            and state.pruning_number(leaf) <= width
+        ]
+        assert batch == brute
+        for leaf in batch:
+            state.finish_leaf(leaf)
+        prune_to_fixpoint(state)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_minmax_selection_on_uniform_trees(d, n, seed):
+    tree = iid_minmax(d, n, seed=seed)
+    state = AlphaBetaState(tree)
+    steps = 0
+    while not state.is_finished(tree.root) and steps < 4:
+        batch = select_unfinished_by_pruning_number(tree, state, 1)
+        for leaf in batch:
+            ref = state.pruning_number(leaf)
+            assert ref <= 1
+        for leaf in batch:
+            state.finish_leaf(leaf)
+        prune_to_fixpoint(state)
+        steps += 1

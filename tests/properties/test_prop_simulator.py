@@ -1,0 +1,48 @@
+"""Property-based tests for the message-passing simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import simulate
+from repro.trees import ExplicitTree, exact_value
+
+
+def nested_binary(max_leaves=16):
+    """Strictly binary nested specs (the machine's requirement)."""
+    return st.recursive(
+        st.integers(min_value=0, max_value=1),
+        lambda kids: st.tuples(kids, kids).map(list),
+        max_leaves=max_leaves,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(nested_binary())
+def test_machine_value_matches_oracle(spec):
+    if not isinstance(spec, list):
+        spec = [spec, spec]  # promote a bare leaf to a binary root
+    tree = ExplicitTree.from_nested(spec)
+    res = simulate(tree)
+    assert res.value == exact_value(tree)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nested_binary(), st.integers(min_value=1, max_value=4))
+def test_machine_fixed_p_value(spec, p):
+    if not isinstance(spec, list):
+        spec = [spec, spec]
+    tree = ExplicitTree.from_nested(spec)
+    res = simulate(tree, physical_processors=p)
+    assert res.value == exact_value(tree)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nested_binary())
+def test_machine_cost_consistency(spec):
+    if not isinstance(spec, list):
+        spec = [spec, spec]
+    tree = ExplicitTree.from_nested(spec)
+    res = simulate(tree)
+    assert sum(res.degree_by_tick) == res.expansions
+    assert res.max_degree <= tree.height() + 1
+    assert res.ticks >= 1

@@ -1,0 +1,84 @@
+"""Property-based tests for the tree substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import ExplicitTree, PermutedTree, UniformTree, exact_value
+from repro.types import TreeKind
+
+from ..conftest import nested_boolean
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_boolean())
+def test_nested_round_trip(spec):
+    if not isinstance(spec, list):
+        spec = [spec]
+    tree = ExplicitTree.from_nested(spec)
+    assert tree.to_nested() == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_boolean())
+def test_structure_invariants(spec):
+    if not isinstance(spec, list):
+        spec = [spec]
+    tree = ExplicitTree.from_nested(spec)
+    tree.validate()
+    for node in tree.iter_nodes():
+        # Depth equals path length minus one.
+        assert tree.depth(node) == len(tree.path_from_root(node)) - 1
+        # left + self + right siblings partition the parent's children.
+        parent = tree.parent(node)
+        if parent is not None:
+            combined = (
+                tree.left_siblings(node) + (node,)
+                + tree.right_siblings(node)
+            )
+            assert combined == tree.children(parent)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=6),
+    st.randoms(use_true_random=False),
+)
+def test_uniform_tree_indexing_laws(d, n, rnd):
+    leaves = np.array(
+        [rnd.randint(0, 1) for _ in range(d ** n)], dtype=np.int8
+    )
+    tree = UniformTree(d, n, leaves)
+    # Parent-child inverse at random nodes.
+    for _ in range(10):
+        node = rnd.randrange(tree.num_nodes())
+        if not tree.is_leaf(node):
+            for child in tree.children(node):
+                assert tree.parent(child) == node
+                assert tree.depth(child) == tree.depth(node) + 1
+    # Leaf ids form the last contiguous block.
+    assert tree.first_leaf_id() == tree.num_nodes() - d ** n
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean(), st.integers(min_value=0, max_value=2 ** 31))
+def test_permutation_preserves_value(spec, seed):
+    if not isinstance(spec, list):
+        spec = [spec]
+    tree = ExplicitTree.from_nested(spec)
+    view = PermutedTree(tree, seed)
+    assert exact_value(view) == exact_value(tree)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean(), st.integers(min_value=0, max_value=2 ** 31))
+def test_permutation_is_bijection(spec, seed):
+    if not isinstance(spec, list):
+        spec = [spec]
+    tree = ExplicitTree.from_nested(spec)
+    view = PermutedTree(tree, seed)
+    for node in tree.iter_nodes():
+        if not tree.is_leaf(node):
+            assert sorted(view.children(node)) == \
+                sorted(tree.children(node))

@@ -1,0 +1,56 @@
+"""Unit tests for machine event tracing."""
+
+from repro.simulator import MsgKind, render_event_log, simulate
+from repro.trees.generators import iid_boolean
+
+
+class TestEventLog:
+    def test_disabled_by_default(self):
+        t = iid_boolean(2, 4, 0.5, seed=0)
+        res = simulate(t)
+        assert res.events is None
+        assert "without trace_events" in render_event_log(res)
+
+    def test_all_deliveries_recorded(self):
+        t = iid_boolean(2, 5, 0.5, seed=1)
+        res = simulate(t, trace_events=True)
+        assert res.events is not None
+        assert len(res.events) == res.messages
+
+    def test_first_event_is_kickoff(self):
+        t = iid_boolean(2, 4, 0.5, seed=2)
+        res = simulate(t, trace_events=True)
+        tick, msg = res.events[0]
+        assert msg.kind is MsgKind.P_SOLVE
+        assert msg.node == t.root
+        assert msg.dest_level == 0
+
+    def test_final_tick_reports_root_value(self):
+        # The machine halts on the tick the root's value arrives;
+        # other messages may land in the same tick's batch.
+        t = iid_boolean(2, 4, 0.5, seed=3)
+        res = simulate(t, trace_events=True)
+        final_tick = res.events[-1][0]
+        finishers = [
+            msg for tick, msg in res.events
+            if tick == final_tick and msg.dest_level == -1
+        ]
+        assert len(finishers) == 1
+        assert finishers[0].kind is MsgKind.VAL
+        assert finishers[0].value == res.value
+
+    def test_ticks_monotone(self):
+        t = iid_boolean(2, 5, 0.5, seed=4)
+        res = simulate(t, trace_events=True)
+        ticks = [tick for tick, _ in res.events]
+        assert ticks == sorted(ticks)
+        # Unit latency: every message arrives one tick after sending.
+        for tick, msg in res.events:
+            assert tick == msg.sent_at + 1
+
+    def test_render_truncation(self):
+        t = iid_boolean(2, 6, 0.5, seed=5)
+        res = simulate(t, trace_events=True)
+        out = render_event_log(res, max_lines=5)
+        assert len(out.splitlines()) <= 6
+        assert "more" in out

@@ -1,0 +1,109 @@
+"""Integration tests for the Section 7 message-passing machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodeexpansion import n_parallel_solve, n_sequential_solve
+from repro.errors import SimulationError
+from repro.simulator import Machine, simulate
+from repro.trees import ExplicitTree, UniformTree, exact_value
+from repro.trees.generators import (
+    all_ones,
+    all_zeros,
+    iid_boolean,
+    sequential_worst_case,
+)
+from repro.types import TreeKind
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 8))
+        t = iid_boolean(2, n, float(rng.random()), seed=seed)
+        assert simulate(t).value == exact_value(t)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 8])
+    def test_structured_instances(self, n):
+        for t in (all_ones(2, n), all_zeros(2, n),
+                  sequential_worst_case(2, n)):
+            assert simulate(t).value == exact_value(t)
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_fixed_processor_budgets(self, p):
+        t = iid_boolean(2, 7, 0.4, seed=1)
+        res = simulate(t, physical_processors=p)
+        assert res.value == exact_value(t)
+
+    def test_single_leaf_tree(self):
+        t = ExplicitTree([()], {0: 1})
+        res = simulate(t)
+        assert res.value == 1
+        assert res.ticks >= 1
+
+    def test_height_one(self):
+        t = UniformTree(2, 1, np.array([0, 1]))
+        assert simulate(t).value == exact_value(t)
+
+
+class TestCostAccounting:
+    def test_ticks_bound_expansions_per_level(self):
+        t = iid_boolean(2, 8, 0.4, seed=2)
+        res = simulate(t)
+        # At most one expansion per processor per tick.
+        assert res.expansions <= res.ticks * (t.height() + 1)
+        assert res.max_degree <= t.height() + 1
+        assert sum(res.degree_by_tick) == res.expansions
+
+    def test_machine_between_sequential_and_ideal(self):
+        t = iid_boolean(2, 10, 0.4, seed=3)
+        seq = n_sequential_solve(t).num_steps
+        ideal = n_parallel_solve(t, 1).num_steps
+        res = simulate(t)
+        # The machine cannot beat the ideal width-1 model by much and
+        # should be far better than fully sequential on a big tree.
+        assert res.ticks >= ideal
+        assert res.ticks < 2 * seq
+
+    def test_messages_counted(self):
+        t = iid_boolean(2, 6, 0.4, seed=4)
+        res = simulate(t)
+        assert res.messages > 0
+
+    def test_fixed_p_slower_than_full(self):
+        t = iid_boolean(2, 9, 0.4, seed=5)
+        full = simulate(t).ticks
+        small = simulate(t, physical_processors=2).ticks
+        assert small >= full
+
+
+class TestValidation:
+    def test_minmax_tree_rejected(self):
+        t = UniformTree(2, 2, np.zeros(4), kind=TreeKind.MINMAX)
+        with pytest.raises(SimulationError):
+            Machine(t)
+
+    def test_nonbinary_rejected_at_runtime(self):
+        t = UniformTree(3, 2, np.zeros(9, dtype=int))
+        with pytest.raises(SimulationError):
+            simulate(t)
+
+    def test_zero_processors_rejected(self):
+        t = iid_boolean(2, 3, 0.5, seed=0)
+        with pytest.raises(SimulationError):
+            Machine(t, physical_processors=0)
+
+    def test_tick_limit(self):
+        t = iid_boolean(2, 6, 0.4, seed=6)
+        with pytest.raises(SimulationError):
+            simulate(t, max_ticks=3)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        t = iid_boolean(2, 7, 0.5, seed=7)
+        a = simulate(t)
+        b = simulate(t)
+        assert (a.ticks, a.expansions, a.messages) == \
+            (b.ticks, b.expansions, b.messages)

@@ -1,0 +1,126 @@
+"""Unit tests for the simulator's task objects."""
+
+import pytest
+
+from repro.core import solve_subtree
+from repro.errors import SimulationError
+from repro.simulator.machine import Machine
+from repro.simulator.tasks import STask, TraverseTask
+from repro.trees import ExplicitTree, UniformTree
+from repro.trees.generators import iid_boolean
+from repro.types import Gate, TreeKind
+
+import numpy as np
+
+
+class FakeProc:
+    """Captures messages a task emits, for isolated task testing."""
+
+    def __init__(self, machine, level=0):
+        self.machine = machine
+        self.level = level
+        self.val_memory = {}
+        self.sent = []
+        self.installed = None
+
+    def send_val(self, node, value):
+        self.sent.append(("val", node, value))
+
+    def send_invocation(self, kind, node, dest):
+        self.sent.append((kind, node, dest))
+
+    def install_pending(self, pending):
+        self.installed = pending
+
+
+def machine_for(tree):
+    return Machine(tree)
+
+
+class TestSTask:
+    def test_stepwise_matches_solve_subtree(self):
+        for seed in range(6):
+            tree = iid_boolean(2, 5, 0.5, seed=seed)
+            machine = machine_for(tree)
+            proc = FakeProc(machine)
+            task = STask(tree.root)
+            guard = 0
+            while not task.done:
+                task.work(proc)
+                guard += 1
+                assert guard < 10_000
+            expected_value, expected_leaves = solve_subtree(
+                tree, tree.root
+            )
+            assert task.result == expected_value
+            assert proc.sent[-1] == ("val", tree.root, expected_value)
+            # Work ticks = expansions = internal visits + leaf visits
+            # of the left-to-right search; must be at least the leaf
+            # count the recursive version reads.
+            assert guard >= len(expected_leaves)
+
+    def test_stack_is_root_to_frontier_path(self):
+        tree = iid_boolean(2, 4, 0.0, seed=0)  # all-zero leaves
+        machine = machine_for(tree)
+        proc = FakeProc(machine)
+        task = STask(tree.root)
+        for _ in range(3):
+            task.work(proc)
+        nodes = [frame[0] for frame in task.stack]
+        # Consecutive stack nodes are parent/child pairs.
+        for parent, child in zip(nodes, nodes[1:]):
+            assert child in tree.children(parent)
+        # Top of stack is unexpanded.
+        assert task.stack[-1][1] is None
+
+    def test_rejects_nonbinary_tree(self):
+        tree = UniformTree(3, 2, np.zeros(9, dtype=int))
+        machine = machine_for(tree)
+        proc = FakeProc(machine)
+        task = STask(tree.root)
+        with pytest.raises(SimulationError):
+            task.work(proc)
+
+    def test_rejects_non_nor_gate(self):
+        tree = ExplicitTree.from_nested([[0, 1], 1], gates=Gate.OR)
+        machine = machine_for(tree)
+        proc = FakeProc(machine)
+        task = STask(tree.root)
+        with pytest.raises(SimulationError):
+            task.work(proc)
+
+
+class TestTraverseTask:
+    def test_actions_mirror_stack(self):
+        tree = iid_boolean(2, 5, 0.0, seed=1)
+        machine = machine_for(tree)
+        proc = FakeProc(machine)
+        stask = STask(tree.root)
+        for _ in range(4):
+            stask.work(proc)
+        trav = TraverseTask(stask, proc)
+        assert len(trav.actions) == len(stask.stack)
+        # Offsets are consecutive from zero.
+        assert [a[0] for a in trav.actions] == \
+            list(range(len(stask.stack)))
+        # The last action corresponds to the unexpanded terminal.
+        assert trav.actions[-1][1] == "terminal"
+
+    def test_traversal_sends_and_installs(self):
+        tree = iid_boolean(2, 5, 0.0, seed=2)
+        machine = machine_for(tree)
+        proc = FakeProc(machine, level=0)
+        stask = STask(tree.root)
+        for _ in range(4):
+            stask.work(proc)
+        proc.sent.clear()
+        trav = TraverseTask(stask, proc)
+        while not trav.finished:
+            trav.work(proc)
+        # Self task deferred and installed at the end.
+        assert proc.installed is not None
+        tag, node = proc.installed
+        assert node == tree.root
+        # Messages only target deeper levels (no self-messages).
+        for kind, node, dest in proc.sent:
+            assert dest >= 1

@@ -1,0 +1,34 @@
+"""Unit tests for the machine's work-priority ablation knob."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import Machine, simulate
+from repro.trees import exact_value
+from repro.trees.generators import iid_boolean
+
+
+class TestWorkPriority:
+    @pytest.mark.parametrize("priority", ["p_first", "s_first"])
+    def test_both_schedules_correct(self, priority):
+        for seed in range(8):
+            t = iid_boolean(2, 6, 0.45, seed=seed)
+            res = simulate(t, work_priority=priority)
+            assert res.value == exact_value(t)
+
+    def test_default_is_p_first(self):
+        t = iid_boolean(2, 8, 0.4, seed=1)
+        default = simulate(t)
+        explicit = simulate(t, work_priority="p_first")
+        assert default.ticks == explicit.ticks
+
+    def test_p_first_not_slower_on_balanced_instance(self):
+        t = iid_boolean(2, 10, 0.4, seed=2)
+        p_first = simulate(t, work_priority="p_first").ticks
+        s_first = simulate(t, work_priority="s_first").ticks
+        assert p_first <= s_first
+
+    def test_invalid_priority_rejected(self):
+        t = iid_boolean(2, 4, 0.5, seed=0)
+        with pytest.raises(SimulationError):
+            Machine(t, work_priority="bogus")

@@ -1,0 +1,14 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.trees.explicit
+
+
+@pytest.mark.parametrize("module", [repro.trees.explicit])
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0
+    assert result.attempted >= 1

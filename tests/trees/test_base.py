@@ -1,0 +1,157 @@
+"""Unit tests for the GameTree interface and exact evaluation."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.trees import ExplicitTree, exact_value, subtree_leaves
+from repro.types import Gate, NodeType, TreeKind
+
+
+@pytest.fixture
+def tree():
+    #        0 (NOR)
+    #      /   \
+    #     1     2 (NOR)
+    #   [=1]   /  \
+    #         3    4
+    #       [=0]  [=1]
+    return ExplicitTree.from_nested([1, [0, 1]])
+
+
+class TestStructure:
+    def test_root_is_zero(self, tree):
+        assert tree.root == 0
+
+    def test_children_of_root(self, tree):
+        assert tree.children(0) == (1, 2)
+
+    def test_leaf_detection(self, tree):
+        assert tree.is_leaf(1)
+        assert not tree.is_leaf(2)
+
+    def test_leaf_values(self, tree):
+        assert tree.leaf_value(1) == 1
+        assert tree.leaf_value(3) == 0
+        assert tree.leaf_value(4) == 1
+
+    def test_depths(self, tree):
+        assert tree.depth(0) == 0
+        assert tree.depth(2) == 1
+        assert tree.depth(3) == 2
+
+    def test_parents(self, tree):
+        assert tree.parent(0) is None
+        assert tree.parent(3) == 2
+
+    def test_arity(self, tree):
+        assert tree.arity(0) == 2
+        assert tree.arity(1) == 0
+
+    def test_height(self, tree):
+        assert tree.height() == 2
+
+    def test_num_nodes_and_leaves(self, tree):
+        assert tree.num_nodes() == 5
+        assert tree.num_leaves() == 3
+
+
+class TestNavigation:
+    def test_ancestors_include_self(self, tree):
+        assert list(tree.ancestors(3)) == [3, 2, 0]
+
+    def test_path_from_root(self, tree):
+        assert tree.path_from_root(4) == (0, 2, 4)
+
+    def test_left_siblings(self, tree):
+        assert tree.left_siblings(2) == (1,)
+        assert tree.left_siblings(1) == ()
+        assert tree.left_siblings(0) == ()
+
+    def test_right_siblings(self, tree):
+        assert tree.right_siblings(1) == (2,)
+        assert tree.right_siblings(4) == ()
+
+    def test_iter_leaves_left_to_right(self, tree):
+        assert list(tree.iter_leaves()) == [1, 3, 4]
+
+    def test_iter_nodes_breadth_first(self, tree):
+        assert list(tree.iter_nodes()) == [0, 1, 2, 3, 4]
+
+    def test_subtree_leaves(self, tree):
+        assert list(subtree_leaves(tree, 2)) == [3, 4]
+
+
+class TestSemantics:
+    def test_node_type_alternates(self, tree):
+        assert tree.node_type(0) is NodeType.MAX
+        assert tree.node_type(2) is NodeType.MIN
+        assert tree.node_type(3) is NodeType.MAX
+
+    def test_opponent(self):
+        assert NodeType.MAX.opponent is NodeType.MIN
+        assert NodeType.MIN.opponent is NodeType.MAX
+
+    def test_gate_default_nor(self, tree):
+        assert tree.gate(0) is Gate.NOR
+
+    def test_minmax_tree_has_no_gates(self):
+        t = ExplicitTree.from_nested([1.0, 2.0], kind=TreeKind.MINMAX)
+        with pytest.raises(TreeStructureError):
+            t.gate(0)
+
+
+class TestExactValue:
+    def test_nor_example(self, tree):
+        # NOR(1, NOR(0, 1)) = NOR(1, 0) = 0
+        assert exact_value(tree) == 0
+
+    def test_subtree_value(self, tree):
+        assert exact_value(tree, 2) == 0
+
+    def test_or_and_gates(self):
+        t = ExplicitTree.from_nested(
+            [[0, 1], [1, 1]], gates=[Gate.OR, Gate.AND]
+        )
+        # OR(AND(0,1), AND(1,1)) = OR(0, 1) = 1
+        assert exact_value(t) == 1
+
+    def test_minmax_value(self):
+        t = ExplicitTree.from_nested(
+            [[3.0, 1.0], [4.0, 2.0]], kind=TreeKind.MINMAX
+        )
+        # MAX(MIN(3,1), MIN(4,2)) = MAX(1, 2) = 2
+        assert exact_value(t) == 2.0
+
+    def test_single_leaf_tree(self):
+        t = ExplicitTree([()], {0: 1})
+        assert exact_value(t) == 1
+
+    def test_deep_tree_no_recursion_error(self):
+        # A path of single-child NOR nodes far beyond the recursion
+        # limit: value alternates with depth.
+        depth = 5000
+        children = [(i + 1,) for i in range(depth)] + [()]
+        t = ExplicitTree(children, {depth: 1})
+        assert exact_value(t) in (0, 1)
+
+
+class TestValidation:
+    def test_valid_tree_passes(self, tree):
+        tree.validate()
+
+    def test_gate_outputs(self):
+        assert Gate.NOR.output([0, 0]) == 1
+        assert Gate.NOR.output([0, 1]) == 0
+        assert Gate.OR.output([0, 1]) == 1
+        assert Gate.AND.output([1, 1]) == 1
+        assert Gate.AND.output([0, 1]) == 0
+        assert Gate.NAND.output([1, 1]) == 0
+        assert Gate.NAND.output([0, 1]) == 1
+
+    def test_gate_on_no_children_raises(self):
+        with pytest.raises(ValueError):
+            Gate.NOR.output([])
+
+    def test_gate_duals(self):
+        assert Gate.AND.dual is Gate.OR
+        assert Gate.NOR.dual is Gate.NAND

@@ -1,0 +1,72 @@
+"""Unit tests for ExplicitTree construction and validation."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.trees import ExplicitTree
+from repro.types import Gate, TreeKind
+
+
+class TestFromNested:
+    def test_round_trip(self):
+        spec = [[0, 1], [1, [0, 0, 1]]]
+        t = ExplicitTree.from_nested(spec)
+        assert t.to_nested() == spec
+
+    def test_bools_become_ints(self):
+        t = ExplicitTree.from_nested([True, False])
+        assert t.leaf_value(1) == 1
+        assert t.leaf_value(2) == 0
+
+    def test_empty_internal_node_rejected(self):
+        with pytest.raises(TreeStructureError):
+            ExplicitTree.from_nested([[], 1])
+
+    def test_float_leaves_for_minmax(self):
+        t = ExplicitTree.from_nested([1.5, [2.5, 0.5]],
+                                     kind=TreeKind.MINMAX)
+        assert t.leaf_value(1) == 1.5
+
+
+class TestDirectConstruction:
+    def test_child_out_of_range(self):
+        with pytest.raises(TreeStructureError):
+            ExplicitTree([(1, 5), (), ()], {1: 0, 2: 0})
+
+    def test_node_with_two_parents(self):
+        with pytest.raises(TreeStructureError):
+            ExplicitTree([(1, 1)], {1: 0})
+
+    def test_unreachable_node(self):
+        with pytest.raises(TreeStructureError):
+            ExplicitTree([(1,), (), ()], {1: 0, 2: 0})
+
+    def test_leaf_without_value(self):
+        with pytest.raises(TreeStructureError):
+            ExplicitTree([(1, 2), (), ()], {1: 0})
+
+    def test_len(self):
+        t = ExplicitTree.from_nested([0, 1])
+        assert len(t) == 3
+
+
+class TestGates:
+    def test_uniform_gate(self):
+        t = ExplicitTree.from_nested([[0, 1], 1], gates=Gate.AND)
+        assert t.gate(0) is Gate.AND
+        assert t.gate(1) is Gate.AND
+
+    def test_depth_cycled_gates(self):
+        t = ExplicitTree.from_nested([[0, 1], 1],
+                                     gates=[Gate.OR, Gate.AND])
+        assert t.gate(0) is Gate.OR
+        assert t.gate(1) is Gate.AND
+
+    def test_per_node_gates(self):
+        t = ExplicitTree.from_nested([[0, 1], 1],
+                                     gates={0: Gate.NOR, 1: Gate.OR})
+        assert t.gate(0) is Gate.NOR
+        assert t.gate(1) is Gate.OR
+
+    def test_validate_passes_on_nested(self):
+        ExplicitTree.from_nested([[0, 1], [1, 0, [1, 1]]]).validate()

@@ -1,0 +1,43 @@
+"""Unit tests for gate schemes."""
+
+import pytest
+
+from repro.trees.gates import GateScheme, all_nor, alternating, coerce_scheme
+from repro.types import Gate
+
+
+class TestGateScheme:
+    def test_cycles_by_depth(self):
+        s = GateScheme([Gate.OR, Gate.AND, Gate.NOR])
+        assert s.gate_at(0) is Gate.OR
+        assert s.gate_at(1) is Gate.AND
+        assert s.gate_at(2) is Gate.NOR
+        assert s.gate_at(3) is Gate.OR
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            GateScheme([])
+
+    def test_all_nor(self):
+        s = all_nor()
+        assert all(s.gate_at(d) is Gate.NOR for d in range(5))
+
+    def test_alternating_default_or(self):
+        s = alternating()
+        assert s.gate_at(0) is Gate.OR
+        assert s.gate_at(1) is Gate.AND
+
+    def test_alternating_and_top(self):
+        s = alternating(Gate.AND)
+        assert s.gate_at(0) is Gate.AND
+        assert s.gate_at(1) is Gate.OR
+
+    def test_alternating_rejects_nor(self):
+        with pytest.raises(ValueError):
+            alternating(Gate.NOR)
+
+    def test_coerce_scheme_variants(self):
+        assert coerce_scheme(Gate.NAND).gate_at(3) is Gate.NAND
+        assert coerce_scheme([Gate.OR, Gate.AND]).gate_at(1) is Gate.AND
+        s = all_nor()
+        assert coerce_scheme(s) is s

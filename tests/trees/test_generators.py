@@ -1,0 +1,148 @@
+"""Unit tests for the instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import sequential_solve
+from repro.errors import WorkloadError
+from repro.trees import exact_value
+from repro.trees.generators import (
+    all_ones,
+    all_zeros,
+    forced_value_instance,
+    golden_ratio_instance,
+    iid_boolean,
+    iid_minmax,
+    iid_minmax_integers,
+    near_uniform_boolean,
+    sequential_worst_case,
+    team_solve_hard_instance,
+)
+from repro.trees.generators.iid import level_invariant_bias
+from repro.types import GOLDEN_BIAS, Gate, TreeKind
+
+
+class TestIid:
+    def test_boolean_determinism(self):
+        a = iid_boolean(2, 6, 0.5, seed=1)
+        b = iid_boolean(2, 6, 0.5, seed=1)
+        assert np.array_equal(a.leaf_values_array, b.leaf_values_array)
+
+    def test_boolean_bias(self):
+        t = iid_boolean(2, 14, 0.25, seed=1)
+        assert abs(t.leaf_values_array.mean() - 0.25) < 0.02
+
+    def test_bad_bias_rejected(self):
+        with pytest.raises(ValueError):
+            iid_boolean(2, 4, 1.5, seed=0)
+
+    def test_minmax_values_in_unit_interval(self):
+        t = iid_minmax(2, 6, seed=2)
+        assert t.kind is TreeKind.MINMAX
+        assert np.all((t.leaf_values_array >= 0)
+                      & (t.leaf_values_array < 1))
+
+    def test_minmax_integers_distinct_values(self):
+        t = iid_minmax_integers(2, 8, seed=3, num_values=4)
+        assert set(np.unique(t.leaf_values_array)) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_minmax_integers_bad_num_values(self):
+        with pytest.raises(ValueError):
+            iid_minmax_integers(2, 3, seed=0, num_values=0)
+
+    def test_golden_instance_is_alternating_andor(self):
+        t = golden_ratio_instance(4, seed=5)
+        assert t.gate(0) is Gate.OR
+        assert t.gate(1) is Gate.AND
+
+    def test_level_invariant_bias_fixed_point(self):
+        for d in (2, 3, 4, 7):
+            p = level_invariant_bias(d)
+            assert abs((1 - p) ** d - p) < 1e-10
+
+    def test_golden_bias_identity(self):
+        assert abs(GOLDEN_BIAS ** 2 - (1 - GOLDEN_BIAS)) < 1e-12
+
+
+class TestAdversarial:
+    @pytest.mark.parametrize("d,n", [(2, 6), (2, 9), (3, 5), (4, 4)])
+    def test_worst_case_forces_every_leaf(self, d, n):
+        t = sequential_worst_case(d, n)
+        assert sequential_solve(t).total_work == d ** n
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_worst_case_root_value(self, value):
+        t = sequential_worst_case(2, 7, root_value=value)
+        assert exact_value(t) == value
+
+    def test_worst_case_bad_value(self):
+        with pytest.raises(WorkloadError):
+            sequential_worst_case(2, 4, root_value=2)
+
+    def test_team_hard_instance_is_all_ones(self):
+        t = team_solve_hard_instance(2, 5)
+        assert np.all(t.leaf_values_array == 1)
+
+
+class TestStructured:
+    def test_all_ones_minimal_sequential_work(self):
+        # All-ones: Sequential SOLVE evaluates exactly one proof tree.
+        t = all_ones(2, 8)
+        assert sequential_solve(t).total_work == 2 ** 4
+
+    def test_all_zeros_value(self):
+        t = all_zeros(2, 4)
+        # NOR tree of all-zero leaves: level values alternate 1, 0, ...
+        assert exact_value(t) in (0, 1)
+
+    @pytest.mark.parametrize("d,n,value", [
+        (2, 6, 0), (2, 6, 1), (3, 4, 0), (3, 5, 1),
+    ])
+    def test_forced_value_instance(self, d, n, value):
+        t = forced_value_instance(d, n, value)
+        assert exact_value(t) == value
+
+    def test_forced_zero_meets_fact1_exactly(self):
+        from repro.analysis import fact1_lower_bound
+
+        for d, n in ((2, 8), (3, 6)):
+            t = forced_value_instance(d, n, 0)
+            assert sequential_solve(t).total_work == \
+                fact1_lower_bound(d, n)
+
+    def test_forced_bad_value(self):
+        with pytest.raises(WorkloadError):
+            forced_value_instance(2, 4, -1)
+
+
+class TestNearUniform:
+    def test_degree_and_depth_bands(self):
+        d, n, alpha, beta = 5, 8, 0.5, 0.5
+        t = near_uniform_boolean(d, n, alpha, beta, p=0.4, seed=11)
+        import math
+
+        d_min = math.ceil(alpha * d)
+        min_depth = math.ceil(beta * n)
+        for node in t.iter_nodes():
+            if t.is_leaf(node):
+                assert min_depth <= t.depth(node) <= n
+            else:
+                assert d_min <= t.arity(node) <= d
+
+    def test_determinism(self):
+        a = near_uniform_boolean(4, 6, 0.5, 0.5, p=0.3, seed=1)
+        b = near_uniform_boolean(4, 6, 0.5, 0.5, p=0.3, seed=1)
+        assert a.to_nested() == b.to_nested()
+
+    def test_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            near_uniform_boolean(4, 6, 0.0, 0.5, p=0.3, seed=1)
+        with pytest.raises(WorkloadError):
+            near_uniform_boolean(4, 6, 0.5, 1.5, p=0.3, seed=1)
+        with pytest.raises(WorkloadError):
+            near_uniform_boolean(4, 6, 0.5, 0.5, p=0.3, seed=1,
+                                 leaf_prob=1.0)
+
+    def test_evaluates(self):
+        t = near_uniform_boolean(3, 7, 0.6, 0.5, p=0.4, seed=2)
+        assert sequential_solve(t).value == exact_value(t)

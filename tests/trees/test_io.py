@@ -1,0 +1,85 @@
+"""Unit tests for tree serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.trees import ExplicitTree, exact_value, lazy_view
+from repro.trees.generators import iid_boolean, iid_minmax
+from repro.trees.io import (
+    explicit_from_dict,
+    explicit_to_dict,
+    load_explicit,
+    load_uniform,
+    save_explicit,
+    save_tree,
+    save_uniform,
+)
+from repro.types import Gate, TreeKind
+
+
+class TestUniformRoundTrip:
+    def test_boolean_round_trip(self, tmp_path):
+        t = iid_boolean(3, 4, 0.4, seed=1, gates=[Gate.OR, Gate.AND])
+        path = str(tmp_path / "t.npz")
+        save_uniform(t, path)
+        loaded = load_uniform(path)
+        assert loaded.branching == 3
+        assert loaded.height() == 4
+        assert np.array_equal(loaded.leaf_values_array,
+                              t.leaf_values_array)
+        assert loaded.gate(0) is Gate.OR
+        assert loaded.gate(1) is Gate.AND
+        assert exact_value(loaded) == exact_value(t)
+
+    def test_minmax_round_trip(self, tmp_path):
+        t = iid_minmax(2, 5, seed=2)
+        path = str(tmp_path / "m.npz")
+        save_uniform(t, path)
+        loaded = load_uniform(path)
+        assert loaded.kind is TreeKind.MINMAX
+        assert exact_value(loaded) == exact_value(t)
+
+
+class TestExplicitRoundTrip:
+    def test_dict_round_trip(self):
+        t = ExplicitTree.from_nested(
+            [[1, 0], [0, [1, 1]]], gates=[Gate.NOR, Gate.OR]
+        )
+        data = explicit_to_dict(t)
+        loaded = explicit_from_dict(data)
+        assert loaded.to_nested() == t.to_nested()
+        for node in t.iter_nodes():
+            if not t.is_leaf(node):
+                assert loaded.gate(node) is t.gate(node)
+
+    def test_json_file_round_trip(self, tmp_path):
+        t = ExplicitTree.from_nested([1.5, [2.5, 0.5]],
+                                     kind=TreeKind.MINMAX)
+        path = str(tmp_path / "t.json")
+        save_explicit(t, path)
+        loaded = load_explicit(path)
+        assert exact_value(loaded) == exact_value(t)
+        assert loaded.kind is TreeKind.MINMAX
+
+    def test_boolean_dict_requires_gates(self):
+        t = ExplicitTree.from_nested([1, 0])
+        data = explicit_to_dict(t)
+        data["gates"] = None
+        with pytest.raises(TreeStructureError):
+            explicit_from_dict(data)
+
+
+class TestDispatch:
+    def test_save_tree_dispatches(self, tmp_path):
+        u = iid_boolean(2, 3, 0.5, seed=0)
+        save_tree(u, str(tmp_path / "u.npz"))
+        e = ExplicitTree.from_nested([1, 0])
+        save_tree(e, str(tmp_path / "e.json"))
+        assert load_uniform(str(tmp_path / "u.npz")).num_leaves() == 8
+        assert load_explicit(str(tmp_path / "e.json")).num_leaves() == 2
+
+    def test_lazy_tree_rejected(self, tmp_path):
+        t = lazy_view(iid_boolean(2, 2, 0.5, seed=0))
+        with pytest.raises(TreeStructureError):
+            save_tree(t, str(tmp_path / "x"))

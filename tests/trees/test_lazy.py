@@ -1,0 +1,119 @@
+"""Unit tests for LazyTree and lazy_view."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.trees import ExplicitTree, LazyTree, UniformTree, exact_value, lazy_view
+from repro.types import Gate, TreeKind
+
+import numpy as np
+
+
+def binary_counter_tree(depth: int) -> LazyTree:
+    """Payloads are path indices; leaves get parity values."""
+
+    def expand(payload, d):
+        if d >= depth:
+            return ("leaf", payload % 2)
+        return ("internal", [payload * 2, payload * 2 + 1])
+
+    return LazyTree(1, expand)
+
+
+class TestExpansion:
+    def test_root_initially_unexpanded(self):
+        t = binary_counter_tree(2)
+        assert not t.is_expanded(0)
+        assert t.generated_nodes() == 1
+
+    def test_expand_counts_once(self):
+        t = binary_counter_tree(2)
+        t.expand(0)
+        t.expand(0)  # memoised
+        assert t.expansions == 1
+        assert t.generated_nodes() == 3
+
+    def test_children_autoexpand(self):
+        t = binary_counter_tree(2)
+        kids = t.children(0)
+        assert len(kids) == 2
+        assert t.is_expanded(0)
+
+    def test_payloads_propagate(self):
+        t = binary_counter_tree(2)
+        a, b = t.children(0)
+        assert t.payload(a) == 2
+        assert t.payload(b) == 3
+
+    def test_leaf_value_and_depth(self):
+        t = binary_counter_tree(1)
+        a, b = t.children(0)
+        assert t.is_leaf(a)
+        assert t.leaf_value(a) == 0
+        assert t.leaf_value(b) == 1
+        assert t.depth(b) == 1
+
+    def test_parent_tracking(self):
+        t = binary_counter_tree(2)
+        a, _ = t.children(0)
+        aa, _ = t.children(a)
+        assert t.parent(aa) == a
+        assert t.parent(0) is None
+
+    def test_leaf_value_on_internal_raises(self):
+        t = binary_counter_tree(2)
+        with pytest.raises(TreeStructureError):
+            t.leaf_value(0)
+
+    def test_bad_boolean_leaf_value(self):
+        t = LazyTree(0, lambda p, d: ("leaf", 7))
+        with pytest.raises(TreeStructureError):
+            t.expand(0)
+
+    def test_bool_leaf_coerced(self):
+        t = LazyTree(0, lambda p, d: ("leaf", True))
+        assert t.leaf_value(0) == 1
+
+    def test_empty_internal_rejected(self):
+        t = LazyTree(0, lambda p, d: ("internal", []))
+        with pytest.raises(TreeStructureError):
+            t.expand(0)
+
+    def test_unknown_tag_rejected(self):
+        t = LazyTree(0, lambda p, d: ("bogus", None))
+        with pytest.raises(TreeStructureError):
+            t.expand(0)
+
+    def test_full_evaluation(self):
+        t = binary_counter_tree(3)
+        assert exact_value(t) in (0, 1)
+        # Full evaluation expands everything: 2^4 - 1 nodes.
+        assert t.expansions == 15
+
+
+class TestLazyView:
+    def test_view_matches_base_value(self):
+        base = UniformTree(2, 5, np.arange(32) % 2)
+        view = lazy_view(base)
+        assert exact_value(view) == exact_value(base)
+
+    def test_view_preserves_gates(self):
+        base = ExplicitTree.from_nested(
+            [[0, 1], 1], gates={0: Gate.NAND, 1: Gate.OR}
+        )
+        view = lazy_view(base)
+        view.children(0)  # expand root
+        kids = view.children(0)
+        assert view.gate(0) is Gate.NAND
+        assert view.gate(kids[0]) is Gate.OR
+
+    def test_view_tracks_expansions(self):
+        base = UniformTree(2, 3, np.zeros(8, dtype=int))
+        view = lazy_view(base)
+        view.children(0)
+        assert view.expansions == 1
+
+    def test_view_of_minmax(self):
+        base = UniformTree(2, 3, np.arange(8.0), kind=TreeKind.MINMAX)
+        view = lazy_view(base)
+        assert exact_value(view) == exact_value(base)

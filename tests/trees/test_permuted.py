@@ -1,0 +1,74 @@
+"""Unit tests for the PermutedTree view."""
+
+import numpy as np
+import pytest
+
+from repro.trees import PermutedTree, UniformTree, exact_value
+from repro.trees.generators import iid_boolean, iid_minmax
+
+
+@pytest.fixture
+def base():
+    return iid_boolean(3, 3, 0.4, seed=9)
+
+
+class TestPermutation:
+    def test_children_are_a_permutation(self, base):
+        view = PermutedTree(base, seed=1)
+        for node in range(base.first_leaf_id()):
+            assert sorted(view.children(node)) == \
+                sorted(base.children(node))
+
+    def test_deterministic_across_visits(self, base):
+        view = PermutedTree(base, seed=1)
+        first = view.children(0)
+        assert view.children(0) == first
+
+    def test_deterministic_across_instances(self, base):
+        a = PermutedTree(base, seed=1)
+        b = PermutedTree(base, seed=1)
+        assert a.children(0) == b.children(0)
+        assert a.children(2) == b.children(2)
+
+    def test_different_seeds_differ_somewhere(self, base):
+        a = PermutedTree(base, seed=1)
+        b = PermutedTree(base, seed=2)
+        internal = range(base.first_leaf_id())
+        assert any(a.children(i) != b.children(i) for i in internal)
+
+    def test_value_invariant_under_permutation(self):
+        for seed in range(5):
+            base = iid_boolean(2, 6, 0.5, seed=seed)
+            view = PermutedTree(base, seed=seed + 100)
+            assert exact_value(view) == exact_value(base)
+
+    def test_minmax_value_invariant(self):
+        base = iid_minmax(2, 5, seed=3)
+        view = PermutedTree(base, seed=4)
+        assert exact_value(view) == exact_value(base)
+
+
+class TestDelegation:
+    def test_structure_delegates(self, base):
+        view = PermutedTree(base, seed=1)
+        assert view.root == base.root
+        assert view.depth(5) == base.depth(5)
+        assert view.parent(5) == base.parent(5)
+        assert view.kind == base.kind
+        assert view.is_leaf(base.first_leaf_id())
+        assert view.seed == 1
+        assert view.base is base
+
+    def test_gate_delegates(self, base):
+        view = PermutedTree(base, seed=1)
+        assert view.gate(0) is base.gate(0)
+
+    def test_left_siblings_follow_permuted_order(self, base):
+        view = PermutedTree(base, seed=5)
+        kids = view.children(0)
+        assert view.left_siblings(kids[1]) == (kids[0],)
+
+    def test_single_child_not_permuted(self):
+        base = UniformTree(1, 3, np.array([1]))
+        view = PermutedTree(base, seed=1)
+        assert view.children(0) == base.children(0)

@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII renderers."""
+
+from repro.core import parallel_solve, team_solve
+from repro.models import ExecutionTrace
+from repro.trees import ExplicitTree
+from repro.trees.render import render_schedule, render_tree
+from repro.types import TreeKind
+
+
+class TestRenderTree:
+    def test_boolean_tree_labels(self):
+        t = ExplicitTree.from_nested([[1, 0], 1])
+        out = render_tree(t)
+        assert out.count("NOR") == 2
+        assert "leaf 1" in out and "leaf 0" in out
+
+    def test_minmax_tree_labels(self):
+        t = ExplicitTree.from_nested([[1.0, 2.0], 3.0],
+                                     kind=TreeKind.MINMAX)
+        out = render_tree(t)
+        assert "MAX" in out and "MIN" in out
+        assert "leaf 3" in out
+
+    def test_single_leaf(self):
+        t = ExplicitTree([()], {0: 1})
+        assert render_tree(t) == "leaf 1"
+
+    def test_max_depth_elides(self):
+        t = ExplicitTree.from_nested([[1, 0], [0, [1, 0]]])
+        out = render_tree(t, max_depth=1)
+        assert "..." in out
+
+    def test_subtree_rendering(self):
+        t = ExplicitTree.from_nested([[1, 0], 1])
+        out = render_tree(t, node=1)
+        assert out.startswith("NOR")
+        assert out.count("leaf") == 2
+
+    def test_line_count_matches_nodes(self):
+        t = ExplicitTree.from_nested([[1, 0, 1], [0, 0]])
+        assert len(render_tree(t).splitlines()) == t.num_nodes()
+
+
+class TestRenderSchedule:
+    def test_empty_trace(self):
+        assert "empty" in render_schedule(ExecutionTrace())
+
+    def test_one_line_per_step(self):
+        from repro.trees.generators import iid_boolean
+
+        t = iid_boolean(2, 6, 0.4, seed=0)
+        res = parallel_solve(t, 1)
+        out = render_schedule(res.trace, label="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 2 + res.num_steps
+        assert f"work={res.total_work}" in lines[1]
+
+    def test_bars_scale_to_width(self):
+        tr = ExecutionTrace()
+        tr.record(list(range(500)))  # degree 500
+        tr.record([1])
+        out = render_schedule(tr, width=20)
+        bar_lines = out.splitlines()[1:]
+        assert all(line.count("#") <= 21 for line in bar_lines)

@@ -1,0 +1,107 @@
+"""Tests for GameTree.validate via deliberately broken trees."""
+
+import pytest
+
+from repro.errors import TreeStructureError
+from repro.trees import ExplicitTree
+from repro.trees.base import GameTree
+from repro.types import Gate, TreeKind
+
+
+class _BrokenTree(GameTree):
+    """A two-node tree with injectable inconsistencies."""
+
+    kind = TreeKind.BOOLEAN
+
+    def __init__(self, *, bad_parent=False, bad_depth=False,
+                 root_parent=False, root_depth=False):
+        self.bad_parent = bad_parent
+        self.bad_depth = bad_depth
+        self.root_parent = root_parent
+        self.root_depth = root_depth
+
+    @property
+    def root(self):
+        return 0
+
+    def children(self, node):
+        return (1,) if node == 0 else ()
+
+    def is_leaf(self, node):
+        return node == 1
+
+    def leaf_value(self, node):
+        return 1
+
+    def depth(self, node):
+        if node == 0:
+            return 1 if self.root_depth else 0
+        return 2 if self.bad_depth else 1
+
+    def parent(self, node):
+        if node == 0:
+            return 7 if self.root_parent else None
+        return 9 if self.bad_parent else 0
+
+    def gate(self, node):
+        return Gate.NOR
+
+
+class TestValidate:
+    def test_consistent_tree_passes(self):
+        _BrokenTree().validate()
+
+    def test_parent_mismatch_detected(self):
+        with pytest.raises(TreeStructureError):
+            _BrokenTree(bad_parent=True).validate()
+
+    def test_depth_mismatch_detected(self):
+        with pytest.raises(TreeStructureError):
+            _BrokenTree(bad_depth=True).validate()
+
+    def test_root_with_parent_detected(self):
+        with pytest.raises(TreeStructureError):
+            _BrokenTree(root_parent=True).validate()
+
+    def test_root_depth_detected(self):
+        with pytest.raises(TreeStructureError):
+            _BrokenTree(root_depth=True).validate()
+
+    def test_leaf_with_children_detected(self):
+        class LeafKids(_BrokenTree):
+            def children(self, node):
+                return (1,) if node in (0, 1) else ()
+
+        with pytest.raises(TreeStructureError):
+            LeafKids().validate()
+
+    def test_internal_without_children_detected(self):
+        class Childless(GameTree):
+            kind = TreeKind.BOOLEAN
+
+            @property
+            def root(self):
+                return 0
+
+            def children(self, node):
+                return ()
+
+            def is_leaf(self, node):
+                return False  # claims internal, yet no children
+
+            def leaf_value(self, node):  # pragma: no cover
+                return 0
+
+            def depth(self, node):
+                return 0
+
+            def parent(self, node):
+                return None
+
+        with pytest.raises(TreeStructureError):
+            Childless().validate()
+
+    def test_default_gate_raises_on_minmax_style_tree(self):
+        t = ExplicitTree.from_nested([1.0, 0.0], kind=TreeKind.MINMAX)
+        with pytest.raises(TreeStructureError):
+            t.gate(0)
