@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis import fact1_lower_bound
 from repro.bench import run_experiment
 from repro.core import sequential_solve
 from repro.trees.generators import forced_value_instance

@@ -1,7 +1,5 @@
 """E2 — Proposition 1: Team SOLVE speed-up is Theta(sqrt(p))."""
 
-import math
-
 import pytest
 
 from repro.bench import run_experiment

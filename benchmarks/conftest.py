@@ -6,9 +6,6 @@ paper-claim's shape on its rows, and times a representative kernel
 with pytest-benchmark.
 """
 
-import pytest
-
-
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "experiment(name): marks which paper experiment a "

@@ -11,15 +11,21 @@ report
     Regenerate EXPERIMENTS.md from the saved result tables.
 demo
     A 30-second tour: evaluate one instance with every algorithm.
+lint
+    Static-analysis pass enforcing the model invariants (R1-R5).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from .models.accounting import EvalResult
 
 
-def _cmd_list(args) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     from .bench import list_experiments
 
     for name in list_experiments():
@@ -27,7 +33,7 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     from .bench import run_experiment
 
     for name in args.experiments:
@@ -37,7 +43,7 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from .bench.report import generate_experiments_md
 
     generate_experiments_md()
@@ -45,7 +51,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_verify(args) -> int:
+def _cmd_verify(args: argparse.Namespace) -> int:
     """Fast cross-validation of every algorithm family."""
     import numpy as np
 
@@ -101,7 +107,7 @@ def _cmd_verify(args) -> int:
     return 0
 
 
-def _cmd_demo(args) -> int:
+def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import parallel_solve, sequential_solve, team_solve
     from .core.nodeexpansion import n_parallel_solve, n_sequential_solve
     from .simulator import simulate
@@ -131,11 +137,17 @@ def _cmd_demo(args) -> int:
     return 0
 
 
-def _tw(res):
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
+def _tw(res: EvalResult) -> Tuple[int, int, int]:
     return res.num_steps, res.total_work, res.processors
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Karp & Zhang (SPAA 1989) reproduction toolkit",
@@ -167,8 +179,16 @@ def main(argv=None) -> int:
     verify.add_argument("--seed", type=int, default=0)
     verify.set_defaults(fn=_cmd_verify)
 
+    from .lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint", help="run the invariant static-analysis pass (R1-R5)"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(fn=_cmd_lint)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    return int(args.fn(args))
 
 
 if __name__ == "__main__":

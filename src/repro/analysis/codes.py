@@ -19,7 +19,7 @@ instrumentation hook and returns the per-step records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core.policies import select_leftmost_live
 from ..core.solve_engine import run_boolean

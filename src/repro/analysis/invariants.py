@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.alphabeta.state import AlphaBetaState
-from ..trees.base import GameTree, NodeId
+from ..trees.base import NodeId
 from ..types import NodeType
 
 

@@ -9,7 +9,7 @@ speed-up across a height sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 

@@ -9,3 +9,12 @@ from . import minmax_suite  # noqa: F401  (E8-E13)
 from . import open_problem_suite  # noqa: F401  (E21)
 from . import scale_suite  # noqa: F401  (E22)
 from . import width_impl_suite  # noqa: F401  (E14-E16)
+
+__all__ = [
+    "boolean_suite",
+    "extension_suite",
+    "minmax_suite",
+    "open_problem_suite",
+    "scale_suite",
+    "width_impl_suite",
+]

@@ -22,8 +22,6 @@ from __future__ import annotations
 import math
 from collections import Counter
 
-import numpy as np
-
 from ...analysis import skeleton_of
 from ...core import parallel_solve, sequential_solve
 from ...trees.generators import iid_boolean, sequential_worst_case

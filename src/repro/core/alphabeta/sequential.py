@@ -15,7 +15,7 @@ cutoffs, cut on v >= beta / v <= alpha).  It serves two purposes:
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import List
 
 from ...models.accounting import EvalResult, ExecutionTrace
 from ...trees.base import GameTree, NodeId

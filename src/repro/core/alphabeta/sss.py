@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ...models.accounting import EvalResult, ExecutionTrace
 from ...trees.base import GameTree, NodeId

@@ -17,7 +17,7 @@ undetermined nodes, so deadness never needs to be stored.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..errors import ModelViolationError
 from ..trees.base import GameTree, NodeId

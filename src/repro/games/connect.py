@@ -9,7 +9,7 @@ adapters.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .base import Game
 

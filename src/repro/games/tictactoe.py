@@ -8,7 +8,7 @@ end-to-end check for every alpha-beta variant in the library.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from .base import Game
 

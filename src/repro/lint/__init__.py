@@ -1,0 +1,45 @@
+"""Static analysis enforcing the reproduction's model invariants.
+
+The rules (R1–R5, see ``docs/static_analysis.md``) mechanically check
+the conventions the paper's theorems rely on: all work is charged
+through :class:`~repro.models.accounting.ExecutionTrace`, all
+randomness is explicitly seeded, the Section 7 simulator dispatches on
+every message kind, message payloads are immutable, and the public API
+surface stays truthful.
+
+Run it as ``python -m repro lint [paths]`` or programmatically::
+
+    from repro.lint import lint_paths
+    findings = lint_paths(["src/repro"])
+"""
+
+from .base import (
+    LintConfig,
+    ModuleContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+from .findings import Finding, Severity, render_json, render_text
+from .runner import lint_paths, lint_source
+from .suppress import SuppressionTable, parse_suppressions
+from . import rules  # noqa: F401  (importing registers R1-R5)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "SuppressionTable",
+    "all_rules",
+    "get_rule",
+    "register",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "rules",
+]

@@ -1,0 +1,134 @@
+"""Rule interface, per-file context, and the rule registry.
+
+A rule is a class with a ``name`` (``"R1"``...), a human ``title``, a
+:class:`~repro.lint.findings.Severity`, and a ``check`` method that
+yields findings for one parsed module.  Rules register themselves with
+the :func:`register` decorator; the runner instantiates every
+registered rule once per run.
+
+Rules never see raw file paths for scoping decisions — they see the
+*logical path*, the path relative to the linted package root (e.g.
+``core/alphabeta/engine.py``).  That keeps scope checks identical for
+the real tree and for test fixture trees laid out the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Type
+
+from .findings import Finding, Severity
+
+
+@dataclass
+class LintConfig:
+    """Run-wide knobs shared by all rules.
+
+    Attributes
+    ----------
+    msgkind_members:
+        The member names of :class:`repro.simulator.messages.MsgKind`
+        that an exhaustive dispatch must cover.  The runner fills this
+        from the linted tree itself when it contains the enum (so the
+        rule can never drift from the code); otherwise it falls back to
+        the installed package's enum.
+    """
+
+    msgkind_members: tuple = ()
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str  # path as reported in findings (relative to cwd if possible)
+    logical_path: str  # posix path relative to the package root
+    tree: ast.Module
+    source: str
+    config: LintConfig = field(default_factory=LintConfig)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s source position."""
+        return Finding(
+            rule=rule.name,
+            severity=rule.severity,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    name: str = "R?"
+    title: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module.  Override in subclasses."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type checkers
+
+    # -- shared AST helpers -------------------------------------------------
+    @staticmethod
+    def dotted(node: ast.AST) -> str:
+        """Render ``a.b.c`` attribute chains; '' for anything else."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return ""
+
+    @staticmethod
+    def enclosing_functions(tree: ast.Module) -> Dict[int, str]:
+        """Map every statement line to its innermost enclosing def name."""
+        owner: Dict[int, str] = {}
+
+        def visit(node: ast.AST, current: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                name = current
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    name = child.name
+                if hasattr(child, "lineno"):
+                    owner.setdefault(child.lineno, name)
+                visit(child, name)
+
+        visit(tree, "")
+        return owner
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, in name order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Type[Rule]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {name!r} (known: {known})") from None

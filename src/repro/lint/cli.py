@@ -1,0 +1,63 @@
+"""The ``repro lint`` subcommand.
+
+Exit status: 0 when every linted file is clean, 1 when any finding is
+reported (suppressed findings do not count), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .base import all_rules
+from .findings import render_json, render_text
+from .runner import lint_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (e.g. R2,R3)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit status."""
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.name}  [{cls.severity}]  {cls.title}")
+        return 0
+    rule_names: Optional[Sequence[str]] = None
+    if args.rules:
+        rule_names = [tok.strip() for tok in args.rules.split(",") if
+                      tok.strip()]
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"lint: no such path: {path}")
+        return 2
+    try:
+        findings = lint_paths(paths, rule_names)
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}")
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,76 @@
+"""Findings: what a lint rule reports, and how it is rendered.
+
+A :class:`Finding` is an immutable record pointing at one
+``file:line:col`` location.  The two renderers (text and JSON) are the
+only output formats the CLI exposes; keeping them here means every
+consumer — the CLI, the test suite, future editor integrations —
+renders findings identically.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break a paper-level invariant (accounting,
+    determinism, exhaustiveness); ``WARNING`` findings break API or
+    style discipline.  Both fail the lint gate by default — severity is
+    a triage hint, not a pass/fail distinction.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: SEVERITY [rule] message`` — one line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{str(self.severity).upper()} [{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["severity"] = str(self.severity)
+        return data
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines: List[str] = [f.render() for f in findings]
+    n = len(lines)
+    if n == 0:
+        lines.append("lint: clean (0 findings)")
+    else:
+        lines.append(f"lint: {n} finding{'s' if n != 1 else ''}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report: a JSON array of finding objects."""
+    return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable report order: by path, then line, then column, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

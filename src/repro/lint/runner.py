@@ -1,0 +1,187 @@
+"""File discovery, parsing, rule execution, suppression filtering.
+
+The runner owns everything rule-agnostic: walking the target paths,
+computing each file's *logical path* (its location relative to the
+package root, which is what scope checks use), parsing, building the
+suppression table, and discovering the ``MsgKind`` member list that R3
+checks coverage against.
+
+Infrastructure problems — syntax errors in a linted file, malformed
+suppression comments — are reported under the pseudo-rule ``R0`` and
+can never be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .base import LintConfig, ModuleContext, Rule, all_rules, get_rule
+from .findings import Finding, Severity, sort_findings
+from .suppress import parse_suppressions
+
+#: Fallback MsgKind member list, used only when the linted tree does
+#: not itself define the enum and the installed package is unavailable.
+_MSGKIND_FALLBACK = (
+    "S_SOLVE", "P_SOLVE", "P_SOLVE2", "P_SOLVE3", "VAL",
+)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Tuple[Path, Path]]:
+    """Expand ``paths`` to ``(file, supplied_root)`` pairs, sorted."""
+    out: List[Tuple[Path, Path]] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(
+                (file, path) for file in sorted(path.rglob("*.py"))
+            )
+        else:
+            # For a bare file, keep its immediate directory in the
+            # logical path so scope checks (core/, simulator/) hold.
+            out.append((path, path.parent.parent))
+    return out
+
+
+def logical_path(file: Path, root: Path) -> str:
+    """Path of ``file`` relative to the package root, posix-style.
+
+    If the file sits inside a directory named ``repro`` (the installed
+    or in-tree package), the part after the innermost such directory
+    wins — so ``src/repro/core/x.py`` is ``core/x.py`` no matter which
+    ancestor was passed on the command line.  Otherwise the supplied
+    root is used, which is what fixture trees in the test suite rely on.
+    """
+    resolved = file.resolve()
+    parts = resolved.parts
+    if "repro" in parts[:-1]:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        sub = parts[idx + 1:]
+        if sub:
+            return "/".join(sub)
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.name
+
+
+def _discover_msgkind(trees: Sequence[ast.Module]) -> Tuple[str, ...]:
+    """Member names of a ``class MsgKind(...)`` found in the linted set."""
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == "MsgKind":
+                members = [
+                    target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.Assign)
+                    for target in stmt.targets
+                    if isinstance(target, ast.Name)
+                    and not target.id.startswith("_")
+                ]
+                if members:
+                    return tuple(members)
+    try:
+        from ..simulator.messages import MsgKind
+        return tuple(member.name for member in MsgKind)
+    except Exception:  # pragma: no cover - import cycle / partial tree
+        return _MSGKIND_FALLBACK
+
+
+def _display_path(file: Path) -> str:
+    """Path as printed in findings: relative to cwd when possible."""
+    try:
+        return file.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def resolve_rules(names: Optional[Sequence[str]]) -> List[Rule]:
+    """Instantiate the requested rules (all registered rules if None)."""
+    if names is None:
+        return [cls() for cls in all_rules()]
+    return [get_rule(name)() for name in names]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rule_names: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; return sorted findings."""
+    rules = resolve_rules(rule_names)
+    files = iter_python_files([Path(p) for p in paths])
+    parsed: List[Tuple[Path, str, str, ast.Module]] = []
+    findings: List[Finding] = []
+    for file, root in files:
+        source = file.read_text(encoding="utf-8")
+        display = _display_path(file)
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="R0",
+                severity=Severity.ERROR,
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        parsed.append((file, display, logical_path(file, root), tree))
+
+    config = LintConfig(
+        msgkind_members=_discover_msgkind([tree for *_, tree in parsed]),
+    )
+    for file, display, logical, tree in parsed:
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            _lint_module(display, logical, tree, source, rules, config)
+        )
+    # A path supplied twice (or once as a file and once via its
+    # directory) must not double-report.
+    return sort_findings(dict.fromkeys(findings))
+
+
+def lint_source(
+    source: str,
+    logical: str = "module.py",
+    rule_names: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> List[Finding]:
+    """Lint one in-memory module — the test suite's workhorse."""
+    rules = resolve_rules(rule_names)
+    tree = ast.parse(source)
+    if config is None:
+        config = LintConfig(msgkind_members=_discover_msgkind([tree]))
+    return sort_findings(
+        _lint_module(logical, logical, tree, source, rules, config)
+    )
+
+
+def _lint_module(
+    display: str,
+    logical: str,
+    tree: ast.Module,
+    source: str,
+    rules: Sequence[Rule],
+    config: LintConfig,
+) -> List[Finding]:
+    table = parse_suppressions(source)
+    ctx = ModuleContext(
+        path=display, logical_path=logical, tree=tree, source=source,
+        config=config,
+    )
+    out: List[Finding] = []
+    for lineno, text in table.malformed:
+        out.append(Finding(
+            rule="R0",
+            severity=Severity.ERROR,
+            path=display,
+            line=lineno,
+            col=1,
+            message=f"malformed lint suppression comment: {text!r}",
+        ))
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not table.is_suppressed(finding.rule, finding.line):
+                out.append(finding)
+    return out

@@ -1,0 +1,89 @@
+"""Suppression comments: opting one line (or one file) out of a rule.
+
+Two forms are recognised, both as real ``#`` comments (string literals
+that merely look like directives are ignored):
+
+``# lint: disable=R1,R3``
+    Suppresses the listed rules on that line only.  A finding is
+    suppressed when its reported line carries the comment — put it on
+    the line the linter names, not on the statement's first line.
+
+``# lint: file-disable=R2``
+    Anywhere in a file, suppresses the listed rules for the whole file.
+
+``disable=all`` (or ``file-disable=all``) suppresses every rule.  The
+syntax is deliberately exact: an unparseable suppression comment is
+itself reported (pseudo-rule ``R0``) rather than silently ignored, so a
+typo cannot disable enforcement.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: A comment token that is (or claims to be) a lint directive.
+_MARKER = re.compile(r"^#\s*lint\s*:")
+
+#: The full well-formed directive.
+_DIRECTIVE = re.compile(
+    r"^#\s*lint\s*:\s*(?P<scope>file-disable|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\s*$"
+)
+
+_RULE_NAME = re.compile(r"^(?:all|[A-Z][A-Za-z0-9_]*)$")
+
+
+@dataclass
+class SuppressionTable:
+    """Which rules are switched off where, for one file."""
+
+    #: line number -> rule names suppressed on that line ("all" wildcard).
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rules suppressed for the entire file.
+    file_wide: Set[str] = field(default_factory=set)
+    #: (line, bad_comment) pairs for malformed directives.
+    malformed: List[Tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.file_wide or rule in self.file_wide:
+            return True
+        on_line = self.by_line.get(line, frozenset())
+        return "all" in on_line or rule in on_line
+
+
+def _comments(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) of every comment token; robust to tokenize errors."""
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Scan the comment tokens of ``source`` for ``# lint:`` directives."""
+    table = SuppressionTable()
+    for lineno, comment in _comments(source):
+        if not _MARKER.match(comment):
+            continue
+        match = _DIRECTIVE.match(comment)
+        if match is None:
+            # A "# lint:" comment that does not parse is a typo trap.
+            table.malformed.append((lineno, comment.strip()))
+            continue
+        rules = {tok.strip() for tok in match.group("rules").split(",")}
+        bad = [tok for tok in rules if not _RULE_NAME.match(tok)]
+        if bad:
+            table.malformed.append((lineno, comment.strip()))
+            continue
+        if match.group("scope") == "file-disable":
+            table.file_wide |= rules
+        else:
+            table.by_line.setdefault(lineno, set()).update(rules)
+    return table

@@ -11,7 +11,7 @@ chaining from a goal produces an AND/OR tree (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 

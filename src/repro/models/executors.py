@@ -16,7 +16,6 @@ from __future__ import annotations
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
-from ..trees.base import NodeId
 
 
 class BatchEvaluator:

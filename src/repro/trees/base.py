@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Any, Hashable, Iterator, Optional, Sequence, Tuple
+from typing import Hashable, Iterator, Optional, Tuple
 
 from ..errors import TreeStructureError
 from ..types import Gate, LeafValue, NodeType, TreeKind

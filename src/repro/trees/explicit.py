@@ -11,7 +11,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import TreeStructureError
 from ..types import Gate, LeafValue, TreeKind
-from .base import GameTree, NodeId
+from .base import GameTree
 from .gates import GateScheme, GateSpec, all_nor, coerce_scheme
 
 Nested = Union[LeafValue, bool, Sequence]

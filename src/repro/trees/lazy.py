@@ -16,7 +16,7 @@ several algorithms may share one ``LazyTree`` (and its cache).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import TreeStructureError
 from ..types import Gate, LeafValue, TreeKind

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..types import Gate, LeafValue, TreeKind
+from ..types import Gate, LeafValue
 from .base import GameTree, NodeId
 
 

@@ -1,7 +1,5 @@
 """Edge cases for MIN/MAX algorithms: extreme and degenerate values."""
 
-import math
-
 import pytest
 
 from repro.core.alphabeta import (

@@ -105,7 +105,7 @@ class TestPruneFixpoint:
             t = iid_minmax_integers(2, 5, seed=seed, num_values=4)
             st = AlphaBetaState(t)
             rng = np.random.default_rng(seed)
-            leaves = [l for l in t.iter_leaves()]
+            leaves = list(t.iter_leaves())
             rng.shuffle(leaves)
             for leaf in leaves[:12]:
                 if leaf in st.finished_value or not st.in_pruned_tree(leaf):

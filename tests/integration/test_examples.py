@@ -7,7 +7,6 @@ reduced-size flows in test_end_to_end.py.
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

@@ -1,0 +1,75 @@
+"""The ``repro lint`` subcommand: formats, exit codes, rule listing."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def _bad_file(tmp_path):
+    target = tmp_path / "core"
+    target.mkdir()
+    path = target / "bad.py"
+    path.write_text("import random\n")
+    return path
+
+
+def test_exit_zero_and_clean_banner_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("VALUE = 3\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "clean (0 findings)" in out
+
+
+def test_exit_one_with_text_report_on_findings(tmp_path, capsys):
+    path = _bad_file(tmp_path)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "[R2]" in out
+    assert "bad.py:1:1" in out
+    assert "1 finding" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    path = _bad_file(tmp_path)
+    assert main(["lint", str(path), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    entry = payload[0]
+    assert entry["rule"] == "R2"
+    assert entry["severity"] == "error"
+    assert entry["line"] == 1
+    assert entry["path"].endswith("bad.py")
+
+
+def test_rules_filter_limits_output(tmp_path, capsys):
+    path = _bad_file(tmp_path)
+    assert main(["lint", str(path), "--rules", "R1"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    path = _bad_file(tmp_path)
+    assert main(["lint", str(path), "--rules", "R99"]) == 2
+    assert "unknown rule" in capsys.readouterr().out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("R1", "R2", "R3", "R4", "R5"):
+        assert rule in out
+
+
+def test_repo_gate_command_exits_zero(capsys):
+    # The exact invocation the CI gate runs.
+    import os
+    if not os.path.isdir("src/repro"):
+        pytest.skip("not running from the repository root")
+    assert main(["lint", "src/repro"]) == 0

@@ -1,0 +1,248 @@
+"""Each rule must fire on a violating snippet and pass a clean one."""
+
+import pytest
+
+from repro.lint import lint_source
+
+# (rule, logical_path, bad snippet, clean counterpart)
+CASES = [
+    (
+        "R1",
+        "core/engine_helper.py",
+        # Hand-rolled step counter with no tie to the accounting layer.
+        "def run(tree):\n"
+        "    num_steps = 0\n"
+        "    for leaf in tree:\n"
+        "        num_steps += 1\n"
+        "    return num_steps\n",
+        # Same module, charging work through ExecutionTrace.
+        "from ..models.accounting import ExecutionTrace\n"
+        "def run(tree):\n"
+        "    trace = ExecutionTrace()\n"
+        "    for leaf in tree:\n"
+        "        trace.record([leaf])\n"
+        "    return trace.num_steps\n",
+    ),
+    (
+        "R1",
+        "simulator/gadget.py",
+        "class Gadget:\n"
+        "    def bump(self):\n"
+        "        self._expansions += 1\n",
+        # The chokepoint itself may own the raw counter.
+        "class Gadget:\n"
+        "    def count_expansion(self, node):\n"
+        "        self._expansions += 1\n",
+    ),
+    (
+        "R2",
+        "core/chooser.py",
+        "import random\n"
+        "def pick(xs):\n"
+        "    return random.choice(xs)\n",
+        "import numpy as np\n"
+        "def pick(xs, seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return xs[rng.integers(len(xs))]\n",
+    ),
+    (
+        "R2",
+        "trees/generators/noise.py",
+        "import numpy as np\n"
+        "def noise(n):\n"
+        "    return np.random.rand(n)\n",
+        "import numpy as np\n"
+        "def noise(n, seed):\n"
+        "    return np.random.default_rng(seed).random(n)\n",
+    ),
+    (
+        "R2",
+        "analysis/timing.py",
+        "import time\n"
+        "def stamp():\n"
+        "    return time.perf_counter()\n",
+        "def stamp(clock):\n"
+        "    return clock()\n",
+    ),
+    (
+        "R2",
+        "core/rng_setup.py",
+        "import numpy as np\n"
+        "rng = np.random.default_rng()\n",
+        "import numpy as np\n"
+        "def make_rng(seed):\n"
+        "    return np.random.default_rng(seed)\n",
+    ),
+    (
+        "R3",
+        "simulator/dispatch.py",
+        "from .messages import MsgKind\n"
+        "def handle(msg):\n"
+        "    if msg.kind is MsgKind.S_SOLVE:\n"
+        "        return 's'\n"
+        "    elif msg.kind is MsgKind.P_SOLVE:\n"
+        "        return 'p'\n",
+        "from .messages import MsgKind\n"
+        "def handle(msg):\n"
+        "    if msg.kind is MsgKind.S_SOLVE:\n"
+        "        return 's'\n"
+        "    elif msg.kind is MsgKind.P_SOLVE:\n"
+        "        return 'p'\n"
+        "    else:\n"
+        "        raise ValueError(f'unexpected {msg!r}')\n",
+    ),
+    (
+        "R3",
+        "simulator/dispatch_match.py",
+        "from .messages import MsgKind\n"
+        "def handle(msg):\n"
+        "    match msg.kind:\n"
+        "        case MsgKind.S_SOLVE:\n"
+        "            return 's'\n"
+        "        case MsgKind.VAL:\n"
+        "            return 'v'\n",
+        "from .messages import MsgKind\n"
+        "def handle(msg):\n"
+        "    match msg.kind:\n"
+        "        case MsgKind.S_SOLVE:\n"
+        "            return 's'\n"
+        "        case MsgKind.VAL:\n"
+        "            return 'v'\n"
+        "        case _:\n"
+        "            raise ValueError(msg)\n",
+    ),
+    (
+        "R4",
+        "simulator/payload.py",
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class ProbeMessage:\n"
+        "    node: int\n",
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class ProbeMessage:\n"
+        "    node: int\n",
+    ),
+    (
+        "R4",
+        "simulator/payload_fields.py",
+        "from dataclasses import dataclass\n"
+        "from typing import List\n"
+        "@dataclass(frozen=True)\n"
+        "class BatchMessage:\n"
+        "    nodes: List[int]\n",
+        "from dataclasses import dataclass\n"
+        "from typing import Tuple\n"
+        "@dataclass(frozen=True)\n"
+        "class BatchMessage:\n"
+        "    nodes: Tuple[int, ...]\n",
+    ),
+    (
+        "R5",
+        "gadgets/__init__.py",
+        "from .impl import widget\n",
+        "from .impl import widget\n"
+        "__all__ = ['widget']\n",
+    ),
+    (
+        "R5",
+        "analysis/extras.py",
+        "def measure():\n"
+        "    pass\n"
+        "__all__ = ['measure', 'vanished']\n",
+        "def measure():\n"
+        "    pass\n"
+        "__all__ = ['measure']\n",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,path,bad,clean",
+    CASES,
+    ids=[f"{rule}:{path}" for rule, path, _, _ in CASES],
+)
+def test_rule_fires_on_bad_and_passes_clean(rule, path, bad, clean):
+    bad_findings = lint_source(bad, path)
+    assert [f.rule for f in bad_findings] == [rule]
+    assert lint_source(clean, path) == []
+
+
+def test_r1_ignores_counters_outside_model_scopes():
+    src = "def tally():\n    steps = 0\n    steps += 1\n    return steps\n"
+    assert lint_source(src, "analysis/summary.py") == []
+
+
+def test_r2_allowlists_oracle_runner_and_bench():
+    src = "import time\nstart = time.perf_counter()\n"
+    assert lint_source(src, "models/oracle_runner.py") == []
+    assert lint_source(src, "bench/harness.py") == []
+    assert lint_source(src, "core/solve_engine.py") != []
+
+
+def test_r2_flags_default_rng_with_literal_none_seed():
+    src = "import numpy as np\nrng = np.random.default_rng(None)\n"
+    assert [f.rule for f in lint_source(src, "core/x.py")] == ["R2"]
+
+
+def test_r3_single_guard_is_not_a_dispatch():
+    # One negative membership test with a raise is a guard, not a
+    # dispatch chain; it must not be flagged.
+    src = (
+        "from .messages import MsgKind\n"
+        "def check(msg):\n"
+        "    if msg.kind is not MsgKind.VAL:\n"
+        "        raise ValueError(msg)\n"
+        "    return msg.value\n"
+    )
+    assert lint_source(src, "simulator/guard.py") == []
+
+
+def test_r3_else_with_nested_if_counts_as_reject():
+    # Regression: `else:` holding a single nested `if` must not be
+    # mistaken for an elif continuation of the MsgKind chain.
+    src = (
+        "from .messages import MsgKind\n"
+        "def handle(msg, newest):\n"
+        "    if msg.kind is MsgKind.VAL:\n"
+        "        return 'v'\n"
+        "    elif msg.kind is MsgKind.S_SOLVE:\n"
+        "        return 's'\n"
+        "    else:\n"
+        "        if newest is None:\n"
+        "            return 'p'\n"
+    )
+    assert lint_source(src, "simulator/nested.py") == []
+
+
+def test_r3_full_coverage_without_else_is_exhaustive():
+    arms = "\n".join(
+        f"    {'if' if i == 0 else 'elif'} msg.kind is MsgKind.{name}:\n"
+        f"        return {i}"
+        for i, name in enumerate(
+            ["S_SOLVE", "P_SOLVE", "P_SOLVE2", "P_SOLVE3", "VAL"]
+        )
+    )
+    src = f"from .messages import MsgKind\ndef handle(msg):\n{arms}\n"
+    assert lint_source(src, "simulator/full.py") == []
+
+
+def test_r4_ignores_non_payload_dataclasses():
+    src = (
+        "from dataclasses import dataclass, field\n"
+        "from typing import List\n"
+        "@dataclass\n"
+        "class SimulationResult:\n"
+        "    degree_by_tick: List[int] = field(default_factory=list)\n"
+    )
+    assert lint_source(src, "simulator/results.py") == []
+
+
+def test_r5_duplicate_entry_flagged():
+    src = "x = 1\n__all__ = ['x', 'x']\n"
+    assert [f.rule for f in lint_source(src, "analysis/dup.py")] == ["R5"]
+
+
+def test_r5_severity_is_warning():
+    findings = lint_source("from .impl import a\n", "pkg/__init__.py")
+    assert [str(f.severity) for f in findings] == ["warning"]

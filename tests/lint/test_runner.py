@@ -1,0 +1,138 @@
+"""Runner behaviour: file walking, logical paths, suppression, R0."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, lint_source, parse_suppressions
+from repro.lint.runner import logical_path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def _write_fixture_tree(root: Path) -> None:
+    (root / "core").mkdir(parents=True)
+    (root / "simulator").mkdir()
+    (root / "core" / "bad_counter.py").write_text(
+        "def run(tree):\n"
+        "    total_work = 0\n"
+        "    total_work += 1\n"
+        "    return total_work\n"
+    )
+    (root / "simulator" / "bad_payload.py").write_text(
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class PingMessage:\n"
+        "    node: int\n"
+    )
+    (root / "clean.py").write_text("VALUE = 1\n")
+
+
+def test_fixture_tree_scoping(tmp_path):
+    _write_fixture_tree(tmp_path)
+    findings = lint_paths([tmp_path])
+    assert sorted(f.rule for f in findings) == ["R1", "R4"]
+    by_rule = {f.rule: f for f in findings}
+    assert by_rule["R1"].path.endswith("core/bad_counter.py")
+    assert by_rule["R1"].line == 3
+    assert by_rule["R4"].path.endswith("simulator/bad_payload.py")
+
+
+def test_single_file_argument(tmp_path):
+    _write_fixture_tree(tmp_path)
+    findings = lint_paths([tmp_path / "core" / "bad_counter.py"])
+    # Supplying the file directly keeps the parent-derived logical
+    # path, so core/ scoping still applies.
+    assert [f.rule for f in findings] == ["R1"]
+
+
+def test_logical_path_strips_repro_package_prefix():
+    file = SRC_REPRO / "core" / "sequential_solve.py"
+    assert logical_path(file, REPO_ROOT / "src") == (
+        "core/sequential_solve.py"
+    )
+    assert logical_path(file, SRC_REPRO) == "core/sequential_solve.py"
+
+
+def test_syntax_error_reported_as_r0(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = lint_paths([tmp_path])
+    assert [f.rule for f in findings] == ["R0"]
+    assert "syntax error" in findings[0].message
+
+
+def test_rule_subset_filter(tmp_path):
+    _write_fixture_tree(tmp_path)
+    findings = lint_paths([tmp_path], rule_names=["R4"])
+    assert [f.rule for f in findings] == ["R4"]
+
+
+def test_unknown_rule_name_raises():
+    with pytest.raises(KeyError):
+        lint_paths([SRC_REPRO / "errors.py"], rule_names=["R99"])
+
+
+# -- suppressions -----------------------------------------------------------
+
+def test_line_suppression_silences_only_that_line():
+    src = (
+        "def run(tree):\n"
+        "    work = 0\n"
+        "    work += 1  # lint: disable=R1\n"
+        "    work += 1\n"
+    )
+    findings = lint_source(src, "core/x.py")
+    assert [(f.rule, f.line) for f in findings] == [("R1", 4)]
+
+
+def test_file_wide_suppression():
+    src = (
+        "# lint: file-disable=R1\n"
+        "def run(tree):\n"
+        "    work = 0\n"
+        "    work += 1\n"
+        "    work += 1\n"
+    )
+    assert lint_source(src, "core/x.py") == []
+
+
+def test_disable_all_wildcard():
+    src = "import random  # lint: disable=all\n"
+    assert lint_source(src, "core/x.py") == []
+
+
+def test_malformed_directive_is_reported_not_ignored():
+    src = "import random  # lint: disable R2\n"
+    findings = lint_source(src, "core/x.py")
+    # The typo'd directive suppresses nothing and is itself flagged.
+    assert sorted(f.rule for f in findings) == ["R0", "R2"]
+
+
+def test_r0_cannot_be_suppressed():
+    src = "# lint: disable=bogus rule\n# lint: file-disable=all\n"
+    findings = lint_source(src, "core/x.py")
+    assert [f.rule for f in findings] == ["R0"]
+
+
+def test_directive_inside_string_is_not_a_directive():
+    src = 'BANNER = "# lint: disable=nonsense"\n'
+    assert lint_source(src, "core/x.py") == []
+
+
+def test_parse_suppressions_table():
+    table = parse_suppressions(
+        "x = 1  # lint: disable=R1,R5\n# lint: file-disable=R3\n"
+    )
+    assert table.is_suppressed("R1", 1)
+    assert table.is_suppressed("R5", 1)
+    assert not table.is_suppressed("R1", 2)
+    assert table.is_suppressed("R3", 99)
+
+
+# -- the self-clean property ------------------------------------------------
+
+def test_repo_source_tree_is_lint_clean():
+    findings = lint_paths([SRC_REPRO])
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.trees import ExplicitTree, PermutedTree, UniformTree, exact_value
-from repro.types import TreeKind
 
 from ..conftest import nested_boolean
 

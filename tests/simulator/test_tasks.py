@@ -8,7 +8,7 @@ from repro.simulator.machine import Machine
 from repro.simulator.tasks import STask, TraverseTask
 from repro.trees import ExplicitTree, UniformTree
 from repro.trees.generators import iid_boolean
-from repro.types import Gate, TreeKind
+from repro.types import Gate
 
 import numpy as np
 

@@ -1,6 +1,6 @@
 """Unit tests for the ASCII renderers."""
 
-from repro.core import parallel_solve, team_solve
+from repro.core import parallel_solve
 from repro.models import ExecutionTrace
 from repro.trees import ExplicitTree
 from repro.trees.render import render_schedule, render_tree
