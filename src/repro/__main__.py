@@ -11,6 +11,9 @@ report
     Regenerate EXPERIMENTS.md from the saved result tables.
 demo
     A 30-second tour: evaluate one instance with every algorithm.
+bench --wallclock
+    Wall-clock measurements: incremental vs rescan frontier backend,
+    and (with ``--workers``) the process-pool oracle runtime.
 lint
     Static-analysis pass enforcing the model invariants (R1-R5).
 """
@@ -137,6 +140,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if not args.wallclock:
+        print("nothing to do: pass --wallclock", file=sys.stderr)
+        return 2
+    from .bench.wallclock import run_wallclock
+
+    widths = tuple(int(w) for w in args.widths.split(","))
+    return run_wallclock(
+        branching=args.branching,
+        height=args.height,
+        widths=widths,
+        seed=args.seed,
+        workers=args.workers,
+        oracle_iters=args.oracle_iters,
+    )
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run_lint
 
@@ -178,6 +198,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     verify.add_argument("--trials", type=int, default=10)
     verify.add_argument("--seed", type=int, default=0)
     verify.set_defaults(fn=_cmd_verify)
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock measurements (outside the cost model)"
+    )
+    bench.add_argument(
+        "--wallclock", action="store_true",
+        help="time the frontier backends (and oracle pool with --workers)",
+    )
+    bench.add_argument("--branching", type=int, default=4)
+    bench.add_argument("--height", type=int, default=8)
+    bench.add_argument("--widths", type=str, default="1,2,4")
+    bench.add_argument("--seed", type=int, default=2026)
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="also run the process-pool oracle benchmark",
+    )
+    bench.add_argument("--oracle-iters", type=int, default=20000)
+    bench.set_defaults(fn=_cmd_bench)
 
     from .lint.cli import add_lint_arguments
 

@@ -11,13 +11,22 @@ node-expansion model (Section 5) in :mod:`repro.core.nodeexpansion`;
 randomized variants (Section 6) in :mod:`repro.core.randomized`.
 """
 
-from .parallel_solve import parallel_solve, saturation_solve, span
+from .frontier import (
+    FrontierIndex,
+    IncrementalBoundedWidthPolicy,
+    IncrementalSaturationPolicy,
+    IncrementalSequentialPolicy,
+    IncrementalTeamPolicy,
+    IncrementalWidthPolicy,
+)
+from .parallel_solve import BACKENDS, parallel_solve, saturation_solve, span
 from .policies import (
     BoundedWidthPolicy,
     SaturationPolicy,
     SequentialPolicy,
     TeamPolicy,
     WidthPolicy,
+    rank_by_urgency,
     select_by_pruning_number,
     select_leftmost_live,
     select_with_pruning_numbers,
@@ -41,11 +50,19 @@ __all__ = [
     "span",
     "run_boolean",
     "BooleanState",
+    "BACKENDS",
+    "FrontierIndex",
     "SequentialPolicy",
     "TeamPolicy",
     "WidthPolicy",
     "BoundedWidthPolicy",
     "SaturationPolicy",
+    "IncrementalWidthPolicy",
+    "IncrementalBoundedWidthPolicy",
+    "IncrementalTeamPolicy",
+    "IncrementalSequentialPolicy",
+    "IncrementalSaturationPolicy",
+    "rank_by_urgency",
     "select_leftmost_live",
     "select_by_pruning_number",
     "select_with_pruning_numbers",

@@ -33,6 +33,7 @@ from ...errors import ModelViolationError
 from ...models.accounting import EvalResult, ExecutionTrace
 from ...trees.base import GameTree, NodeId
 from ...types import NodeType
+from ..frontier import FrontierIndex, _IncrementalPolicy
 from .state import AlphaBetaState
 
 #: A selection policy: (tree, state) -> batch of unfinished leaves.
@@ -141,6 +142,40 @@ class AlphaBetaWidthPolicy:
         self, tree: GameTree, state: AlphaBetaState
     ) -> List[NodeId]:
         return select_unfinished_by_pruning_number(tree, state, self.width)
+
+
+class IncrementalAlphaBetaWidthPolicy(_IncrementalPolicy):
+    """Width-w alpha-beta selection, incrementally maintained.
+
+    Step-for-step identical to :class:`AlphaBetaWidthPolicy`:
+    "settled" is finished-or-pruned, and the state's transition feed
+    (finishes *and* prunes, children before parents) keeps the index
+    current across the free propagation/pruning cascades.
+    """
+
+    def __init__(self, width: int):
+        super().__init__()
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"parallel-alpha-beta(w={width}, incremental)"
+
+    def _bind(self, tree: GameTree, state: object) -> FrontierIndex:
+        assert isinstance(state, AlphaBetaState)
+        finished = state.finished_value
+        pruned = state.pruned
+
+        def settled(node: NodeId) -> bool:
+            return node in finished or node in pruned
+
+        idx = FrontierIndex(tree, state, width=self.width, settled=settled)
+        state.subscribe(idx.on_settled)
+        return idx
+
+    def __call__(
+        self, tree: GameTree, state: AlphaBetaState
+    ) -> List[NodeId]:
+        return self.index_for(tree, state).batch()
 
 
 def run_minmax(

@@ -11,15 +11,30 @@ from __future__ import annotations
 
 from ...models.accounting import EvalResult
 from ...trees.base import GameTree
-from .engine import AlphaBetaWidthPolicy, run_minmax
+from ..parallel_solve import resolve_backend
+from .engine import (
+    AlphaBetaWidthPolicy,
+    IncrementalAlphaBetaWidthPolicy,
+    MinmaxPolicy,
+    run_minmax,
+)
+
+
+def _width_policy(width: int, backend: str) -> MinmaxPolicy:
+    if resolve_backend(backend) == "incremental":
+        return IncrementalAlphaBetaWidthPolicy(width)
+    return AlphaBetaWidthPolicy(width)
 
 
 def sequential_alpha_beta(
-    tree: GameTree, *, keep_batches: bool = False
+    tree: GameTree,
+    *,
+    keep_batches: bool = False,
+    backend: str = "incremental",
 ) -> EvalResult:
     """The alpha-beta pruning procedure, one leaf per basic step."""
     return run_minmax(
-        tree, AlphaBetaWidthPolicy(0), keep_batches=keep_batches
+        tree, _width_policy(0, backend), keep_batches=keep_batches
     )
 
 
@@ -29,11 +44,17 @@ def parallel_alpha_beta(
     *,
     keep_batches: bool = False,
     on_step=None,
+    backend: str = "incremental",
 ) -> EvalResult:
-    """Parallel alpha-beta of the given width."""
+    """Parallel alpha-beta of the given width.
+
+    ``backend`` selects the frontier engine: ``"incremental"``
+    (default) or ``"rescan"`` (the reference per-step recomputation).
+    Both produce identical per-step batches.
+    """
     return run_minmax(
         tree,
-        AlphaBetaWidthPolicy(width),
+        _width_policy(width, backend),
         keep_batches=keep_batches,
         on_step=on_step,
     )

@@ -20,7 +20,7 @@ the state only stores what is monotone (finished values, pruned flags).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ...errors import ModelViolationError, PruningInvariantError
 from ...trees.base import GameTree, NodeId
@@ -42,6 +42,17 @@ class AlphaBetaState:
         #: pruning pass only needs to descend into these.
         self.touched: Set[NodeId] = set()
         self._unfinished_children: Dict[NodeId, int] = {}
+        self._observers: List[Callable[[NodeId], None]] = []
+
+    def subscribe(self, on_settled: Callable[[NodeId], None]) -> None:
+        """Call ``on_settled(node)`` whenever a node finishes or is pruned.
+
+        Fired immediately after the transition is recorded and before
+        the cascade reaches the parent, so observers always see
+        children settle before their ancestors.  A node settles at most
+        once (finished and pruned are mutually exclusive).
+        """
+        self._observers.append(on_settled)
 
     # -- queries ----------------------------------------------------------
     def is_finished(self, node: NodeId) -> bool:
@@ -96,6 +107,8 @@ class AlphaBetaState:
                 f"pruning rule applies only to unfinished nodes: {node!r}"
             )
         self.pruned.add(node)
+        for notify in self._observers:
+            notify(node)
         parent = self.tree.parent(node)
         if parent is not None:
             self._child_settled(parent)
@@ -111,6 +124,8 @@ class AlphaBetaState:
         if node in self.finished_value:
             return
         self.finished_value[node] = val
+        for notify in self._observers:
+            notify(node)
         parent = self.tree.parent(node)
         if parent is not None:
             self._child_settled(parent)

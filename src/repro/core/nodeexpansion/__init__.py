@@ -10,6 +10,7 @@ from .alphabeta import (
     select_expansion_frontier,
 )
 from .engine import (
+    IncrementalNWidthPolicy,
     NSequentialPolicy,
     NWidthPolicy,
     run_expansion,
@@ -30,6 +31,7 @@ __all__ = [
     "n_parallel_alpha_beta",
     "NSequentialPolicy",
     "NWidthPolicy",
+    "IncrementalNWidthPolicy",
     "NAlphaBetaWidthPolicy",
     "select_frontier_by_pruning_number",
     "select_leftmost_frontier",

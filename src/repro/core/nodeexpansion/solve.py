@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from ...models.accounting import EvalResult
 from ...trees.base import GameTree
-from .engine import NSequentialPolicy, NWidthPolicy, run_expansion
+from ..parallel_solve import resolve_backend
+from .engine import (
+    IncrementalNWidthPolicy,
+    NSequentialPolicy,
+    NWidthPolicy,
+    run_expansion,
+)
 
 
 def n_sequential_solve(tree: GameTree, **kw) -> EvalResult:
@@ -19,6 +25,18 @@ def n_sequential_solve(tree: GameTree, **kw) -> EvalResult:
     return run_expansion(tree, NSequentialPolicy(), **kw)
 
 
-def n_parallel_solve(tree: GameTree, width: int = 1, **kw) -> EvalResult:
-    """Expand all frontier nodes with pruning number <= width (P-SOLVE*)."""
+def n_parallel_solve(
+    tree: GameTree,
+    width: int = 1,
+    *,
+    backend: str = "incremental",
+    **kw,
+) -> EvalResult:
+    """Expand all frontier nodes with pruning number <= width (P-SOLVE*).
+
+    ``backend`` selects the frontier engine (see
+    :func:`repro.core.parallel_solve.parallel_solve`).
+    """
+    if resolve_backend(backend) == "incremental":
+        return run_expansion(tree, IncrementalNWidthPolicy(width), **kw)
     return run_expansion(tree, NWidthPolicy(width), **kw)

@@ -10,6 +10,13 @@ one.
 Width 0 coincides with Sequential SOLVE.  On a uniform tree of height
 n, width 1 uses at most n + 1 processors and achieves a speed-up of
 c(n+1) over Sequential SOLVE on *every* instance (Theorem 1).
+
+Two step-for-step identical backends implement the selection: the
+default ``"incremental"`` backend maintains the frontier in a priority
+structure updated on each determination
+(:mod:`repro.core.frontier`), while ``"rescan"`` recomputes it with a
+budgeted DFS every step — the literal reading of the paper's
+definition, kept as the reference implementation.
 """
 
 from __future__ import annotations
@@ -18,8 +25,25 @@ from typing import Optional
 
 from ..models.accounting import EvalResult
 from ..trees.base import GameTree
+from .frontier import (
+    IncrementalBoundedWidthPolicy,
+    IncrementalSaturationPolicy,
+    IncrementalWidthPolicy,
+)
 from .policies import BoundedWidthPolicy, SaturationPolicy, WidthPolicy
-from .solve_engine import run_boolean
+from .solve_engine import Policy, run_boolean
+
+#: Selection backends accepted by the solver entry points.
+BACKENDS = ("incremental", "rescan")
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a ``backend=`` argument, returning it unchanged."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
 
 
 def parallel_solve(
@@ -29,14 +53,25 @@ def parallel_solve(
     max_processors: Optional[int] = None,
     keep_batches: bool = False,
     on_step=None,
+    backend: str = "incremental",
 ) -> EvalResult:
     """Run Parallel SOLVE of the given width on a Boolean tree.
 
     ``max_processors`` caps the per-step batch at the most urgent
     leaves (smallest pruning number, leftmost on ties) — the practical
     fixed-machine variant the paper's Section 7 closes with.
+
+    ``backend`` selects the frontier engine: ``"incremental"``
+    (default) or ``"rescan"`` (the reference per-step recomputation).
+    Both produce identical per-step batches.
     """
-    if max_processors is None:
+    policy: Policy
+    if resolve_backend(backend) == "incremental":
+        if max_processors is None:
+            policy = IncrementalWidthPolicy(width)
+        else:
+            policy = IncrementalBoundedWidthPolicy(width, max_processors)
+    elif max_processors is None:
         policy = WidthPolicy(width)
     else:
         policy = BoundedWidthPolicy(width, max_processors)
@@ -49,12 +84,18 @@ def parallel_solve(
 
 
 def saturation_solve(
-    tree: GameTree, *, keep_batches: bool = False
+    tree: GameTree,
+    *,
+    keep_batches: bool = False,
+    backend: str = "incremental",
 ) -> EvalResult:
     """Evaluate every live leaf at every step (unbounded parallelism)."""
-    return run_boolean(
-        tree, SaturationPolicy(), keep_batches=keep_batches
-    )
+    policy: Policy
+    if resolve_backend(backend) == "incremental":
+        policy = IncrementalSaturationPolicy()
+    else:
+        policy = SaturationPolicy()
+    return run_boolean(tree, policy, keep_batches=keep_batches)
 
 
 def span(tree: GameTree) -> int:

@@ -92,6 +92,19 @@ def select_with_pruning_numbers(
     return out
 
 
+def rank_by_urgency(scored: List[tuple], processors: int) -> List[NodeId]:
+    """The ``processors`` most urgent of ``(leaf, pruning_number)`` pairs.
+
+    Most urgent = smallest pruning number, leftmost on ties; the
+    selection is returned in left-to-right tree order (``scored`` must
+    already be in that order).
+    """
+    ranked = sorted(
+        range(len(scored)), key=lambda i: (scored[i][1], i)
+    )[:processors]
+    return [scored[i][0] for i in sorted(ranked)]
+
+
 class SequentialPolicy:
     """Sequential SOLVE: evaluate the leftmost live leaf."""
 
@@ -150,10 +163,7 @@ class BoundedWidthPolicy:
         scored = select_with_pruning_numbers(tree, state, self.width)
         if len(scored) <= self.processors:
             return [leaf for leaf, _ in scored]
-        ranked = sorted(
-            range(len(scored)), key=lambda i: (scored[i][1], i)
-        )[: self.processors]
-        return [scored[i][0] for i in sorted(ranked)]
+        return rank_by_urgency(scored, self.processors)
 
 
 class SaturationPolicy:

@@ -54,15 +54,9 @@ def run_boolean(
     evaluated: List[NodeId] = []
     root = tree.root
 
-    if tree.is_leaf(root):
-        # Degenerate height-0 tree: the only step evaluates the root.
-        state.evaluate_leaf(root)
-        trace.record([root])
-        evaluated.append(root)
-        if on_step is not None:
-            on_step(state, 0, [root])
-        return EvalResult(state.value[root], trace, evaluated)
-
+    # Height-0 trees need no special case: every policy selects the
+    # root leaf itself, so the loop runs exactly one (validated,
+    # traced) step.
     step = 0
     while root not in state.value:
         batch = policy(tree, state)

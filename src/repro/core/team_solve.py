@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from ..models.accounting import EvalResult
 from ..trees.base import GameTree
+from .frontier import IncrementalTeamPolicy
+from .parallel_solve import resolve_backend
 from .policies import TeamPolicy
-from .solve_engine import run_boolean
+from .solve_engine import Policy, run_boolean
 
 
 def team_solve(
@@ -20,8 +22,16 @@ def team_solve(
     processors: int,
     *,
     keep_batches: bool = False,
+    backend: str = "incremental",
 ) -> EvalResult:
-    """Run Team SOLVE with ``processors`` processors on a Boolean tree."""
-    return run_boolean(
-        tree, TeamPolicy(processors), keep_batches=keep_batches
-    )
+    """Run Team SOLVE with ``processors`` processors on a Boolean tree.
+
+    ``backend`` selects the frontier engine (see
+    :func:`repro.core.parallel_solve.parallel_solve`).
+    """
+    policy: Policy
+    if resolve_backend(backend) == "incremental":
+        policy = IncrementalTeamPolicy(processors)
+    else:
+        policy = TeamPolicy(processors)
+    return run_boolean(tree, policy, keep_batches=keep_batches)

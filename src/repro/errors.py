@@ -40,3 +40,14 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark workload was mis-specified."""
+
+
+class WorkerCrashError(ReproError):
+    """An oracle worker kept failing after the runtime's retry budget.
+
+    Raised by :class:`repro.models.executors.OracleRuntime` when a
+    batch still has failing chunks after ``max_retries`` retry rounds —
+    whether the workers died (broken process pool) or the oracle itself
+    kept raising.  The last underlying exception is chained as
+    ``__cause__``.
+    """

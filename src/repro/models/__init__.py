@@ -1,5 +1,15 @@
 """Cost models: accounting primitives and optional executors."""
 
 from .accounting import EvalResult, ExecutionTrace
+from .executors import BatchEvaluator, OracleRuntime, RuntimeStats
+from .oracle_runner import OracleRunResult, run_with_oracle
 
-__all__ = ["EvalResult", "ExecutionTrace"]
+__all__ = [
+    "EvalResult",
+    "ExecutionTrace",
+    "BatchEvaluator",
+    "OracleRuntime",
+    "RuntimeStats",
+    "OracleRunResult",
+    "run_with_oracle",
+]

@@ -30,14 +30,25 @@ class ExecutionTrace:
     def __init__(self, keep_batches: bool = False):
         self.degrees: List[int] = []
         self.batches: Optional[List[tuple]] = [] if keep_batches else None
+        #: wall-clock seconds per step, for runs driven by a real
+        #: executor runtime (empty for pure model-step runs).
+        self.step_seconds: List[float] = []
 
-    def record(self, batch: Sequence) -> None:
-        """Record one basic step that processed ``batch`` units."""
+    def record(
+        self, batch: Sequence, *, seconds: Optional[float] = None
+    ) -> None:
+        """Record one basic step that processed ``batch`` units.
+
+        ``seconds`` optionally attaches the step's wall-clock cost
+        (oracle-runtime runs); model-step runs leave it unset.
+        """
         if not batch:
             raise ModelViolationError("a basic step must do some work")
         self.degrees.append(len(batch))
         if self.batches is not None:
             self.batches.append(tuple(batch))
+        if seconds is not None:
+            self.step_seconds.append(seconds)
 
     # -- derived quantities ---------------------------------------------
     @property
@@ -54,6 +65,11 @@ class ExecutionTrace:
     def processors(self) -> int:
         """Maximum parallel degree over the execution."""
         return max(self.degrees) if self.degrees else 0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total recorded wall-clock seconds (0.0 for model-step runs)."""
+        return sum(self.step_seconds)
 
     def degree_histogram(self) -> Dict[int, int]:
         """``{k: t_k}`` — the step counts by parallel degree."""

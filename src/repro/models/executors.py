@@ -1,21 +1,47 @@
-"""Optional OS-level parallel leaf evaluation.
+"""OS-level parallel leaf evaluation: batch evaluator and runtime.
 
 The paper's models charge one unit per leaf evaluation and assume the
 batch is evaluated simultaneously.  All measurements in this repository
 are model-step counts (CPython's GIL makes wall-clock speed-up of pure
 Python unobservable), but when the *leaf oracle itself* is expensive —
 a game-position evaluator, a SAT call — evaluating a step's batch
-across OS processes is real parallelism.  ``BatchEvaluator`` does that
-with :mod:`concurrent.futures`; it exists to demonstrate that the
-width-w batches are embarrassingly parallel, not to generate paper
-numbers.
+across OS processes is real parallelism.
+
+Two layers are provided:
+
+* :class:`BatchEvaluator` — the thin original wrapper: one
+  ``executor.map`` per batch, no failure handling.  Kept as the
+  simplest demonstration that width-w batches are embarrassingly
+  parallel.
+* :class:`OracleRuntime` — a persistent process-pool runtime for whole
+  runs: batches are split into chunks (one pickled task per chunk, not
+  per leaf), failed chunks are retried with bounded exponential
+  backoff, a broken pool is rebuilt between retry rounds, and
+  :class:`RuntimeStats` counts batches/chunks/retries/restarts and
+  wall-clock spent.  Exhausting the retry budget raises
+  :class:`~repro.errors.WorkerCrashError`.
+
+This module intentionally measures wall-clock time (it exists to
+produce wall-clock numbers, see ``repro bench --wallclock``); it is
+therefore exempt from the R2 determinism lint alongside
+``models/oracle_runner.py``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence
+import math
+import os
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..errors import WorkerCrashError
 
 
 class BatchEvaluator:
@@ -54,3 +80,214 @@ class BatchEvaluator:
         if self._executor is None:
             raise RuntimeError("use BatchEvaluator as a context manager")
         return list(self._executor.map(self.oracle, payloads))
+
+
+def _eval_chunk(oracle: Callable[[Any], Any], chunk: List[Any]) -> List[Any]:
+    """Worker-side task: evaluate one chunk serially (module-level so it
+    pickles by reference)."""
+    return [oracle(item) for item in chunk]
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated by :class:`OracleRuntime` across batches."""
+
+    #: batches completed through :meth:`OracleRuntime.evaluate`.
+    batches: int = 0
+    #: chunk tasks dispatched (including re-dispatches).
+    chunks: int = 0
+    #: payloads evaluated (each counted once even if its chunk retried).
+    units: int = 0
+    #: retry rounds actually run after a round with failed chunks
+    #: (the final, exhausted round raises instead of counting).
+    retries: int = 0
+    #: process pools torn down and rebuilt after a worker crash.
+    pool_restarts: int = 0
+    #: wall-clock seconds spent inside ``evaluate`` calls.
+    oracle_seconds: float = 0.0
+    #: wall-clock seconds of the most recent batch.
+    last_batch_seconds: float = 0.0
+    #: size of the most recent batch.
+    last_batch_size: int = 0
+
+
+class OracleRuntime:
+    """Persistent worker-pool runtime for per-step oracle batches.
+
+    Parameters
+    ----------
+    oracle:
+        Maps one payload to its value.  With the default process pool
+        it must be picklable (module-level function).
+    max_workers:
+        Pool size (``None``: let the executor pick).
+    chunk_size:
+        Payloads per worker task; ``None`` splits each batch evenly
+        across the workers (one task per worker when possible).
+    max_retries:
+        Retry *rounds* allowed per batch after a round with failures.
+    backoff_seconds / max_backoff_seconds:
+        Exponential backoff between retry rounds: the n-th retry waits
+        ``min(backoff_seconds * 2**(n-1), max_backoff_seconds)``.
+    executor_factory:
+        Builds the pool; defaults to ``ProcessPoolExecutor``.  Tests
+        inject thread pools here to exercise the retry machinery
+        without process spawn cost.
+    sleep:
+        Injectable sleep (tests pass a recorder to assert on backoff).
+
+    Use as a context manager, or call :meth:`close` when done; the pool
+    persists across batches either way.
+    """
+
+    def __init__(
+        self,
+        oracle: Callable[[Any], Any],
+        *,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+        max_backoff_seconds: float = 1.0,
+        executor_factory: Optional[Callable[[], Executor]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.oracle = oracle
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self._factory: Callable[[], Executor] = executor_factory or (
+            lambda: ProcessPoolExecutor(max_workers=self.max_workers)
+        )
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._pool: Optional[Executor] = None
+        self.stats = RuntimeStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "OracleRuntime":
+        self._ensure_pool()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._factory()
+        return self._pool
+
+    def restart_pool(self) -> None:
+        """Tear down the (broken) pool and build a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.stats.pool_restarts += 1
+        self._ensure_pool()
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(self, payloads: Sequence[Any]) -> List[Any]:
+        """Evaluate one batch; order of results matches ``payloads``.
+
+        Chunks that fail (worker exception or worker death) are retried
+        in bounded-backoff rounds; already-successful chunks are not
+        recomputed.  Raises :class:`~repro.errors.WorkerCrashError`
+        once ``max_retries`` rounds have been exhausted.
+        """
+        items = list(payloads)
+        start = time.perf_counter()
+        results: List[Any] = [None] * len(items)
+        pending = self._split(items)
+        attempt = 0
+        while pending:
+            pending, error = self._dispatch_round(pending, results)
+            if pending:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise WorkerCrashError(
+                        f"oracle batch failed after {self.max_retries} "
+                        f"retries ({len(pending)} chunk(s) outstanding)"
+                    ) from error
+                self.stats.retries += 1
+                self._sleep(
+                    min(
+                        self.backoff_seconds * 2 ** (attempt - 1),
+                        self.max_backoff_seconds,
+                    )
+                )
+        elapsed = time.perf_counter() - start
+        stats = self.stats
+        stats.batches += 1
+        stats.units += len(items)
+        stats.oracle_seconds += elapsed
+        stats.last_batch_seconds = elapsed
+        stats.last_batch_size = len(items)
+        return results
+
+    def _split(self, items: List[Any]) -> List[Tuple[int, List[Any]]]:
+        """Cut a batch into ``(start_offset, chunk)`` tasks."""
+        if not items:
+            return []
+        size = self.chunk_size
+        if size is None:
+            workers = self.max_workers or os.cpu_count() or 1
+            size = max(1, math.ceil(len(items) / workers))
+        return [
+            (i, items[i : i + size]) for i in range(0, len(items), size)
+        ]
+
+    def _dispatch_round(
+        self,
+        chunks: List[Tuple[int, List[Any]]],
+        results: List[Any],
+    ) -> Tuple[List[Tuple[int, List[Any]]], Optional[BaseException]]:
+        """Run one round; return (failed chunks, last error seen)."""
+        submitted: List[Tuple[int, List[Any], Optional[Future]]] = []
+        pool = self._ensure_pool()
+        broken = False
+        error: Optional[BaseException] = None
+        for start, chunk in chunks:
+            self.stats.chunks += 1
+            if broken:
+                submitted.append((start, chunk, None))
+                continue
+            try:
+                fut = pool.submit(_eval_chunk, self.oracle, chunk)
+            except (BrokenExecutor, RuntimeError) as exc:
+                # Pool already broken/shut down: fail the rest of the
+                # round fast and let the retry machinery rebuild it.
+                broken = True
+                error = exc
+                submitted.append((start, chunk, None))
+            else:
+                submitted.append((start, chunk, fut))
+        failed: List[Tuple[int, List[Any]]] = []
+        for start, chunk, fut in submitted:
+            if fut is None:
+                failed.append((start, chunk))
+                continue
+            try:
+                values = fut.result()
+            except BrokenExecutor as exc:
+                broken = True
+                error = exc
+                failed.append((start, chunk))
+            except Exception as exc:
+                error = exc
+                failed.append((start, chunk))
+            else:
+                results[start : start + len(values)] = values
+        if broken:
+            self.restart_pool()
+        return failed, error

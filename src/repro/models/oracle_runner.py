@@ -34,6 +34,7 @@ from ..core.solve_engine import Policy
 from ..core.status import BooleanState
 from ..errors import ModelViolationError
 from ..models.accounting import ExecutionTrace
+from ..models.executors import OracleRuntime
 from ..trees.base import GameTree, NodeId
 
 
@@ -85,6 +86,7 @@ def run_with_oracle(
     *,
     payload: Callable[[GameTree, NodeId], Any] = None,
     max_steps: Optional[int] = None,
+    runtime: Optional[OracleRuntime] = None,
 ) -> OracleRunResult:
     """Evaluate ``tree`` with leaf values produced by ``oracle``.
 
@@ -100,9 +102,19 @@ def run_with_oracle(
         Maps (tree, leaf) to the oracle's input; defaults to the
         tree's own leaf value (useful when the oracle post-processes
         stored payloads, as game trees do).
+    runtime:
+        An :class:`~repro.models.executors.OracleRuntime` to dispatch
+        batches through instead of ``executor`` — adds chunking,
+        crash retries and runtime counters.  The runtime's own oracle
+        is used, so ``oracle`` is ignored when this is given.
+
+    Per-step wall-clock times are recorded in the trace's
+    ``step_seconds``.
     """
     if payload is None:
         payload = lambda t, leaf: t.leaf_value(leaf)  # noqa: E731
+    if runtime is not None and executor is not None:
+        raise ValueError("pass either executor or runtime, not both")
 
     cache: Dict[NodeId, int] = {}
     view = _OracleLeafView(tree, cache)
@@ -113,32 +125,33 @@ def run_with_oracle(
     oracle_time = 0.0
     root = tree.root
 
-    def eval_batch(batch: List[NodeId]) -> None:
+    def eval_batch(batch: List[NodeId]) -> float:
         nonlocal oracle_time
         inputs = [payload(tree, leaf) for leaf in batch]
         t0 = time.perf_counter()
-        if executor is None:
+        if runtime is not None:
+            outputs = runtime.evaluate(inputs)
+        elif executor is None:
             outputs = [oracle(x) for x in inputs]
         else:
             outputs = list(executor.map(oracle, inputs))
-        oracle_time += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        oracle_time += elapsed
         for leaf, out in zip(batch, outputs):
             cache[leaf] = int(out)
+        return elapsed
 
+    # Height-0 trees take the normal loop: every policy selects the
+    # root leaf itself.
     step = 0
-    if tree.is_leaf(root):
-        eval_batch([root])
-        state.evaluate_leaf(root)
-        trace.record([root])
-        evaluated.append(root)
     while root not in state.value:
         batch = policy(view, state)
         if not batch:
             raise ModelViolationError("policy selected no leaves")
-        eval_batch(batch)
+        seconds = eval_batch(batch)
         for leaf in batch:
             state.evaluate_leaf(leaf)
-        trace.record(batch)
+        trace.record(batch, seconds=seconds)
         evaluated.extend(batch)
         step += 1
         if max_steps is not None and step > max_steps:

@@ -2,9 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 from hypothesis import strategies as st
+
+# CI runs with HYPOTHESIS_PROFILE=ci: fully deterministic example
+# generation (fixed derivation from the test body, no timing-dependent
+# deadline failures), so a red property job is always reproducible
+# locally by exporting the same variable.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+_profile = os.environ.get("HYPOTHESIS_PROFILE")
+if _profile:
+    hypothesis_settings.load_profile(_profile)
 
 from repro.trees import ExplicitTree
 from repro.types import Gate, TreeKind

@@ -1,0 +1,165 @@
+"""Unit tests for the incremental frontier engine."""
+
+import pytest
+
+from repro.core.frontier import (
+    FrontierIndex,
+    IncrementalSequentialPolicy,
+    IncrementalTeamPolicy,
+    IncrementalWidthPolicy,
+)
+from repro.core.policies import WidthPolicy, rank_by_urgency
+from repro.core.status import BooleanState
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import level_invariant_bias
+
+
+def _index(tree, state, width):
+    idx = FrontierIndex(
+        tree, state, width=width, settled=state.value.__contains__
+    )
+    state.subscribe(idx.on_settled)
+    return idx
+
+
+@pytest.fixture
+def tree():
+    return iid_boolean(3, 4, level_invariant_bias(3), seed=7)
+
+
+class TestConstruction:
+    def test_negative_width_rejected(self, tree):
+        state = BooleanState(tree)
+        with pytest.raises(ValueError):
+            FrontierIndex(
+                tree, state, width=-1,
+                settled=state.value.__contains__,
+            )
+
+    def test_initial_batch_matches_rescan(self, tree):
+        for width in (0, 1, 2, 5):
+            state = BooleanState(tree)
+            idx = _index(tree, state, width)
+            assert idx.batch() == WidthPolicy(width)(tree, state)
+
+
+class TestMidRunBind:
+    """An index built against a half-evaluated state must agree with a
+    fresh rescan — binding time must not matter."""
+
+    def test_batch_matches_after_partial_run(self, tree):
+        width = 2
+        state = BooleanState(tree)
+        driver = _index(tree, state, width)
+        for _ in range(5):
+            for leaf in driver.batch():
+                state.evaluate_leaf(leaf)
+        late_state = BooleanState(tree)
+        for leaf in state.evaluated:
+            # Replay evaluations in a fresh state for the late binder.
+            if late_state.is_live(leaf) and leaf not in late_state.evaluated:
+                late_state.evaluate_leaf(leaf)
+        late = _index(tree, late_state, width)
+        assert late.batch() == WidthPolicy(width)(tree, late_state)
+
+    def test_pruning_numbers_match_state(self, tree):
+        width = 3
+        state = BooleanState(tree)
+        idx = _index(tree, state, width)
+        for _ in range(4):
+            batch = idx.batch()
+            if not batch:
+                break
+            for leaf in batch:
+                assert idx.pruning_number(leaf) == \
+                    state.pruning_number(leaf)
+            for leaf in batch:
+                state.evaluate_leaf(leaf)
+
+
+class TestSelection:
+    def test_most_urgent_equals_rank_by_urgency(self, tree):
+        width, procs = 3, 2
+        state = BooleanState(tree)
+        idx = _index(tree, state, width)
+        while True:
+            scored = idx.scored_batch()
+            if not scored:
+                break
+            expected = (
+                [leaf for leaf, _ in scored]
+                if len(scored) <= procs
+                else rank_by_urgency(scored, procs)
+            )
+            selection = idx.most_urgent(procs)
+            assert selection == expected
+            for leaf in selection:
+                state.evaluate_leaf(leaf)
+
+    def test_first_returns_leftmost(self, tree):
+        state = BooleanState(tree)
+        idx = FrontierIndex(
+            tree, state, width=None,
+            settled=state.value.__contains__,
+        )
+        batch = idx.batch()
+        assert idx.first(3) == batch[:3]
+
+
+class TestRemoval:
+    def test_settled_root_empties_frontier(self, tree):
+        state = BooleanState(tree)
+        idx = _index(tree, state, 2)
+        while idx.batch():
+            for leaf in idx.batch():
+                state.evaluate_leaf(leaf)
+        assert state.root_value() is not None
+        assert idx.batch() == []
+        assert idx.first(10) == []
+
+    def test_settled_subtree_not_selected(self, tree):
+        state = BooleanState(tree)
+        idx = _index(tree, state, 1)
+        batch = idx.batch()
+        for leaf in batch:
+            state.evaluate_leaf(leaf)
+        for leaf in idx.batch():
+            assert state.is_live(leaf)
+            assert leaf not in state.evaluated
+
+
+class TestUnboundedMode:
+    def test_no_budgets(self, tree):
+        state = BooleanState(tree)
+        idx = FrontierIndex(
+            tree, state, width=None,
+            settled=state.value.__contains__,
+        )
+        with pytest.raises(ValueError):
+            idx.scored_batch()
+        with pytest.raises(ValueError):
+            idx.most_urgent(2)
+        with pytest.raises(ValueError):
+            idx.pruning_number(tree.root)
+
+
+class TestPolicyBinding:
+    def test_index_rebound_per_state(self, tree):
+        policy = IncrementalWidthPolicy(1)
+        s1, s2 = BooleanState(tree), BooleanState(tree)
+        first = policy(tree, s1)
+        for leaf in first:
+            s1.evaluate_leaf(leaf)
+        # A new state must get a fresh index, not the advanced one.
+        assert policy(tree, s2) == first
+
+    def test_policy_names_mention_backend(self):
+        assert "incremental" in IncrementalWidthPolicy(2).name
+        assert "incremental" in IncrementalTeamPolicy(3).name
+        assert "incremental" in IncrementalSequentialPolicy().name
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalWidthPolicy(-1)
+        with pytest.raises(ValueError):
+            IncrementalTeamPolicy(0)

@@ -75,3 +75,45 @@ class TestEngineBasics:
         res = run_boolean(t, WidthPolicy(1))
         assert res.num_steps == 1
         assert res.value == 1  # six NOT gates over 1
+
+
+class TestHeightZeroMainLoop:
+    """Height-0 trees run through the main loop — no degenerate path.
+
+    Regression: ``run_boolean`` used to special-case single-leaf trees
+    and return before consulting the policy, skipping validation,
+    tracing and the ``on_step`` hook.
+    """
+
+    def _leaf_tree(self):
+        return ExplicitTree([()], {0: 1})
+
+    def test_policy_is_consulted(self):
+        calls = []
+
+        def policy(tree, state):
+            calls.append(True)
+            return [tree.root]
+
+        res = run_boolean(self._leaf_tree(), policy)
+        assert calls == [True]
+        assert res.value == 1
+
+    def test_validate_batches_enforced(self):
+        t = self._leaf_tree()
+        # A policy violating the contract (duplicate selection) must
+        # be caught even when the whole tree is a single leaf.
+        bad = lambda tree, state: [tree.root, tree.root]
+        with pytest.raises(ModelViolationError):
+            run_boolean(t, bad, validate_batches=True)
+
+    def test_on_step_and_trace_fire_once(self):
+        seen = []
+        res = run_boolean(
+            self._leaf_tree(), SequentialPolicy(),
+            keep_batches=True,
+            on_step=lambda state, i, batch: seen.append((i, tuple(batch))),
+        )
+        assert seen == [(0, (0,))]
+        assert res.trace.degrees == [1]
+        assert res.trace.batches == [(0,)]

@@ -176,8 +176,10 @@ def test_r1_ignores_counters_outside_model_scopes():
 def test_r2_allowlists_oracle_runner_and_bench():
     src = "import time\nstart = time.perf_counter()\n"
     assert lint_source(src, "models/oracle_runner.py") == []
+    assert lint_source(src, "models/executors.py") == []
     assert lint_source(src, "bench/harness.py") == []
     assert lint_source(src, "core/solve_engine.py") != []
+    assert lint_source(src, "models/accounting.py") != []
 
 
 def test_r2_flags_default_rng_with_literal_none_seed():

@@ -36,3 +36,191 @@ class TestBatchEvaluator:
         # Still usable: BatchEvaluator must not own it.
         assert pool.submit(square, 3).result() == 9
         pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# OracleRuntime
+# ---------------------------------------------------------------------------
+import os
+
+from repro.core.policies import WidthPolicy
+from repro.errors import WorkerCrashError
+from repro.models.executors import OracleRuntime
+from repro.models.oracle_runner import run_with_oracle
+from repro.trees.generators import iid_boolean
+
+
+def _thread_factory(workers=2):
+    return lambda: ThreadPoolExecutor(max_workers=workers)
+
+
+def _crash_until_sentinel(payload):
+    """Process-pool oracle: dies hard until the sentinel file exists."""
+    path, value = payload
+    if not os.path.exists(path):
+        with open(path, "w"):
+            pass
+        os._exit(1)  # hard worker death, not an exception
+    return value * 2
+
+
+class TestOracleRuntimeDispatch:
+    def test_chunked_dispatch_preserves_order(self):
+        with OracleRuntime(
+            square, chunk_size=3, executor_factory=_thread_factory(4)
+        ) as rt:
+            assert rt.evaluate(range(10)) == [i * i for i in range(10)]
+            stats = rt.stats
+        assert stats.batches == 1
+        assert stats.units == 10
+        assert stats.chunks == 4  # ceil(10 / 3)
+        assert stats.retries == 0
+        assert stats.pool_restarts == 0
+        assert stats.last_batch_size == 10
+        assert stats.oracle_seconds >= stats.last_batch_seconds >= 0
+
+    def test_default_chunking_splits_across_workers(self):
+        with OracleRuntime(
+            square, max_workers=4, executor_factory=_thread_factory(4)
+        ) as rt:
+            rt.evaluate(range(10))
+            assert rt.stats.chunks == 4  # chunks of ceil(10/4)=3
+
+    def test_pool_persists_across_batches(self):
+        with OracleRuntime(
+            square, executor_factory=_thread_factory()
+        ) as rt:
+            rt.evaluate([1, 2])
+            rt.evaluate([3])
+            assert rt.stats.batches == 2
+            assert rt.stats.units == 3
+
+    def test_empty_batch(self):
+        with OracleRuntime(
+            square, executor_factory=_thread_factory()
+        ) as rt:
+            assert rt.evaluate([]) == []
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OracleRuntime(square, max_retries=-1)
+        with pytest.raises(ValueError):
+            OracleRuntime(square, chunk_size=0)
+
+
+class TestOracleRuntimeRetries:
+    def test_transient_failure_recovers_with_same_values(self):
+        failed = []
+
+        def flaky(x):
+            if x == 5 and not failed:
+                failed.append(x)
+                raise RuntimeError("transient")
+            return x * x
+
+        sleeps = []
+        with OracleRuntime(
+            flaky, chunk_size=2, max_retries=2, backoff_seconds=0.01,
+            executor_factory=_thread_factory(),
+            sleep=sleeps.append,
+        ) as rt:
+            out = rt.evaluate(range(8))
+        # The retry leaves the results exactly as a clean run's.
+        assert out == [i * i for i in range(8)]
+        assert rt.stats.retries == 1
+        assert sleeps == [0.01]
+
+    def test_exhausted_retries_raise_typed_error(self):
+        def always_broken(x):
+            raise ValueError("oracle bug")
+
+        sleeps = []
+        rt = OracleRuntime(
+            always_broken, chunk_size=1, max_retries=2,
+            backoff_seconds=0.05, max_backoff_seconds=1.0,
+            executor_factory=_thread_factory(),
+            sleep=sleeps.append,
+        )
+        with rt:
+            with pytest.raises(WorkerCrashError) as err:
+                rt.evaluate([1])
+        assert isinstance(err.value.__cause__, ValueError)
+        assert rt.stats.retries == 2
+        assert sleeps == [0.05, 0.1]
+
+    def test_backoff_is_capped(self):
+        def always_broken(x):
+            raise ValueError("nope")
+
+        sleeps = []
+        rt = OracleRuntime(
+            always_broken, chunk_size=1, max_retries=3,
+            backoff_seconds=0.5, max_backoff_seconds=0.6,
+            executor_factory=_thread_factory(),
+            sleep=sleeps.append,
+        )
+        with rt, pytest.raises(WorkerCrashError):
+            rt.evaluate([1])
+        assert sleeps == [0.5, 0.6, 0.6]
+
+
+class TestOracleRuntimeCrashes:
+    def test_worker_death_restarts_pool_and_recovers(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        with OracleRuntime(
+            _crash_until_sentinel, max_workers=1, max_retries=3,
+            backoff_seconds=0.01,
+        ) as rt:
+            out = rt.evaluate([(sentinel, 21)])
+        assert out == [42]
+        assert rt.stats.pool_restarts >= 1
+        assert rt.stats.retries >= 1
+
+    def test_usable_after_manual_restart(self):
+        with OracleRuntime(
+            square, executor_factory=_thread_factory()
+        ) as rt:
+            assert rt.evaluate([3]) == [9]
+            rt.restart_pool()
+            assert rt.evaluate([4]) == [16]
+            assert rt.stats.pool_restarts == 1
+
+    def test_close_is_idempotent(self):
+        rt = OracleRuntime(square, executor_factory=_thread_factory())
+        with rt:
+            rt.evaluate([2])
+        rt.close()
+        rt.close()
+
+
+class TestRunWithOracleRuntime:
+    def test_runtime_backed_run_matches_serial(self):
+        tree = iid_boolean(2, 5, 0.4, seed=9)
+
+        def oracle(v):
+            return int(v)
+
+        serial = run_with_oracle(tree, oracle, WidthPolicy(1))
+        with OracleRuntime(
+            oracle, chunk_size=2, executor_factory=_thread_factory()
+        ) as rt:
+            pooled = run_with_oracle(
+                tree, oracle, WidthPolicy(1), runtime=rt
+            )
+        assert pooled.value == serial.value
+        assert pooled.trace.degrees == serial.trace.degrees
+        assert len(pooled.trace.step_seconds) == pooled.num_steps
+        assert pooled.trace.wall_seconds >= 0
+        assert rt.stats.batches == pooled.num_steps
+
+    def test_executor_and_runtime_mutually_exclusive(self):
+        tree = iid_boolean(2, 3, 0.5, seed=0)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with OracleRuntime(
+                int, executor_factory=_thread_factory()
+            ) as rt:
+                with pytest.raises(ValueError):
+                    run_with_oracle(
+                        tree, int, WidthPolicy(1),
+                        executor=pool, runtime=rt,
+                    )
