@@ -1,0 +1,80 @@
+"""E23 — fault-injection overhead on the Section 7 machine.
+
+Convergence first: every faulty run below must return the exact
+fault-free ``val(root)``.  Then overhead: at a 1% fault rate the
+recovery protocol (acks, retransmission, heartbeat supervision) must
+be cheap — the median tick count across seeds stays within 2x of the
+fault-free run for every fault kind.  Higher rates only have to
+converge; their cost is reported, not gated.
+"""
+
+from statistics import median
+
+import pytest
+
+from repro.faults import ALL_FAULT_KINDS, FaultPlan
+from repro.simulator import simulate
+from repro.trees.generators import iid_boolean
+
+HEIGHT = 6
+TREE_SEEDS = range(5)
+PLAN_SEEDS = range(3)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    trees = [
+        iid_boolean(2, HEIGHT, 0.45, seed=s) for s in TREE_SEEDS
+    ]
+    return [(t, simulate(t)) for t in trees]
+
+
+def _tick_ratios(instances, kind, rate):
+    ratios = []
+    for tree, baseline in instances:
+        for plan_seed in PLAN_SEEDS:
+            plan = FaultPlan.with_rate(
+                plan_seed, kind, rate, max_faults=32
+            )
+            res = simulate(tree, fault_plan=plan)
+            assert res.value == baseline.value, (
+                f"{kind}@{rate} seed {plan_seed} diverged"
+            )
+            ratios.append(res.ticks / baseline.ticks)
+    return ratios
+
+
+@pytest.mark.experiment("e23")
+def test_low_rate_overhead_is_bounded(instances):
+    print()
+    for kind in ALL_FAULT_KINDS:
+        ratios = _tick_ratios(instances, kind, 0.01)
+        med = median(ratios)
+        print(f"e23: {kind:>9} @0.01  median_ticks_x={med:.2f} "
+              f"worst={max(ratios):.2f}")
+        # The acceptance bar: rare faults must not degrade the run.
+        assert med <= 2.0, (kind, med)
+
+
+@pytest.mark.experiment("e23")
+def test_high_rates_still_converge(instances):
+    for kind in ALL_FAULT_KINDS:
+        for rate in (0.05, 0.2):
+            ratios = _tick_ratios(instances, kind, rate)
+            print(f"e23: {kind:>9} @{rate:.2f}  "
+                  f"median_ticks_x={median(ratios):.2f}")
+
+
+@pytest.mark.experiment("e23")
+def test_faulty_run_kernel(benchmark):
+    tree = iid_boolean(2, HEIGHT, 0.45, seed=0)
+    plan = FaultPlan(
+        1, drop=0.05, duplicate=0.02, delay=0.02, crash=0.01,
+        max_faults=32,
+    )
+    truth = simulate(tree).value
+
+    def kernel():
+        return simulate(tree, fault_plan=plan).value
+
+    assert benchmark(kernel) == truth

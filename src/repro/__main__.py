@@ -15,7 +15,10 @@ bench --wallclock
     Wall-clock measurements: incremental vs rescan frontier backend,
     and (with ``--workers``) the process-pool oracle runtime.
 lint
-    Static-analysis pass enforcing the model invariants (R1-R5).
+    Static-analysis pass enforcing the model invariants (R1-R6).
+chaos
+    Fault-injection sweep: convergence and overhead under seeded
+    message/processor faults, plus oracle-runtime fault drills.
 """
 
 from __future__ import annotations
@@ -163,6 +166,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import run_chaos
+
+    return run_chaos(
+        height=args.height,
+        num_seeds=args.seeds,
+        rates=tuple(float(r) for r in args.rates.split(",")),
+        kinds=tuple(args.kinds.split(",")),
+        max_faults=args.max_faults,
+        quick=args.quick,
+        runtime=args.runtime,
+    )
+
+
 def _tw(res: EvalResult) -> Tuple[int, int, int]:
     return res.num_steps, res.total_work, res.processors
 
@@ -220,10 +237,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .lint.cli import add_lint_arguments
 
     lint = sub.add_parser(
-        "lint", help="run the invariant static-analysis pass (R1-R5)"
+        "lint", help="run the invariant static-analysis pass (R1-R6)"
     )
     add_lint_arguments(lint)
     lint.set_defaults(fn=_cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep (convergence + overhead)"
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="small fixed grid for CI smoke runs",
+    )
+    chaos.add_argument("--height", type=int, default=6)
+    chaos.add_argument("--seeds", type=int, default=5)
+    chaos.add_argument(
+        "--rates", type=str, default="0.01,0.05,0.2",
+        help="comma-separated fault rates",
+    )
+    chaos.add_argument(
+        "--kinds", type=str,
+        default="drop,duplicate,delay,reorder,crash,stall",
+        help="comma-separated fault kinds to sweep",
+    )
+    chaos.add_argument(
+        "--max-faults", type=int, default=64,
+        help="cap on injected faults per run (guarantees progress)",
+    )
+    chaos.add_argument(
+        "--runtime", action="store_true",
+        help="also chaos-test the oracle runtime (FaultyExecutor)",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

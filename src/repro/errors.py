@@ -51,3 +51,40 @@ class WorkerCrashError(ReproError):
     kept raising.  The last underlying exception is chained as
     ``__cause__``.
     """
+
+
+class DegradedRunError(ReproError):
+    """The oracle runtime's circuit breaker tripped.
+
+    Raised by :class:`repro.models.executors.OracleRuntime` after
+    ``max_consecutive_rebuilds`` worker pools in a row broke (crashes
+    or chunk timeouts) without a single clean dispatch round in
+    between: the environment is considered too unhealthy to keep
+    hammering, and the partial results gathered so far are carried
+    along instead of being thrown away.
+
+    Attributes
+    ----------
+    partial:
+        The batch's result slots; unfinished entries are ``None``.
+    completed / pending:
+        How many payloads finished / are still outstanding.
+    steps_completed:
+        Filled in by :func:`repro.models.oracle_runner.run_with_oracle`
+        when the breaker trips mid-run: the number of basic steps that
+        completed before the failing batch.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial: "list | None" = None,
+        completed: int = 0,
+        pending: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.partial = partial if partial is not None else []
+        self.completed = completed
+        self.pending = pending
+        self.steps_completed: "int | None" = None

@@ -1,0 +1,46 @@
+"""Deterministic fault injection and recovery (``repro.faults``).
+
+Two injection surfaces share one discipline — every fault decision
+flows through an explicitly seeded source, so any failing run replays
+bit-identically from its seed:
+
+* **Simulator faults** — :class:`FaultPlan` drives the Section 7
+  machine (``repro.simulator``): drop / duplicate / delay / reorder
+  messages, crash or stall level processors.  The machine's recovery
+  protocol (acknowledged, retransmitted ``val`` messages; heartbeat
+  supervision re-issuing pre-empting invocations; checkpointed
+  restarts) keeps every faulty run convergent to the fault-free
+  ``val(root)``.
+* **Runtime faults** — :class:`FaultyOracle` and
+  :class:`FaultyExecutor` drive the process-pool oracle runtime
+  (``repro.models.executors``): injected exceptions, hangs, slow
+  calls, and broken pools, exercising retries, per-chunk timeouts,
+  pool rebuilds and the circuit breaker.
+
+``python -m repro chaos`` sweeps fault rates over both surfaces and
+prints a convergence/overhead table; see ``docs/fault_injection.md``.
+"""
+
+from .chaos import run_chaos
+from .oracle import FaultyOracle, InjectedFaultError, OracleFaultSpec
+from .plan import (
+    ALL_FAULT_KINDS,
+    MESSAGE_FAULTS,
+    PROCESSOR_FAULTS,
+    FaultPlan,
+    ScheduleEntry,
+)
+from .runtime import FaultyExecutor
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "MESSAGE_FAULTS",
+    "PROCESSOR_FAULTS",
+    "FaultPlan",
+    "FaultyExecutor",
+    "FaultyOracle",
+    "InjectedFaultError",
+    "OracleFaultSpec",
+    "ScheduleEntry",
+    "run_chaos",
+]

@@ -1,0 +1,119 @@
+"""Deterministic fault wrapper for leaf oracles.
+
+:class:`FaultyOracle` wraps a real oracle and injects application-level
+faults — raised exceptions, hangs (sleeps long enough to exceed the
+runtime's per-chunk timeout) and slow calls — exercising the retry,
+timeout, pool-rebuild and circuit-breaker machinery of
+:class:`repro.models.executors.OracleRuntime` without any real
+infrastructure failure.
+
+Decisions are derived by hashing ``(seed, payload)`` with SHA-256, so
+they are deterministic *across worker processes* (no shared RNG state
+is needed, and ``PYTHONHASHSEED`` does not matter): the same payload
+always lands in the same fault bucket for a given seed.  With a
+``transient_dir``, each faulty payload misbehaves only on its first
+attempt — a sentinel file created on the way down makes the retry
+succeed — which is the shape the runtime's recovery machinery is built
+for.
+
+This module deliberately sleeps (that is what a hang *is*), so it is
+exempt from the R2 wall-clock lint alongside ``models/executors.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+class InjectedFaultError(RuntimeError):
+    """The exception :class:`FaultyOracle` raises on an error fault.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it plays
+    the role of a bug in user-supplied oracle code, which the runtime
+    must treat as an arbitrary exception.
+    """
+
+
+@dataclass(frozen=True)
+class OracleFaultSpec:
+    """Configuration of a :class:`FaultyOracle` (picklable, frozen).
+
+    Rates partition the unit interval: a payload whose hash-derived
+    uniform lands in ``[0, error_rate)`` raises, in
+    ``[error_rate, error_rate + hang_rate)`` hangs for
+    ``hang_seconds``, in the next ``slow_rate``-sized band sleeps
+    ``slow_seconds`` and then answers normally.
+
+    ``transient_dir`` (a shared directory path) makes error and hang
+    faults one-shot per payload: the first attempt misbehaves and
+    drops a sentinel file, every later attempt succeeds.  Without it,
+    faulty payloads misbehave on every attempt (the shape that trips
+    the circuit breaker).
+    """
+
+    seed: int
+    error_rate: float = 0.0
+    hang_rate: float = 0.0
+    slow_rate: float = 0.0
+    hang_seconds: float = 30.0
+    slow_seconds: float = 0.01
+    transient_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        total = self.error_rate + self.hang_rate + self.slow_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("fault rates must sum into [0, 1]")
+
+
+class FaultyOracle:
+    """Picklable oracle wrapper injecting seeded faults.
+
+    Use exactly like the wrapped oracle::
+
+        oracle = FaultyOracle(real_oracle, OracleFaultSpec(
+            seed=7, error_rate=0.1, transient_dir=str(tmp)))
+        with OracleRuntime(oracle, ...) as rt:
+            rt.evaluate(payloads)
+    """
+
+    def __init__(
+        self, oracle: Callable[[Any], Any], spec: OracleFaultSpec
+    ) -> None:
+        self.oracle = oracle
+        self.spec = spec
+
+    def _draw(self, payload: Any) -> tuple:
+        """Deterministic ``(uniform, digest)`` for one payload."""
+        blob = f"{self.spec.seed}:{payload!r}".encode()
+        digest = hashlib.sha256(blob).hexdigest()
+        return int(digest[:12], 16) / float(16 ** 12), digest
+
+    def _transient_spent(self, digest: str) -> bool:
+        """True when this payload already misbehaved once (sentinel)."""
+        if self.spec.transient_dir is None:
+            return False
+        sentinel = os.path.join(self.spec.transient_dir, digest[:24])
+        if os.path.exists(sentinel):
+            return True
+        with open(sentinel, "w"):
+            pass
+        return False
+
+    def __call__(self, payload: Any) -> Any:
+        spec = self.spec
+        u, digest = self._draw(payload)
+        if u < spec.error_rate:
+            if not self._transient_spent(digest):
+                raise InjectedFaultError(
+                    f"injected oracle error (seed={spec.seed})"
+                )
+        elif u < spec.error_rate + spec.hang_rate:
+            if not self._transient_spent(digest):
+                time.sleep(spec.hang_seconds)
+        elif u < spec.error_rate + spec.hang_rate + spec.slow_rate:
+            time.sleep(spec.slow_seconds)
+        return self.oracle(payload)

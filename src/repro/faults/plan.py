@@ -1,0 +1,250 @@
+"""Deterministic, seeded fault plans for the Section 7 machine.
+
+A :class:`FaultPlan` is the single source of every fault decision in a
+simulated run: the machine consults it at dispatch time (drop /
+duplicate / delay a message), at delivery time (reorder one tick's
+arrival batch) and once per tick per level (crash / stall a
+processor).  All randomness comes from one ``numpy`` generator
+constructed from an explicit seed, and the machine consults the plan
+in a deterministic order, so a run with a given ``(tree, plan seed)``
+pair replays bit-identically — a failing chaos run is always
+reproducible from its seed alone.
+
+Two decision sources compose:
+
+* **rates** — per-message / per-(level, tick) probabilities drawn from
+  the seeded generator, optionally capped by ``max_faults`` so the
+  tail of a run is guaranteed fault-free;
+* **schedule** — explicit :class:`ScheduleEntry` rows that fire
+  deterministically (by message sequence number or by ``(tick,
+  level)``), used to script exact failure scenarios in tests.
+
+The plan never imports the simulator; the machine holds the only
+reference, so the dependency points one way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Message-level fault kinds a plan may inject at dispatch time.
+MESSAGE_FAULTS = ("drop", "duplicate", "delay")
+
+#: Processor-level fault kinds a plan may inject per (level, tick).
+PROCESSOR_FAULTS = ("crash", "stall")
+
+#: Every fault kind accepted by :meth:`FaultPlan.with_rate` / the CLI.
+ALL_FAULT_KINDS = MESSAGE_FAULTS + ("reorder",) + PROCESSOR_FAULTS
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One explicitly scripted fault.
+
+    Message faults (``drop`` / ``duplicate`` / ``delay``) target the
+    message whose global sequence number equals ``seq``; processor
+    faults (``crash`` / ``stall``) target ``level`` at ``tick``.
+    ``duration`` is the extra delivery delay in ticks for ``delay``
+    and the outage length for ``crash`` / ``stall``.
+    """
+
+    kind: str
+    seq: Optional[int] = None
+    tick: Optional[int] = None
+    level: Optional[int] = None
+    duration: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_FAULTS + PROCESSOR_FAULTS:
+            raise ValueError(f"unknown scheduled fault kind {self.kind!r}")
+        if self.kind in MESSAGE_FAULTS and self.seq is None:
+            raise ValueError(f"{self.kind!r} schedule entries need seq=")
+        if self.kind in PROCESSOR_FAULTS and (
+            self.tick is None or self.level is None
+        ):
+            raise ValueError(
+                f"{self.kind!r} schedule entries need tick= and level="
+            )
+
+
+class FaultPlan:
+    """Seeded fault schedule consulted by the machine.
+
+    Parameters
+    ----------
+    seed:
+        Explicit RNG seed; two plans with equal configuration and seed
+        make identical decisions.
+    drop / duplicate / delay / reorder / crash / stall:
+        Fault rates.  The first three are per-message probabilities
+        (mutually exclusive per message), ``reorder`` is a
+        per-delivery-batch probability of shuffling that tick's
+        arrivals, and ``crash`` / ``stall`` are per-(level, tick)
+        probabilities.
+    max_delay:
+        Delayed messages arrive ``1 + U{1..max_delay}`` ticks late.
+    stall_ticks / restart_ticks:
+        Outage lengths for stalls and crash restarts.
+    schedule:
+        Explicit :class:`ScheduleEntry` rows, applied on top of (and
+        regardless of) the rates and ``max_faults``.
+    max_faults:
+        Cap on the number of *rate-driven* faults injected per run;
+        ``None`` means unlimited.  A finite cap guarantees the tail of
+        the run is fault-free, which bounds recovery time in tests.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        reorder: float = 0.0,
+        crash: float = 0.0,
+        stall: float = 0.0,
+        max_delay: int = 3,
+        stall_ticks: int = 4,
+        restart_ticks: int = 2,
+        schedule: Sequence[ScheduleEntry] = (),
+        max_faults: Optional[int] = None,
+    ):
+        rates = dict(drop=drop, duplicate=duplicate, delay=delay,
+                     reorder=reorder, crash=crash, stall=stall)
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1]")
+        if drop + duplicate + delay > 1.0:
+            raise ValueError("drop + duplicate + delay must be <= 1")
+        if crash + stall > 1.0:
+            raise ValueError("crash + stall must be <= 1")
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        if stall_ticks < 1 or restart_ticks < 1:
+            raise ValueError("outage lengths must be >= 1")
+        self.seed = seed
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.reorder = reorder
+        self.crash = crash
+        self.stall = stall
+        self.max_delay = max_delay
+        self.stall_ticks = stall_ticks
+        self.restart_ticks = restart_ticks
+        self.schedule = tuple(schedule)
+        self.max_faults = max_faults
+        self._message_schedule = {
+            entry.seq: entry for entry in self.schedule
+            if entry.kind in MESSAGE_FAULTS
+        }
+        self._proc_schedule = {
+            (entry.tick, entry.level): entry for entry in self.schedule
+            if entry.kind in PROCESSOR_FAULTS
+        }
+        self.begin_run()
+
+    # -- lifecycle ---------------------------------------------------------
+    def begin_run(self) -> None:
+        """Reset the generator and counters for a (re)play of one run."""
+        self._rng = np.random.default_rng(self.seed)
+        self.injected = 0
+
+    @property
+    def _armed(self) -> bool:
+        return self.max_faults is None or self.injected < self.max_faults
+
+    def _count(self) -> None:
+        self.injected += 1
+
+    # -- decision points ---------------------------------------------------
+    def message_fault(
+        self, seq: int, kind_name: str, tick: int
+    ) -> Optional[Tuple[str, int]]:
+        """Dispatch-time decision for one message.
+
+        Returns ``None`` (deliver normally) or ``(fault, duration)``
+        where fault is ``"drop"`` / ``"duplicate"`` / ``"delay"`` and
+        ``duration`` is the extra delay in ticks (0 unless delaying).
+        """
+        entry = self._message_schedule.get(seq)
+        if entry is not None:
+            return entry.kind, entry.duration if entry.kind == "delay" else 0
+        if self.drop == self.duplicate == self.delay == 0.0:
+            return None
+        u = float(self._rng.random())
+        if not self._armed:
+            return None
+        if u < self.drop:
+            self._count()
+            return "drop", 0
+        if u < self.drop + self.duplicate:
+            self._count()
+            return "duplicate", 0
+        if u < self.drop + self.duplicate + self.delay:
+            self._count()
+            return "delay", int(self._rng.integers(1, self.max_delay + 1))
+        return None
+
+    def reorder_batch(self, tick: int, size: int) -> Optional[List[int]]:
+        """Delivery-time decision: permutation of one tick's arrivals.
+
+        Returns ``None`` to keep arrival order, else a permutation of
+        ``range(size)`` to apply before the batch is handed to the
+        processors.
+        """
+        if size < 2 or self.reorder == 0.0:
+            return None
+        u = float(self._rng.random())
+        if not self._armed or u >= self.reorder:
+            return None
+        perm = [int(i) for i in self._rng.permutation(size)]
+        if perm == sorted(perm):
+            return None
+        self._count()
+        return perm
+
+    def processor_fault(
+        self, level: int, tick: int
+    ) -> Optional[Tuple[str, int]]:
+        """Per-(level, tick) decision: ``(kind, outage_ticks)`` or None."""
+        entry = self._proc_schedule.get((tick, level))
+        if entry is not None:
+            return entry.kind, entry.duration
+        if self.crash == self.stall == 0.0:
+            return None
+        u = float(self._rng.random())
+        if not self._armed:
+            return None
+        if u < self.crash:
+            self._count()
+            return "crash", self.restart_ticks
+        if u < self.crash + self.stall:
+            self._count()
+            return "stall", self.stall_ticks
+        return None
+
+    # -- convenience -------------------------------------------------------
+    @classmethod
+    def with_rate(
+        cls, seed: int, kind: str, rate: float, **kwargs
+    ) -> "FaultPlan":
+        """Plan injecting a single fault ``kind`` at ``rate``."""
+        if kind not in ALL_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} "
+                f"(known: {', '.join(ALL_FAULT_KINDS)})"
+            )
+        return cls(seed, **{kind: rate}, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rates = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in ALL_FAULT_KINDS
+            if getattr(self, name)
+        )
+        return f"FaultPlan(seed={self.seed}, {rates or 'quiet'})"

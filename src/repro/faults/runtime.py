@@ -1,0 +1,93 @@
+"""Executor-level fault hooks for the oracle runtime.
+
+:class:`FaultyExecutor` wraps any :class:`concurrent.futures.Executor`
+and injects infrastructure-level failures at the submission boundary —
+``BrokenExecutor`` on submit (a dead pool) and futures that resolve to
+an injected exception (a task lost to a worker failure).  Unlike
+killing real worker processes, the injection is deterministic (seeded)
+and runs at thread-pool speed, so the retry / pool-rebuild / circuit
+breaker paths of :class:`repro.models.executors.OracleRuntime` can be
+exercised exhaustively in unit tests.
+
+All decisions flow from one seeded generator in submission order, so a
+failing configuration replays identically from its seed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor, Executor, Future
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .oracle import InjectedFaultError
+
+
+class FaultyExecutor(Executor):
+    """Executor wrapper injecting seeded submission-time faults.
+
+    Parameters
+    ----------
+    inner:
+        The real executor doing the work.
+    seed:
+        Explicit seed for the decision stream.
+    broken_rate:
+        Probability that ``submit`` raises :class:`BrokenExecutor`
+        (the caller must rebuild the pool, as with a dead process
+        pool).
+    task_error_rate:
+        Probability that a submitted task's future resolves to an
+        :class:`~repro.faults.oracle.InjectedFaultError` instead of
+        running.
+    max_faults:
+        Cap on injected faults; afterwards the wrapper is transparent
+        (guarantees overall progress in tests).
+    """
+
+    def __init__(
+        self,
+        inner: Executor,
+        *,
+        seed: int,
+        broken_rate: float = 0.0,
+        task_error_rate: float = 0.0,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= broken_rate + task_error_rate <= 1.0:
+            raise ValueError("fault rates must sum into [0, 1]")
+        self.inner = inner
+        self.seed = seed
+        self.broken_rate = broken_rate
+        self.task_error_rate = task_error_rate
+        self.max_faults = max_faults
+        self.injected = 0
+        self._rng = np.random.default_rng(seed)
+
+    def _armed(self) -> bool:
+        return self.max_faults is None or self.injected < self.max_faults
+
+    def submit(
+        self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any
+    ) -> "Future[Any]":
+        u = float(self._rng.random())
+        if self._armed():
+            if u < self.broken_rate:
+                self.injected += 1
+                raise BrokenExecutor(
+                    f"injected pool breakage (seed={self.seed})"
+                )
+            if u < self.broken_rate + self.task_error_rate:
+                self.injected += 1
+                failed: "Future[Any]" = Future()
+                failed.set_exception(
+                    InjectedFaultError(
+                        f"injected task failure (seed={self.seed})"
+                    )
+                )
+                return failed
+        return self.inner.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, *,
+                 cancel_futures: bool = False) -> None:
+        self.inner.shutdown(wait=wait, cancel_futures=cancel_futures)

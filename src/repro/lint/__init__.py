@@ -1,11 +1,11 @@
 """Static analysis enforcing the reproduction's model invariants.
 
-The rules (R1–R5, see ``docs/static_analysis.md``) mechanically check
+The rules (R1–R6, see ``docs/static_analysis.md``) mechanically check
 the conventions the paper's theorems rely on: all work is charged
 through :class:`~repro.models.accounting.ExecutionTrace`, all
 randomness is explicitly seeded, the Section 7 simulator dispatches on
-every message kind, message payloads are immutable, and the public API
-surface stays truthful.
+every message kind, message payloads are immutable, the public API
+surface stays truthful, and no exception is silently swallowed.
 
 Run it as ``python -m repro lint [paths]`` or programmatically::
 
@@ -24,7 +24,7 @@ from .base import (
 from .findings import Finding, Severity, render_json, render_text
 from .runner import lint_paths, lint_source
 from .suppress import SuppressionTable, parse_suppressions
-from . import rules  # noqa: F401  (importing registers R1-R5)
+from . import rules  # noqa: F401  (importing registers R1-R6)
 
 __all__ = [
     "Finding",

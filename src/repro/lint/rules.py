@@ -1,4 +1,4 @@
-"""The paper-specific rules R1–R5.
+"""The paper-specific rules R1–R6.
 
 Each rule protects one discipline the reproduction's correctness
 arguments lean on; ``docs/static_analysis.md`` maps every rule to the
@@ -121,15 +121,19 @@ class DeterminismRule(Rule):
     Forbids the stdlib ``random`` and ``time`` modules, the legacy
     global ``numpy.random.*`` API, unseeded ``default_rng()``, and
     wall-clock ``datetime`` calls — everywhere except the oracle
-    runner, the executor runtime and the bench harness, which measure
-    real elapsed time on purpose.
+    runner, the executor runtime, the hang-injecting fault oracle and
+    the bench harness, which deal in real elapsed time on purpose.
     """
 
     name = "R2"
     title = "determinism (seeded RNG only, no wall-clock)"
     severity = Severity.ERROR
 
-    ALLOWED_PATHS = ("models/oracle_runner.py", "models/executors.py")
+    ALLOWED_PATHS = (
+        "models/oracle_runner.py",
+        "models/executors.py",
+        "faults/oracle.py",
+    )
     ALLOWED_PREFIXES = ("bench/",)
 
     def _exempt(self, ctx: ModuleContext) -> bool:
@@ -592,3 +596,56 @@ class PublicApiRule(Rule):
                     f"__all__ names {name!r} which is not bound in "
                     "the module",
                 )
+
+
+# ---------------------------------------------------------------------------
+# R6 — no swallowed exceptions
+# ---------------------------------------------------------------------------
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """R6: exceptions must not be silently swallowed.
+
+    A fault-injection suite is only trustworthy if failures surface:
+    a ``try``/``except`` that catches everything (bare ``except:``) or
+    whose handler body does nothing (only ``pass``, ``...`` or a bare
+    string) converts an injected fault — or a real bug — into silence.
+    Handle the exception, re-raise it, or narrow the catch to the
+    types the code genuinely recovers from.
+    """
+
+    name = "R6"
+    title = "swallowed exceptions (bare except / except-pass)"
+    severity = Severity.ERROR
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare 'except:' catches everything (including "
+                    "KeyboardInterrupt/SystemExit); name the exception "
+                    "types",
+                )
+            if self._body_is_noop(node.body):
+                yield ctx.finding(
+                    self, node,
+                    "exception handler swallows the error (body does "
+                    "nothing); handle it, re-raise, or narrow the catch",
+                )
+
+    @staticmethod
+    def _body_is_noop(body: Sequence[ast.stmt]) -> bool:
+        """True when every handler statement is pass/Ellipsis/a string."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue
+            return False
+        return True

@@ -25,6 +25,7 @@ from .suppress import parse_suppressions
 #: not itself define the enum and the installed package is unavailable.
 _MSGKIND_FALLBACK = (
     "S_SOLVE", "P_SOLVE", "P_SOLVE2", "P_SOLVE3", "VAL",
+    "ACK", "HEARTBEAT",
 )
 
 

@@ -16,10 +16,16 @@ Two layers are provided:
 * :class:`OracleRuntime` — a persistent process-pool runtime for whole
   runs: batches are split into chunks (one pickled task per chunk, not
   per leaf), failed chunks are retried with bounded exponential
-  backoff, a broken pool is rebuilt between retry rounds, and
-  :class:`RuntimeStats` counts batches/chunks/retries/restarts and
-  wall-clock spent.  Exhausting the retry budget raises
-  :class:`~repro.errors.WorkerCrashError`.
+  backoff, a broken pool is rebuilt between retry rounds, a hung chunk
+  is cut off by ``chunk_timeout`` (the pool is rebuilt, since the
+  stuck worker still occupies it), and :class:`RuntimeStats` counts
+  batches/chunks/retries/timeouts/restarts and wall-clock spent.
+  Exhausting the retry budget raises
+  :class:`~repro.errors.WorkerCrashError`; breaking
+  ``max_consecutive_rebuilds`` pools in a row without a clean round in
+  between trips the circuit breaker, which raises
+  :class:`~repro.errors.DegradedRunError` carrying the partial
+  results instead of hammering a sick environment forever.
 
 This module intentionally measures wall-clock time (it exists to
 produce wall-clock numbers, see ``repro bench --wallclock``); it is
@@ -38,10 +44,11 @@ from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
 )
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from ..errors import WorkerCrashError
+from ..errors import DegradedRunError, WorkerCrashError
 
 
 class BatchEvaluator:
@@ -101,6 +108,8 @@ class RuntimeStats:
     #: retry rounds actually run after a round with failed chunks
     #: (the final, exhausted round raises instead of counting).
     retries: int = 0
+    #: chunk tasks abandoned because they exceeded ``chunk_timeout``.
+    timeouts: int = 0
     #: process pools torn down and rebuilt after a worker crash.
     pool_restarts: int = 0
     #: wall-clock seconds spent inside ``evaluate`` calls.
@@ -129,6 +138,19 @@ class OracleRuntime:
     backoff_seconds / max_backoff_seconds:
         Exponential backoff between retry rounds: the n-th retry waits
         ``min(backoff_seconds * 2**(n-1), max_backoff_seconds)``.
+    chunk_timeout:
+        Wall-clock seconds a dispatched chunk may take before it is
+        abandoned (``None``: wait forever).  A timed-out chunk is
+        retried like a crashed one, and the pool is rebuilt because
+        the hung worker still occupies it (the worker itself may
+        linger until its call returns; the runtime simply stops
+        waiting for it).
+    max_consecutive_rebuilds:
+        Circuit breaker: after this many pool rebuilds in a row with
+        no clean (unbroken) dispatch round in between, ``evaluate``
+        raises :class:`~repro.errors.DegradedRunError` carrying the
+        partial results instead of rebuilding again.  ``None``
+        disables the breaker (retry budget still applies).
     executor_factory:
         Builds the pool; defaults to ``ProcessPoolExecutor``.  Tests
         inject thread pools here to exercise the retry machinery
@@ -149,6 +171,8 @@ class OracleRuntime:
         max_retries: int = 2,
         backoff_seconds: float = 0.05,
         max_backoff_seconds: float = 1.0,
+        chunk_timeout: Optional[float] = None,
+        max_consecutive_rebuilds: Optional[int] = None,
         executor_factory: Optional[Callable[[], Executor]] = None,
         sleep: Optional[Callable[[float], None]] = None,
     ):
@@ -156,12 +180,21 @@ class OracleRuntime:
             raise ValueError("max_retries must be >= 0")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive")
+        if max_consecutive_rebuilds is not None and (
+            max_consecutive_rebuilds < 1
+        ):
+            raise ValueError("max_consecutive_rebuilds must be >= 1")
         self.oracle = oracle
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
         self.max_backoff_seconds = max_backoff_seconds
+        self.chunk_timeout = chunk_timeout
+        self.max_consecutive_rebuilds = max_consecutive_rebuilds
+        self._consecutive_rebuilds = 0
         self._factory: Callable[[], Executor] = executor_factory or (
             lambda: ProcessPoolExecutor(max_workers=self.max_workers)
         )
@@ -200,18 +233,41 @@ class OracleRuntime:
     def evaluate(self, payloads: Sequence[Any]) -> List[Any]:
         """Evaluate one batch; order of results matches ``payloads``.
 
-        Chunks that fail (worker exception or worker death) are retried
-        in bounded-backoff rounds; already-successful chunks are not
-        recomputed.  Raises :class:`~repro.errors.WorkerCrashError`
-        once ``max_retries`` rounds have been exhausted.
+        Chunks that fail (worker exception, worker death, or
+        ``chunk_timeout`` exceeded) are retried in bounded-backoff
+        rounds; already-successful chunks are not recomputed.  Raises
+        :class:`~repro.errors.WorkerCrashError` once ``max_retries``
+        rounds have been exhausted, or
+        :class:`~repro.errors.DegradedRunError` (with partial results)
+        once ``max_consecutive_rebuilds`` pools broke back-to-back.
         """
         items = list(payloads)
         start = time.perf_counter()
         results: List[Any] = [None] * len(items)
         pending = self._split(items)
         attempt = 0
+        self._consecutive_rebuilds = 0
         while pending:
-            pending, error = self._dispatch_round(pending, results)
+            pending, error, broken = self._dispatch_round(pending, results)
+            if broken:
+                self._consecutive_rebuilds += 1
+                if (
+                    self.max_consecutive_rebuilds is not None
+                    and self._consecutive_rebuilds
+                    >= self.max_consecutive_rebuilds
+                ):
+                    outstanding = sum(len(c) for _, c in pending)
+                    err = DegradedRunError(
+                        f"circuit breaker tripped: "
+                        f"{self._consecutive_rebuilds} consecutive pool "
+                        f"rebuilds ({outstanding} payload(s) outstanding)",
+                        partial=list(results),
+                        completed=len(items) - outstanding,
+                        pending=outstanding,
+                    )
+                    raise err from error
+            else:
+                self._consecutive_rebuilds = 0
             if pending:
                 attempt += 1
                 if attempt > self.max_retries:
@@ -251,8 +307,10 @@ class OracleRuntime:
         self,
         chunks: List[Tuple[int, List[Any]]],
         results: List[Any],
-    ) -> Tuple[List[Tuple[int, List[Any]]], Optional[BaseException]]:
-        """Run one round; return (failed chunks, last error seen)."""
+    ) -> Tuple[
+        List[Tuple[int, List[Any]]], Optional[BaseException], bool
+    ]:
+        """Run one round; return (failed chunks, last error, broken)."""
         submitted: List[Tuple[int, List[Any], Optional[Future]]] = []
         pool = self._ensure_pool()
         broken = False
@@ -278,7 +336,15 @@ class OracleRuntime:
                 failed.append((start, chunk))
                 continue
             try:
-                values = fut.result()
+                values = fut.result(timeout=self.chunk_timeout)
+            except FuturesTimeoutError as exc:
+                # The worker is stuck; stop waiting and replace the
+                # pool (the chunk is retried like a crashed one).
+                broken = True
+                error = exc
+                self.stats.timeouts += 1
+                fut.cancel()
+                failed.append((start, chunk))
             except BrokenExecutor as exc:
                 broken = True
                 error = exc
@@ -290,4 +356,4 @@ class OracleRuntime:
                 results[start : start + len(values)] = values
         if broken:
             self.restart_pool()
-        return failed, error
+        return failed, error, broken

@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..core.solve_engine import Policy
 from ..core.status import BooleanState
-from ..errors import ModelViolationError
+from ..errors import DegradedRunError, ModelViolationError
 from ..models.accounting import ExecutionTrace
 from ..models.executors import OracleRuntime
 from ..trees.base import GameTree, NodeId
@@ -105,8 +105,12 @@ def run_with_oracle(
     runtime:
         An :class:`~repro.models.executors.OracleRuntime` to dispatch
         batches through instead of ``executor`` — adds chunking,
-        crash retries and runtime counters.  The runtime's own oracle
-        is used, so ``oracle`` is ignored when this is given.
+        crash retries, per-chunk timeouts and runtime counters.  The
+        runtime's own oracle is used, so ``oracle`` is ignored when
+        this is given.  If the runtime's circuit breaker trips, the
+        :class:`~repro.errors.DegradedRunError` is re-raised with
+        ``steps_completed`` set to the number of basic steps that
+        finished before the failing batch.
 
     Per-step wall-clock times are recorded in the trace's
     ``step_seconds``.
@@ -130,7 +134,11 @@ def run_with_oracle(
         inputs = [payload(tree, leaf) for leaf in batch]
         t0 = time.perf_counter()
         if runtime is not None:
-            outputs = runtime.evaluate(inputs)
+            try:
+                outputs = runtime.evaluate(inputs)
+            except DegradedRunError as exc:
+                exc.steps_completed = trace.num_steps
+                raise
         elif executor is None:
             outputs = [oracle(x) for x in inputs]
         else:

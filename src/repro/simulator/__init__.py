@@ -1,6 +1,7 @@
 """Section 7: message-passing implementation of N-Parallel SOLVE (w=1)."""
 
 from .machine import (
+    FaultStats,
     Machine,
     SimulationResult,
     render_event_log,
@@ -9,6 +10,7 @@ from .machine import (
 from .messages import Message, MsgKind
 
 __all__ = [
+    "FaultStats",
     "Machine",
     "SimulationResult",
     "simulate",

@@ -18,18 +18,81 @@ on a binary NOR tree:
 The run terminates when processor 0 reports val(root) to the machine;
 at that point a halt broadcast would stop all processors, which the
 simulation models by simply ending.
+
+Fault injection and recovery
+----------------------------
+The paper assumes a perfectly reliable network and perfectly reliable
+processors.  Passing a seeded :class:`repro.faults.FaultPlan` relaxes
+both assumptions: the machine consults the plan at dispatch time
+(drop / duplicate / delay a message), at delivery time (reorder one
+tick's arrivals) and once per level per tick (crash or stall a
+processor).  Three recovery mechanisms keep faulty runs convergent to
+the fault-free ``val(root)``:
+
+* **retransmission** — every ``val`` message is acknowledged by its
+  receiver; the sender re-sends unacknowledged values on a timer
+  (sequence numbers make duplicates harmless, values are idempotent
+  ground truth);
+* **heartbeat supervision** — busy processors emit heartbeats; the
+  machine tracks the most recent P-invocation dispatched to each
+  level and re-issues it when the level has been silent longer than
+  ``heartbeat_timeout`` ticks (covering dropped invocations and
+  crashed processors alike);
+* **checkpointed restart** — a crashed processor loses its in-flight
+  tasks and unacknowledged values but recovers from its per-level
+  checkpoint of settled ``val(v)`` facts (``val_memory``), so
+  re-issued invocations replay known child values instead of
+  recomputing whole subtrees.
+
+With ``fault_plan=None`` (the default) none of this machinery runs and
+the simulation is bit-identical to the fault-free machine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..trees.base import GameTree, NodeId
 from ..types import TreeKind
-from .messages import Message, MsgKind
+from .messages import MACHINE_LEVEL, SUPERVISOR_LEVEL, Message, MsgKind
 from .processor import LevelProcessor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..faults.plan import FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """Fault and recovery accounting for one machine run.
+
+    ``None`` on fault-free runs; under a :class:`FaultPlan` every
+    injected fault and every recovery action is counted here, so the
+    overhead of a faulty run (extra ticks, extra messages) can be
+    attributed to its causes.
+    """
+
+    #: rate- and schedule-driven faults actually applied.
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    reordered: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    #: messages that arrived at a crashed processor and were lost.
+    lost_in_outage: int = 0
+    #: recovery traffic.
+    retransmissions: int = 0
+    reissues: int = 0
+    heartbeats: int = 0
+    acks: int = 0
+
+    @property
+    def injected(self) -> int:
+        """Total faults applied (recovery traffic not included)."""
+        return (self.dropped + self.duplicated + self.delayed
+                + self.reordered + self.crashes + self.stalls)
 
 
 @dataclass
@@ -43,7 +106,9 @@ class SimulationResult:
     #: expansions performed at each tick (the machine's "parallel degree").
     degree_by_tick: List[int] = field(default_factory=list)
     #: delivered messages as (tick, Message), when event tracing is on.
-    events: Optional[List[tuple]] = None
+    events: Optional[List[Tuple[int, Message]]] = None
+    #: fault/recovery accounting; ``None`` for fault-free runs.
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def max_degree(self) -> int:
@@ -52,15 +117,34 @@ class SimulationResult:
 
 def render_event_log(result: SimulationResult,
                      max_lines: Optional[int] = None) -> str:
-    """Human-readable delivery log of a traced run."""
+    """Human-readable delivery log of a traced run.
+
+    ``max_lines=None`` renders every delivery; ``max_lines=0`` renders
+    only the summary footer; negative values are rejected (a negative
+    slice would silently drop the *newest* events, which is never what
+    a caller debugging a run wants).
+    """
     if result.events is None:
         return "(run without trace_events=True)"
+    if max_lines is not None and max_lines < 0:
+        raise ValueError(f"max_lines must be >= 0 or None, got {max_lines}")
+    if max_lines == 0:
+        return f"... {len(result.events)} more"
     lines = []
     for tick, msg in result.events[:max_lines]:
         lines.append(f"t={tick:>4}  L{msg.dest_level:>2}  {msg!r}")
     if max_lines is not None and len(result.events) > max_lines:
         lines.append(f"... {len(result.events) - max_lines} more")
     return "\n".join(lines)
+
+
+@dataclass
+class _PendingInvocation:
+    """Supervisor record: newest P-invocation dispatched to a level."""
+
+    kind_name: str
+    node: NodeId
+    since: int
 
 
 class Machine:
@@ -72,6 +156,10 @@ class Machine:
         physical_processors: Optional[int] = None,
         work_priority: str = "p_first",
         trace_events: bool = False,
+        fault_plan: Optional["FaultPlan"] = None,
+        heartbeat_interval: int = 3,
+        heartbeat_timeout: int = 12,
+        retransmit_timeout: int = 5,
     ):
         if tree.kind is not TreeKind.BOOLEAN:
             raise SimulationError("the implementation evaluates NOR trees")
@@ -79,12 +167,28 @@ class Machine:
             raise SimulationError(
                 "work_priority must be 'p_first' or 's_first'"
             )
+        if heartbeat_interval < 1 or retransmit_timeout < 2:
+            raise SimulationError(
+                "heartbeat_interval must be >= 1 and "
+                "retransmit_timeout >= 2"
+            )
+        if heartbeat_timeout <= heartbeat_interval:
+            raise SimulationError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
         self.work_priority = work_priority
         self.tree = tree
         self.num_levels = tree.height() + 1
         if physical_processors is not None and physical_processors < 1:
             raise SimulationError("need at least one physical processor")
         self.physical = physical_processors
+        self.faults = fault_plan
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.retransmit_timeout = retransmit_timeout
+        self.fault_stats: Optional[FaultStats] = (
+            FaultStats() if fault_plan is not None else None
+        )
         self.procs: Dict[int, LevelProcessor] = {
             d: LevelProcessor(self, d) for d in range(self.num_levels)
         }
@@ -96,7 +200,12 @@ class Machine:
         self._messages = 0
         self._root_value: Optional[int] = None
         self._rr: Dict[int, int] = {}  # round-robin cursor per phys proc
-        self._events: Optional[List[tuple]] = [] if trace_events else None
+        self._events: Optional[List[Tuple[int, Message]]] = (
+            [] if trace_events else None
+        )
+        # Supervisor state (fault mode only).
+        self._sup_pending: Dict[int, _PendingInvocation] = {}
+        self._last_heard: Dict[int, int] = {}
 
     # -- messaging ---------------------------------------------------------
     def send(self, kind: MsgKind, node: NodeId, dest_level: int,
@@ -105,11 +214,104 @@ class Machine:
         self._messages += 1
         msg = Message(kind=kind, node=node, dest_level=dest_level,
                       seq=self._seq, sent_at=self._tick, value=value)
-        self._mailbox.setdefault(self._tick + 1, []).append(msg)
+        if self.faults is None:
+            self._mailbox.setdefault(self._tick + 1, []).append(msg)
+            return
+        self._supervise_send(msg)
+        stats = self.fault_stats
+        assert stats is not None
+        fault = self.faults.message_fault(msg.seq, kind.name, self._tick)
+        if fault is None:
+            self._mailbox.setdefault(self._tick + 1, []).append(msg)
+            return
+        fault_kind, extra = fault
+        if fault_kind == "drop":
+            stats.dropped += 1
+        elif fault_kind == "duplicate":
+            stats.duplicated += 1
+            self._mailbox.setdefault(self._tick + 1, []).append(msg)
+            self._mailbox.setdefault(self._tick + 2, []).append(msg)
+        elif fault_kind == "delay":
+            stats.delayed += 1
+            self._mailbox.setdefault(
+                self._tick + 1 + max(1, extra), []
+            ).append(msg)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown message fault {fault_kind!r}")
 
     def count_expansion(self, node: NodeId) -> None:
         self._expansions += 1
         self._expansions_this_tick += 1
+
+    # -- supervisor (fault mode only) --------------------------------------
+    def _supervise_send(self, msg: Message) -> None:
+        """Track the newest P-invocation dispatched to each level.
+
+        Only P-invocations are supervised: the pre-emption rule makes
+        the newest one the only computation whose value is still
+        needed, and every lost S-SOLVE is re-demanded through the
+        P-cascade (a ``val(w) = 0`` upgrades the sibling search to
+        P-SOLVE*), so supervising P alone suffices for liveness.
+        """
+        if msg.dest_level >= 0 and msg.kind in (
+            MsgKind.P_SOLVE, MsgKind.P_SOLVE2, MsgKind.P_SOLVE3
+        ):
+            self._sup_pending[msg.dest_level] = _PendingInvocation(
+                kind_name=msg.kind.name, node=msg.node, since=self._tick
+            )
+
+    def _observe_delivery(self, msg: Message) -> None:
+        """Credit liveness and settle pending invocations on delivery.
+
+        Called only for messages actually handed to an *up* processor
+        (or the machine itself): a value swallowed by a crashed or
+        stalled receiver must not clear the pending record, otherwise
+        a sender crash that also wipes the retransmission state would
+        leave nobody responsible for re-producing the value.
+        """
+        if msg.kind is not MsgKind.VAL:
+            return
+        sender = msg.dest_level + 1
+        self._last_heard[sender] = self._tick
+        pending = self._sup_pending.get(sender)
+        if pending is not None and pending.node == msg.node:
+            del self._sup_pending[sender]
+
+    def _recovery_phase(self) -> None:
+        """Inject processor faults, run timers, re-issue on silence."""
+        plan = self.faults
+        stats = self.fault_stats
+        assert plan is not None and stats is not None
+        tick = self._tick
+        for level in range(self.num_levels):
+            proc = self.procs[level]
+            fault = plan.processor_fault(level, tick)
+            if fault is not None and not proc.in_outage(tick):
+                fault_kind, duration = fault
+                if fault_kind == "crash":
+                    stats.crashes += 1
+                    proc.crash(until=tick + duration)
+                elif fault_kind == "stall":
+                    stats.stalls += 1
+                    proc.stall(until=tick + duration)
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"unknown processor fault {fault_kind!r}"
+                    )
+        for level in range(self.num_levels):
+            self.procs[level].tick_recovery(tick)
+        for level, pending in list(self._sup_pending.items()):
+            # The anchor is refreshed only by deliveries that prove
+            # progress on *this* invocation (a matching heartbeat, or
+            # its val clearing the record entirely).  Generic liveness
+            # must not count: a processor heartbeating while stuck on
+            # older work would otherwise suppress the re-issue of a
+            # dropped newer invocation forever.
+            if tick - pending.since >= self.heartbeat_timeout:
+                stats.reissues += 1
+                # send() re-registers the pending record with
+                # since=tick, which restarts the silence timer.
+                self.send(MsgKind[pending.kind_name], pending.node, level)
 
     # -- run loop ------------------------------------------------------------
     def run(self, max_ticks: Optional[int] = None) -> SimulationResult:
@@ -119,6 +321,8 @@ class Machine:
             # every node once; allow a constant factor of slack.
             max_ticks = 64 * (self.tree.num_leaves() * 2 + 16) \
                 * max(1, self.num_levels)
+        if self.faults is not None:
+            self.faults.begin_run()
         degree_by_tick: List[int] = []
         # Kick-off: the machine directs processor 0 to solve the root.
         self.send(MsgKind.P_SOLVE, self.tree.root, 0)
@@ -130,27 +334,26 @@ class Machine:
                 )
             self._expansions_this_tick = 0
             arrivals = self._mailbox.pop(self._tick, [])
+            if self.faults is not None and len(arrivals) > 1:
+                perm = self.faults.reorder_batch(self._tick, len(arrivals))
+                if perm is not None:
+                    assert self.fault_stats is not None
+                    self.fault_stats.reordered += 1
+                    arrivals = [arrivals[i] for i in perm]
             if self._events is not None:
                 self._events.extend(
                     (self._tick, msg) for msg in arrivals
                 )
             by_level: Dict[int, List[Message]] = {}
             for msg in arrivals:
-                if msg.dest_level < 0:
-                    if msg.kind is not MsgKind.VAL:  # pragma: no cover
-                        raise SimulationError(f"bad machine message {msg!r}")
-                    self._root_value = msg.value
-                elif msg.dest_level >= self.num_levels:
-                    raise SimulationError(
-                        f"message below the deepest level: {msg!r}"
-                    )
-                else:
-                    by_level.setdefault(msg.dest_level, []).append(msg)
+                self._route(msg, by_level)
             for level in sorted(by_level):
                 self.procs[level].handle_inbox(by_level[level])
             if self._root_value is not None:
                 degree_by_tick.append(self._expansions_this_tick)
                 break
+            if self.faults is not None:
+                self._recovery_phase()
             self._work_phase()
             degree_by_tick.append(self._expansions_this_tick)
         return SimulationResult(
@@ -160,7 +363,45 @@ class Machine:
             messages=self._messages,
             degree_by_tick=degree_by_tick,
             events=self._events,
+            fault_stats=self.fault_stats,
         )
+
+    def _route(
+        self, msg: Message, by_level: Dict[int, List[Message]]
+    ) -> None:
+        """Direct one arrival to the machine, supervisor, or a level."""
+        if msg.dest_level < 0:
+            if msg.dest_level == MACHINE_LEVEL and msg.kind is MsgKind.VAL:
+                self._root_value = msg.value
+                if self.faults is not None:
+                    self._observe_delivery(msg)
+            elif (msg.dest_level == SUPERVISOR_LEVEL
+                    and msg.kind is MsgKind.HEARTBEAT):
+                self._last_heard[msg.node] = self._tick
+                pending = self._sup_pending.get(msg.node)
+                if (pending is not None and msg.value is not None
+                        and msg.value == pending.node):
+                    # The level is demonstrably working on the pending
+                    # invocation: restart its silence timer.
+                    pending.since = self._tick
+            else:
+                raise SimulationError(f"bad machine message {msg!r}")
+            return
+        if msg.dest_level >= self.num_levels:
+            raise SimulationError(
+                f"message below the deepest level: {msg!r}"
+            )
+        if self.faults is not None:
+            proc = self.procs[msg.dest_level]
+            if proc.is_down(self._tick):
+                assert self.fault_stats is not None
+                self.fault_stats.lost_in_outage += 1
+                return
+            if proc.is_stalled(self._tick):
+                proc.stall_buffer.append(msg)
+                return
+            self._observe_delivery(msg)
+        by_level.setdefault(msg.dest_level, []).append(msg)
 
     def _work_phase(self) -> None:
         if self.physical is None:
@@ -185,9 +426,21 @@ def simulate(
     max_ticks: Optional[int] = None,
     work_priority: str = "p_first",
     trace_events: bool = False,
+    fault_plan: Optional["FaultPlan"] = None,
+    **recovery_knobs: int,
 ) -> SimulationResult:
-    """Run the Section 7 machine on a binary NOR tree."""
+    """Run the Section 7 machine on a binary NOR tree.
+
+    With a seeded ``fault_plan``, messages may be dropped, duplicated,
+    delayed or reordered and processors may crash or stall; the
+    recovery protocol still converges to the fault-free ``val(root)``
+    and the run's fault accounting lands in ``result.fault_stats``.
+    ``recovery_knobs`` forwards ``heartbeat_interval`` /
+    ``heartbeat_timeout`` / ``retransmit_timeout`` to the machine.
+    """
     machine = Machine(tree, physical_processors,
                       work_priority=work_priority,
-                      trace_events=trace_events)
+                      trace_events=trace_events,
+                      fault_plan=fault_plan,
+                      **recovery_knobs)
     return machine.run(max_ticks)

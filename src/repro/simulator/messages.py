@@ -1,4 +1,4 @@
-"""The six message types of the Section 7 implementation.
+"""The message types of the Section 7 implementation.
 
 A processor may send or receive messages of six types::
 
@@ -10,6 +10,17 @@ processor owning v's level); the value messages travel from d(v) to
 d(v) - 1.  Messages are timestamped with a global sequence number so
 the pre-emption rule ("work only on the most recent invocation") is
 deterministic even when several invocations arrive in one tick.
+
+Two further kinds exist only when fault injection is active (the paper
+assumes a perfectly reliable network, so the fault-free machine never
+sends them):
+
+* ``ACK`` — delivery receipt for a ``val`` message, addressed back to
+  the sending level; its ``value`` field carries the acknowledged
+  sequence number.
+* ``HEARTBEAT`` — liveness beacon from a busy processor to the
+  machine's supervisor (:data:`SUPERVISOR_LEVEL`); its ``node`` field
+  carries the emitting level.
 """
 
 from __future__ import annotations
@@ -27,15 +38,26 @@ class MsgKind(enum.Enum):
     P_SOLVE2 = "P-SOLVE**"
     P_SOLVE3 = "P-SOLVE***"
     VAL = "val"
+    ACK = "ack"
+    HEARTBEAT = "heartbeat"
 
 
-#: Invocation kinds, i.e. everything except VAL.
+#: Invocation kinds, i.e. the messages that install a task.
 INVOCATIONS = (
     MsgKind.S_SOLVE,
     MsgKind.P_SOLVE,
     MsgKind.P_SOLVE2,
     MsgKind.P_SOLVE3,
 )
+
+#: Recovery-protocol kinds (only in flight under fault injection).
+RECOVERY_KINDS = (MsgKind.ACK, MsgKind.HEARTBEAT)
+
+#: ``dest_level`` addressing the machine itself (root value report).
+MACHINE_LEVEL = -1
+
+#: ``dest_level`` addressing the machine's fault supervisor.
+SUPERVISOR_LEVEL = -2
 
 
 @dataclass(frozen=True)

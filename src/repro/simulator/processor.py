@@ -20,12 +20,22 @@ flight.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import SimulationError
 from ..trees.base import NodeId
-from .messages import Message, MsgKind
+from .messages import SUPERVISOR_LEVEL, Message, MsgKind
 from .tasks import Case1Task, STask, TraverseTask, Wait2Task, Wait3Task
+
+
+@dataclass
+class _UnackedVal:
+    """Sender-side retransmission record for one ``val`` message."""
+
+    value: int
+    dest_level: int
+    next_retry: int
 
 
 class LevelProcessor:
@@ -36,11 +46,108 @@ class LevelProcessor:
         self.level = level
         self.s_task: Optional[STask] = None
         self.p_task = None
+        #: Settled val(v) facts for nodes one level below.  Under fault
+        #: injection this doubles as the processor's crash checkpoint:
+        #: it survives a crash-and-restart, so re-issued invocations
+        #: replay known child values instead of recomputing subtrees.
         self.val_memory: Dict[NodeId, int] = {}
+        # -- fault-mode state (inert on fault-free runs) -------------------
+        #: ticks before which the processor is crashed / stalled.
+        self._down_until: Optional[int] = None
+        self._stalled_until: Optional[int] = None
+        #: messages that arrived while stalled, replayed on resume.
+        self.stall_buffer: List[Message] = []
+        #: vals sent but not yet acknowledged, keyed by node.
+        self._unacked: Dict[NodeId, _UnackedVal] = {}
+        self._last_heartbeat = 0
+        #: newest invocation sequence numbers applied per slot; stale
+        #: (duplicated or long-delayed) invocations must never regress
+        #: the pre-emption rule's "most recent invocation wins".
+        self._s_seq = 0
+        self._p_seq = 0
+
+    # -- fault-mode lifecycle ----------------------------------------------
+    def is_down(self, tick: int) -> bool:
+        if self._down_until is not None and tick < self._down_until:
+            return True
+        self._down_until = None
+        return False
+
+    def is_stalled(self, tick: int) -> bool:
+        if self._stalled_until is not None and tick < self._stalled_until:
+            return True
+        self._stalled_until = None
+        return False
+
+    def in_outage(self, tick: int) -> bool:
+        return self.is_down(tick) or self.is_stalled(tick)
+
+    def crash(self, until: int) -> None:
+        """Lose all in-flight state; keep the val_memory checkpoint."""
+        self.s_task = None
+        self.p_task = None
+        self._unacked.clear()
+        self.stall_buffer.clear()
+        self._stalled_until = None
+        self._down_until = until
+
+    def stall(self, until: int) -> None:
+        """Freeze: no work, no heartbeats; arrivals buffer until resume."""
+        self._stalled_until = until
+
+    def busy(self) -> bool:
+        """Is there anything this processor is still responsible for?"""
+        if self.p_task is not None and not self.p_task.finished:
+            return True
+        if self.s_task is not None and not self.s_task.done:
+            return True
+        return bool(self._unacked)
+
+    def tick_recovery(self, tick: int) -> None:
+        """Per-tick recovery bookkeeping (free, like gate bookkeeping)."""
+        if self.is_down(tick) or self.is_stalled(tick):
+            return
+        if self.stall_buffer:
+            buffered, self.stall_buffer = self.stall_buffer, []
+            self.handle_inbox(buffered)
+        stats = self.machine.fault_stats
+        for node, entry in list(self._unacked.items()):
+            if tick >= entry.next_retry:
+                stats.retransmissions += 1
+                self.machine.send(
+                    MsgKind.VAL, node, entry.dest_level, value=entry.value
+                )
+                entry.next_retry = tick + self.machine.retransmit_timeout
+        if self.busy() and (
+            tick - self._last_heartbeat >= self.machine.heartbeat_interval
+        ):
+            self._last_heartbeat = tick
+            stats.heartbeats += 1
+            # The beacon reports *which* invocation is being worked on
+            # (the unfinished P-task's node): the supervisor treats a
+            # heartbeat as progress only if it matches the pending
+            # invocation — a processor stuck on older work must not
+            # suppress the re-issue of a dropped newer invocation.
+            working: Optional[NodeId] = None
+            if self.p_task is not None and not self.p_task.finished:
+                working = self.p_task.node
+            self.machine.send(
+                MsgKind.HEARTBEAT, self.level, SUPERVISOR_LEVEL,
+                value=working,
+            )
 
     # -- messaging helpers (used by tasks) ---------------------------------
     def send_val(self, node: NodeId, value: int) -> None:
         self.machine.send(MsgKind.VAL, node, self.level - 1, value=value)
+        if self.machine.faults is not None:
+            # Sequence-numbered delivery: keep retransmitting until the
+            # receiver acknowledges (duplicates are idempotent).
+            self._unacked[node] = _UnackedVal(
+                value=value,
+                dest_level=self.level - 1,
+                next_retry=self.machine._tick
+                + self.machine.retransmit_timeout,
+            )
 
     def send_invocation(self, kind_name: str, node: NodeId,
                         dest_level: int) -> None:
@@ -60,13 +167,26 @@ class LevelProcessor:
 
     # -- message handling ----------------------------------------------------
     def handle_inbox(self, inbox: List[Message]) -> None:
-        """Apply one tick's arrivals: newest invocation per slot wins."""
+        """Apply one tick's arrivals: newest invocation per slot wins.
+
+        Sequence numbers guard each slot against regression: a stale
+        invocation (a duplicate, or a copy delayed past its successor)
+        is discarded rather than allowed to overwrite a more recent
+        task.  On fault-free runs arrival order matches send order, so
+        the guards never fire.
+        """
         newest_s: Optional[Message] = None
         newest_p: Optional[Message] = None
         vals: List[Message] = []
         for msg in inbox:
             if msg.kind is MsgKind.VAL:
                 vals.append(msg)
+            elif msg.kind is MsgKind.ACK:
+                self._unacked.pop(msg.node, None)
+            elif msg.kind is MsgKind.HEARTBEAT:
+                raise SimulationError(
+                    f"heartbeat addressed to a processor: {msg!r}"
+                )
             elif msg.kind is MsgKind.S_SOLVE:
                 if newest_s is None or msg.seq > newest_s.seq:
                     newest_s = msg
@@ -74,14 +194,45 @@ class LevelProcessor:
                 if newest_p is None or msg.seq > newest_p.seq:
                     newest_p = msg
 
-        if newest_s is not None:
-            self.s_task = STask(newest_s.node)
-        if newest_p is not None:
-            self._install_p(newest_p)
+        if newest_s is not None and newest_s.seq > self._s_seq:
+            self._s_seq = newest_s.seq
+            if not self._is_redundant_s(newest_s):
+                self.s_task = STask(newest_s.node)
+        if newest_p is not None and newest_p.seq > self._p_seq:
+            self._p_seq = newest_p.seq
+            if not self._is_redundant_p(newest_p):
+                self._install_p(newest_p)
         for msg in vals:
             self.val_memory[msg.node] = msg.value
+            if self.machine.faults is not None:
+                self.machine.fault_stats.acks += 1
+                self.machine.send(
+                    MsgKind.ACK, msg.node, self.level + 1, value=msg.seq
+                )
             if self.p_task is not None and not self.p_task.finished:
                 self.p_task.on_val(self, msg.node, msg.value)
+
+    def _is_redundant_s(self, msg: Message) -> bool:
+        """Re-issued S-SOLVE for the subtree already being searched?
+
+        Only consulted under fault injection: a re-issued invocation
+        for the very task already in progress must not restart it and
+        throw away partial depth-first progress.
+        """
+        return (
+            self.machine.faults is not None
+            and self.s_task is not None
+            and not self.s_task.done
+            and self.s_task.root == msg.node
+        )
+
+    def _is_redundant_p(self, msg: Message) -> bool:
+        """Re-issued P-invocation for the task already installed?"""
+        if self.machine.faults is None or self.p_task is None:
+            return False
+        if self.p_task.finished:
+            return False
+        return getattr(self.p_task, "node", None) == msg.node
 
     def _install_p(self, msg: Message) -> None:
         if msg.kind is MsgKind.P_SOLVE:
@@ -105,6 +256,9 @@ class LevelProcessor:
 
     # -- work scheduling -------------------------------------------------------
     def has_work(self) -> bool:
+        if self.machine.faults is not None \
+                and self.in_outage(self.machine._tick):
+            return False
         if self.p_task is not None and not self.p_task.finished \
                 and self.p_task.needs_work:
             return True
@@ -118,6 +272,9 @@ class LevelProcessor:
         search); the machine's ``work_priority`` knob flips this for
         the ablation benchmark.
         """
+        if self.machine.faults is not None \
+                and self.in_outage(self.machine._tick):
+            return
         p_ready = (
             self.p_task is not None
             and not self.p_task.finished

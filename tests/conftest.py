@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -62,6 +63,42 @@ def minmax_tree_from_spec(spec) -> ExplicitTree:
     if not isinstance(spec, (list, tuple)):
         spec = [spec]
     return ExplicitTree.from_nested(spec, kind=TreeKind.MINMAX)
+
+
+# ---------------------------------------------------------------------------
+# per-test timeout
+# ---------------------------------------------------------------------------
+# CI passes --timeout/--timeout-method to pytest-timeout (a dev
+# extra).  Environments without the plugin fall back to a SIGALRM
+# watchdog so a hung test (the exact failure mode fault injection
+# exists to provoke) can never wedge the suite.  Override the budget
+# with REPRO_TEST_TIMEOUT=<seconds>; 0 disables the fallback.
+_FALLBACK_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    if (
+        _FALLBACK_TIMEOUT <= 0
+        or request.config.pluginmanager.hasplugin("timeout")
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_FALLBACK_TIMEOUT}s fallback timeout "
+            f"(REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_FALLBACK_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ---------------------------------------------------------------------------

@@ -154,6 +154,36 @@ CASES = [
         "    pass\n"
         "__all__ = ['measure']\n",
     ),
+    (
+        "R6",
+        "models/loader.py",
+        # Handler body does nothing: the error vanishes.
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        pass\n",
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except OSError:\n"
+        "        return None\n",
+    ),
+    (
+        "R6",
+        "analysis/cleanup.py",
+        # Bare except catches KeyboardInterrupt/SystemExit too.
+        "def close(handle):\n"
+        "    try:\n"
+        "        handle.close()\n"
+        "    except:\n"
+        "        raise RuntimeError('close failed')\n",
+        "def close(handle):\n"
+        "    try:\n"
+        "        handle.close()\n"
+        "    except Exception:\n"
+        "        raise RuntimeError('close failed')\n",
+    ),
 ]
 
 
@@ -177,6 +207,7 @@ def test_r2_allowlists_oracle_runner_and_bench():
     src = "import time\nstart = time.perf_counter()\n"
     assert lint_source(src, "models/oracle_runner.py") == []
     assert lint_source(src, "models/executors.py") == []
+    assert lint_source(src, "faults/oracle.py") == []
     assert lint_source(src, "bench/harness.py") == []
     assert lint_source(src, "core/solve_engine.py") != []
     assert lint_source(src, "models/accounting.py") != []
@@ -222,7 +253,8 @@ def test_r3_full_coverage_without_else_is_exhaustive():
         f"    {'if' if i == 0 else 'elif'} msg.kind is MsgKind.{name}:\n"
         f"        return {i}"
         for i, name in enumerate(
-            ["S_SOLVE", "P_SOLVE", "P_SOLVE2", "P_SOLVE3", "VAL"]
+            ["S_SOLVE", "P_SOLVE", "P_SOLVE2", "P_SOLVE3", "VAL",
+             "ACK", "HEARTBEAT"]
         )
     )
     src = f"from .messages import MsgKind\ndef handle(msg):\n{arms}\n"
@@ -248,3 +280,31 @@ def test_r5_duplicate_entry_flagged():
 def test_r5_severity_is_warning():
     findings = lint_source("from .impl import a\n", "pkg/__init__.py")
     assert [str(f.severity) for f in findings] == ["warning"]
+
+
+def test_r6_ellipsis_and_docstring_bodies_are_swallows():
+    for body in ("        ...\n", "        'ignored on purpose'\n"):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n" + body
+        )
+        assert [f.rule for f in lint_source(src, "core/x.py")] == ["R6"]
+
+
+def test_r6_bare_except_with_noop_body_reports_both():
+    src = "try:\n    g()\nexcept:\n    pass\n"
+    assert [f.rule for f in lint_source(src, "core/x.py")] == ["R6", "R6"]
+
+
+def test_r6_handler_that_acts_is_clean():
+    src = (
+        "def f(log):\n"
+        "    try:\n"
+        "        return g()\n"
+        "    except ValueError as exc:\n"
+        "        log.warning('g failed: %s', exc)\n"
+        "        return None\n"
+    )
+    assert lint_source(src, "core/x.py") == []

@@ -167,14 +167,22 @@ class TestOracleRuntimeRetries:
 class TestOracleRuntimeCrashes:
     def test_worker_death_restarts_pool_and_recovers(self, tmp_path):
         sentinel = str(tmp_path / "crashed-once")
+        sleeps = []
         with OracleRuntime(
             _crash_until_sentinel, max_workers=1, max_retries=3,
-            backoff_seconds=0.01,
+            backoff_seconds=0.01, max_backoff_seconds=1.0,
+            sleep=sleeps.append,
         ) as rt:
             out = rt.evaluate([(sentinel, 21)])
         assert out == [42]
         assert rt.stats.pool_restarts >= 1
         assert rt.stats.retries >= 1
+        # The fake clock proves backoff followed the documented
+        # schedule without the test ever actually sleeping.
+        assert sleeps == [
+            min(0.01 * 2 ** i, 1.0) for i in range(len(sleeps))
+        ]
+        assert len(sleeps) == rt.stats.retries
 
     def test_usable_after_manual_restart(self):
         with OracleRuntime(
@@ -224,3 +232,197 @@ class TestRunWithOracleRuntime:
                         tree, int, WidthPolicy(1),
                         executor=pool, runtime=rt,
                     )
+
+
+# ---------------------------------------------------------------------------
+# Chunk timeouts and the circuit breaker
+# ---------------------------------------------------------------------------
+import threading
+from concurrent.futures import BrokenExecutor
+
+from repro.errors import DegradedRunError
+from repro.faults import FaultyExecutor, InjectedFaultError
+
+
+class _DeadPool:
+    """Executor whose submit always raises (a pool that died)."""
+
+    def submit(self, fn, /, *args, **kwargs):
+        raise BrokenExecutor("dead on arrival")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class _FirstSubmitOnlyPool:
+    """Each fresh pool serves exactly one submit, then breaks."""
+
+    def __init__(self):
+        self.inner = ThreadPoolExecutor(max_workers=1)
+        self.submits = 0
+
+    def submit(self, fn, /, *args, **kwargs):
+        self.submits += 1
+        if self.submits > 1:
+            raise BrokenExecutor("worker gone")
+        return self.inner.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.inner.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+
+class TestChunkTimeout:
+    def test_hung_chunk_times_out_and_is_retried(self):
+        release = threading.Event()
+        hung = []
+
+        def sticky(x):
+            if x == 3 and not hung:
+                hung.append(x)
+                release.wait(5.0)  # far beyond the chunk timeout
+            return x * x
+
+        try:
+            with OracleRuntime(
+                sticky, chunk_size=2, max_retries=2,
+                backoff_seconds=0.0, chunk_timeout=0.2,
+                executor_factory=_thread_factory(2),
+                sleep=lambda _s: None,
+            ) as rt:
+                out = rt.evaluate(range(6))
+        finally:
+            release.set()
+        assert out == [i * i for i in range(6)]
+        assert rt.stats.timeouts == 1
+        assert rt.stats.pool_restarts >= 1
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            OracleRuntime(square, chunk_timeout=0.0)
+        with pytest.raises(ValueError):
+            OracleRuntime(square, max_consecutive_rebuilds=0)
+
+
+class TestCircuitBreaker:
+    def test_dead_environment_trips_breaker(self):
+        rt = OracleRuntime(
+            square, chunk_size=1, max_retries=99,
+            backoff_seconds=0.0, max_consecutive_rebuilds=3,
+            executor_factory=_DeadPool, sleep=lambda _s: None,
+        )
+        with rt:
+            with pytest.raises(DegradedRunError) as err:
+                rt.evaluate([1, 2, 3])
+        exc = err.value
+        assert exc.completed == 0
+        assert exc.pending == 3
+        assert exc.partial == [None, None, None]
+        assert rt.stats.pool_restarts == 3
+        assert isinstance(exc.__cause__, BrokenExecutor)
+
+    def test_breaker_carries_partial_results(self):
+        rt = OracleRuntime(
+            square, chunk_size=2, max_retries=99,
+            backoff_seconds=0.0, max_consecutive_rebuilds=2,
+            executor_factory=_FirstSubmitOnlyPool,
+            sleep=lambda _s: None,
+        )
+        with rt:
+            with pytest.raises(DegradedRunError) as err:
+                rt.evaluate(range(6))
+        exc = err.value
+        # One chunk lands per round; two rounds ran before the trip.
+        assert exc.completed == 4
+        assert exc.pending == 2
+        assert exc.partial[:4] == [0, 1, 4, 9]
+        assert exc.partial[4:] == [None, None]
+
+    def test_clean_round_resets_the_streak(self):
+        # Pools break twice back-to-back, then the environment heals:
+        # with max_consecutive_rebuilds=3 the batch must complete.
+        built = []
+
+        def factory():
+            built.append(1)
+            if len(built) <= 2:
+                return _DeadPool()
+            return ThreadPoolExecutor(max_workers=2)
+
+        rt = OracleRuntime(
+            square, chunk_size=2, max_retries=99,
+            backoff_seconds=0.0, max_consecutive_rebuilds=3,
+            executor_factory=factory, sleep=lambda _s: None,
+        )
+        with rt:
+            assert rt.evaluate(range(6)) == [i * i for i in range(6)]
+        assert rt.stats.pool_restarts == 2
+
+    def test_breaker_error_reaches_run_with_oracle(self):
+        tree = iid_boolean(2, 3, 0.5, seed=1)
+        rt = OracleRuntime(
+            int, chunk_size=1, max_retries=99, backoff_seconds=0.0,
+            max_consecutive_rebuilds=1, executor_factory=_DeadPool,
+            sleep=lambda _s: None,
+        )
+        with rt:
+            with pytest.raises(DegradedRunError) as err:
+                run_with_oracle(tree, int, WidthPolicy(1), runtime=rt)
+        assert err.value.steps_completed == 0
+
+
+class TestFaultyExecutor:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultyExecutor(
+                ThreadPoolExecutor(max_workers=1),
+                seed=0, broken_rate=0.8, task_error_rate=0.5,
+            )
+
+    def test_injection_is_deterministic_per_seed(self):
+        def outcomes(seed):
+            inner = ThreadPoolExecutor(max_workers=1)
+            fx = FaultyExecutor(
+                inner, seed=seed, broken_rate=0.2, task_error_rate=0.3
+            )
+            out = []
+            for i in range(30):
+                try:
+                    fut = fx.submit(square, i)
+                except BrokenExecutor:
+                    out.append("broken")
+                    continue
+                try:
+                    out.append(fut.result())
+                except InjectedFaultError:
+                    out.append("task")
+            fx.shutdown()
+            return out
+
+        assert outcomes(5) == outcomes(5)
+        assert outcomes(5) != outcomes(6)
+
+    def test_runtime_recovers_from_injected_faults(self):
+        # A fixed seed per *build* would replay the same fault stream
+        # after every rebuild and could wedge; derive each rebuilt
+        # pool's seed from the build count (still deterministic).
+        builds = []
+
+        def factory():
+            builds.append(1)
+            return FaultyExecutor(
+                ThreadPoolExecutor(max_workers=2),
+                seed=100 + len(builds),
+                broken_rate=0.15, task_error_rate=0.25,
+                max_faults=10,
+            )
+
+        rt = OracleRuntime(
+            square, chunk_size=2, max_retries=20,
+            backoff_seconds=0.0, executor_factory=factory,
+            sleep=lambda _s: None,
+        )
+        with rt:
+            assert rt.evaluate(range(12)) == [
+                i * i for i in range(12)
+            ]
+        assert rt.stats.retries + rt.stats.pool_restarts > 0

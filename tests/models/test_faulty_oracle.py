@@ -1,0 +1,122 @@
+"""FaultyOracle: deterministic application-level fault injection."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FaultyOracle, InjectedFaultError, OracleFaultSpec
+from repro.models.executors import OracleRuntime
+
+
+def double(x):
+    return x * 2
+
+
+class TestSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            OracleFaultSpec(seed=0, error_rate=0.6, hang_rate=0.6)
+        with pytest.raises(ValueError):
+            OracleFaultSpec(seed=0, error_rate=-0.1)
+
+    def test_spec_is_frozen(self):
+        spec = OracleFaultSpec(seed=0)
+        with pytest.raises(Exception):
+            spec.error_rate = 0.5
+
+
+class TestDeterminism:
+    def test_same_payload_same_bucket(self):
+        oracle = FaultyOracle(double, OracleFaultSpec(seed=1,
+                                                      error_rate=0.5))
+        outcomes = []
+        for _ in range(3):
+            row = []
+            for x in range(20):
+                try:
+                    row.append(oracle(x))
+                except InjectedFaultError:
+                    row.append("fault")
+            outcomes.append(row)
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+        assert "fault" in outcomes[0]
+        assert any(isinstance(v, int) for v in outcomes[0])
+
+    def test_seed_changes_the_fault_set(self):
+        def fault_set(seed):
+            oracle = FaultyOracle(
+                double, OracleFaultSpec(seed=seed, error_rate=0.5)
+            )
+            out = set()
+            for x in range(40):
+                try:
+                    oracle(x)
+                except InjectedFaultError:
+                    out.add(x)
+            return out
+
+        assert fault_set(1) != fault_set(2)
+
+    def test_survives_pickling(self):
+        # Workers receive the oracle by pickle; decisions must not
+        # depend on in-process RNG state.
+        oracle = FaultyOracle(double, OracleFaultSpec(seed=3,
+                                                      error_rate=0.4))
+        clone = pickle.loads(pickle.dumps(oracle))
+        for x in range(20):
+            try:
+                a = oracle(x)
+            except InjectedFaultError:
+                a = "fault"
+            try:
+                b = clone(x)
+            except InjectedFaultError:
+                b = "fault"
+            assert a == b
+
+
+class TestTransientFaults:
+    def test_sentinel_makes_faults_one_shot(self, tmp_path):
+        spec = OracleFaultSpec(
+            seed=0, error_rate=1.0, transient_dir=str(tmp_path)
+        )
+        oracle = FaultyOracle(double, spec)
+        with pytest.raises(InjectedFaultError):
+            oracle(7)
+        assert oracle(7) == 14  # second attempt succeeds
+        assert oracle(7) == 14
+
+    def test_without_sentinel_faults_repeat(self):
+        oracle = FaultyOracle(double, OracleFaultSpec(seed=0,
+                                                      error_rate=1.0))
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                oracle(7)
+
+    def test_runtime_retry_absorbs_transient_faults(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        spec = OracleFaultSpec(
+            seed=5, error_rate=0.3, transient_dir=str(tmp_path)
+        )
+        oracle = FaultyOracle(double, spec)
+        rt = OracleRuntime(
+            oracle, chunk_size=2, max_retries=4, backoff_seconds=0.0,
+            executor_factory=lambda: ThreadPoolExecutor(max_workers=2),
+            sleep=lambda _s: None,
+        )
+        with rt:
+            assert rt.evaluate(range(12)) == [x * 2 for x in range(12)]
+
+
+class TestSlowBand:
+    def test_slow_calls_still_answer_correctly(self):
+        spec = OracleFaultSpec(seed=2, slow_rate=1.0,
+                               slow_seconds=0.001)
+        oracle = FaultyOracle(double, spec)
+        assert [oracle(x) for x in range(5)] == [0, 2, 4, 6, 8]
+
+    def test_injected_fault_error_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFaultError, ReproError)

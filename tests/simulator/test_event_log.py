@@ -1,5 +1,7 @@
 """Unit tests for machine event tracing."""
 
+import pytest
+
 from repro.simulator import MsgKind, render_event_log, simulate
 from repro.trees.generators import iid_boolean
 
@@ -54,3 +56,22 @@ class TestEventLog:
         out = render_event_log(res, max_lines=5)
         assert len(out.splitlines()) <= 6
         assert "more" in out
+
+    def test_render_zero_lines_gives_summary_only(self):
+        t = iid_boolean(2, 4, 0.5, seed=6)
+        res = simulate(t, trace_events=True)
+        out = render_event_log(res, max_lines=0)
+        assert out == f"... {len(res.events)} more"
+
+    def test_render_negative_lines_rejected(self):
+        t = iid_boolean(2, 4, 0.5, seed=6)
+        res = simulate(t, trace_events=True)
+        with pytest.raises(ValueError):
+            render_event_log(res, max_lines=-1)
+
+    def test_events_are_tick_message_tuples(self):
+        t = iid_boolean(2, 4, 0.5, seed=7)
+        res = simulate(t, trace_events=True)
+        for tick, msg in res.events:
+            assert isinstance(tick, int)
+            assert isinstance(msg.kind, MsgKind)

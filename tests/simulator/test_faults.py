@@ -1,0 +1,238 @@
+"""Fault injection and recovery on the Section 7 machine.
+
+The contract under test: for any seeded :class:`FaultPlan`, the faulty
+run terminates and returns the exact fault-free ``val(root)``, and the
+same ``(tree, plan)`` pair replays bit-identically.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import (
+    ALL_FAULT_KINDS,
+    FaultPlan,
+    ScheduleEntry,
+)
+from repro.simulator import simulate
+from repro.trees.generators import iid_boolean
+
+
+def _tree(height=4, seed=0):
+    return iid_boolean(2, height, 0.45, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan construction and decision determinism
+# ---------------------------------------------------------------------------
+class TestFaultPlan:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0, drop=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(0, drop=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(0, drop=0.6, duplicate=0.3, delay=0.2)
+        with pytest.raises(ValueError):
+            FaultPlan(0, crash=0.7, stall=0.7)
+        with pytest.raises(ValueError):
+            FaultPlan(0, max_delay=0)
+        with pytest.raises(ValueError):
+            FaultPlan(0, stall_ticks=0)
+
+    def test_with_rate_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan.with_rate(0, "lightning", 0.1)
+
+    def test_schedule_entry_validation(self):
+        with pytest.raises(ValueError):
+            ScheduleEntry("explode")
+        with pytest.raises(ValueError):
+            ScheduleEntry("drop")  # message fault without seq
+        with pytest.raises(ValueError):
+            ScheduleEntry("crash", tick=3)  # processor fault w/o level
+
+    def test_begin_run_resets_decisions(self):
+        plan = FaultPlan(42, drop=0.5)
+        first = [plan.message_fault(i, "VAL", 1) for i in range(50)]
+        plan.begin_run()
+        again = [plan.message_fault(i, "VAL", 1) for i in range(50)]
+        assert first == again
+        assert any(f is not None for f in first)
+
+    def test_max_faults_caps_rate_driven_faults(self):
+        plan = FaultPlan(7, drop=1.0, max_faults=3)
+        hits = [
+            plan.message_fault(i, "VAL", 1) is not None for i in range(10)
+        ]
+        assert sum(hits) == 3
+        assert plan.injected == 3
+
+    def test_schedule_fires_regardless_of_cap(self):
+        plan = FaultPlan(
+            0, max_faults=0,
+            schedule=[ScheduleEntry("drop", seq=5)],
+        )
+        assert plan.message_fault(5, "VAL", 1) == ("drop", 0)
+        assert plan.message_fault(6, "VAL", 1) is None
+
+
+# ---------------------------------------------------------------------------
+# The acceptance matrix: every kind x rate converges to the true value
+# ---------------------------------------------------------------------------
+class TestFaultMatrix:
+    @pytest.mark.parametrize("kind", ALL_FAULT_KINDS)
+    @pytest.mark.parametrize("rate", [0.01, 0.05, 0.2])
+    def test_faulty_run_returns_fault_free_value(self, kind, rate):
+        for tree_seed in (0, 1):
+            tree = _tree(seed=tree_seed)
+            baseline = simulate(tree)
+            for plan_seed in (0, 1):
+                plan = FaultPlan.with_rate(
+                    plan_seed, kind, rate, max_faults=24
+                )
+                res = simulate(tree, fault_plan=plan)
+                assert res.value == baseline.value
+                assert res.fault_stats is not None
+                assert res.fault_stats.injected <= 24
+
+    def test_combined_faults_converge(self):
+        tree = _tree(height=5, seed=3)
+        baseline = simulate(tree)
+        plan = FaultPlan(
+            11, drop=0.05, duplicate=0.05, delay=0.05, reorder=0.1,
+            crash=0.02, stall=0.05, max_faults=40,
+        )
+        res = simulate(tree, fault_plan=plan)
+        assert res.value == baseline.value
+        stats = res.fault_stats
+        assert stats.injected == (
+            stats.dropped + stats.duplicated + stats.delayed
+            + stats.reordered + stats.crashes + stats.stalls
+        )
+
+    def test_overhead_is_recorded(self):
+        tree = _tree(height=5, seed=2)
+        plan = FaultPlan.with_rate(5, "drop", 0.2, max_faults=16)
+        res = simulate(tree, fault_plan=plan)
+        assert res.fault_stats.dropped > 0
+        # Every drop of a val eventually costs a retransmission or a
+        # re-issued invocation somewhere; recovery traffic is counted.
+        assert (res.fault_stats.retransmissions
+                + res.fault_stats.reissues
+                + res.fault_stats.heartbeats) > 0
+
+
+# ---------------------------------------------------------------------------
+# Replay determinism
+# ---------------------------------------------------------------------------
+class TestReplay:
+    def test_same_seed_replays_bit_identically(self):
+        tree = _tree(height=5, seed=4)
+        plan = FaultPlan(
+            9, drop=0.1, duplicate=0.05, delay=0.05, reorder=0.1,
+            crash=0.03, stall=0.03, max_faults=32,
+        )
+        a = simulate(tree, fault_plan=plan, trace_events=True)
+        b = simulate(tree, fault_plan=plan, trace_events=True)
+        assert a.events == b.events
+        assert (a.value, a.ticks, a.expansions, a.messages) == (
+            b.value, b.ticks, b.expansions, b.messages
+        )
+
+    def test_different_seeds_diverge(self):
+        tree = _tree(height=5, seed=4)
+        runs = {
+            simulate(
+                tree,
+                fault_plan=FaultPlan.with_rate(s, "drop", 0.2,
+                                               max_faults=16),
+            ).messages
+            for s in range(6)
+        }
+        assert len(runs) > 1
+
+
+# ---------------------------------------------------------------------------
+# Scripted scenarios
+# ---------------------------------------------------------------------------
+class TestScheduledFaults:
+    def test_dropped_kickoff_is_reissued(self):
+        # seq 1 is the machine's own kickoff P_SOLVE; dropping it
+        # leaves every processor idle until the supervisor re-issues.
+        tree = _tree()
+        baseline = simulate(tree)
+        plan = FaultPlan(0, schedule=[ScheduleEntry("drop", seq=1)])
+        res = simulate(tree, fault_plan=plan)
+        assert res.value == baseline.value
+        assert res.fault_stats.reissues >= 1
+        assert res.ticks > baseline.ticks
+
+    def test_scripted_crash_recovers(self):
+        tree = _tree()
+        baseline = simulate(tree)
+        plan = FaultPlan(
+            0,
+            schedule=[ScheduleEntry("crash", tick=2, level=0,
+                                    duration=3)],
+        )
+        res = simulate(tree, fault_plan=plan)
+        assert res.value == baseline.value
+        assert res.fault_stats.crashes == 1
+
+    def test_scripted_stall_preserves_buffered_messages(self):
+        tree = _tree()
+        baseline = simulate(tree)
+        plan = FaultPlan(
+            0,
+            schedule=[ScheduleEntry("stall", tick=2, level=1,
+                                    duration=4)],
+        )
+        res = simulate(tree, fault_plan=plan)
+        assert res.value == baseline.value
+        assert res.fault_stats.stalls == 1
+        # A stall delays but never destroys messages.
+        assert res.fault_stats.lost_in_outage == 0
+
+    def test_scheduled_delay_duration_applies(self):
+        tree = _tree()
+        baseline = simulate(tree)
+        plan = FaultPlan(
+            0, schedule=[ScheduleEntry("delay", seq=1, duration=7)]
+        )
+        res = simulate(tree, fault_plan=plan)
+        assert res.value == baseline.value
+        # The whole run shifts by the kickoff's extra latency (the
+        # supervisor may or may not have re-issued meanwhile).
+        assert res.ticks >= baseline.ticks + 7 or \
+            res.fault_stats.reissues > 0
+
+
+# ---------------------------------------------------------------------------
+# Fault-free purity
+# ---------------------------------------------------------------------------
+class TestFaultFreePurity:
+    def test_no_plan_means_no_fault_state(self):
+        res = simulate(_tree())
+        assert res.fault_stats is None
+
+    def test_quiet_plan_preserves_schedule(self):
+        # A plan with zero rates adds recovery traffic (acks and
+        # heartbeats) but must not change the computation itself.
+        tree = _tree(height=5, seed=2)
+        base = simulate(tree)
+        quiet = simulate(tree, fault_plan=FaultPlan(0))
+        assert quiet.value == base.value
+        assert quiet.ticks == base.ticks
+        assert quiet.expansions == base.expansions
+        assert quiet.messages >= base.messages
+        assert quiet.fault_stats.injected == 0
+
+    def test_recovery_knob_validation(self):
+        tree = _tree()
+        with pytest.raises(SimulationError):
+            simulate(tree, fault_plan=FaultPlan(0), heartbeat_interval=0)
+        with pytest.raises(SimulationError):
+            simulate(tree, fault_plan=FaultPlan(0), retransmit_timeout=1)
+        with pytest.raises(SimulationError):
+            simulate(tree, fault_plan=FaultPlan(0),
+                     heartbeat_interval=5, heartbeat_timeout=5)

@@ -1,0 +1,83 @@
+"""Edge cases of the Section 7 machine: degenerate trees and zones.
+
+The zone-multiplexing property deliberately asserts *value* invariance
+for every processor count and bit-identity only when ``p`` covers all
+levels: with fewer physical processors than levels, the round-robin
+schedule changes message timing, and the machine's speculative S-SOLVE
+work (hence ``expansions`` and ``ticks``) legitimately depends on that
+timing.  The root value never does.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import simulate
+from repro.trees import exact_value
+from repro.trees.generators import iid_boolean
+
+
+class TestDegenerateTrees:
+    def test_height_zero_tree_is_one_lookup(self):
+        for seed in range(4):
+            tree = iid_boolean(2, 0, 0.5, seed=seed)
+            res = simulate(tree)
+            assert res.value == exact_value(tree)
+            # kickoff (t0->t1) + val report (t1->t2)
+            assert res.ticks == 2
+            assert res.expansions == 1
+
+    def test_height_one_tree(self):
+        for seed in range(6):
+            tree = iid_boolean(2, 1, 0.5, seed=seed)
+            res = simulate(tree)
+            assert res.value == exact_value(tree)
+
+    def test_height_zero_with_one_processor(self):
+        tree = iid_boolean(2, 0, 0.5, seed=1)
+        res = simulate(tree, physical_processors=1)
+        assert res.value == exact_value(tree)
+
+
+class TestZoneMultiplexing:
+    def test_single_physical_processor_serialises_all_levels(self):
+        tree = iid_boolean(2, 5, 0.45, seed=7)
+        full = simulate(tree)
+        serial = simulate(tree, physical_processors=1)
+        assert serial.value == full.value
+        # One work unit per tick at most across the whole machine.
+        assert serial.max_degree <= 1
+        assert serial.ticks >= full.ticks
+
+    @given(
+        height=st.integers(min_value=1, max_value=5),
+        tree_seed=st.integers(min_value=0, max_value=12),
+        p=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_value_invariant_under_any_processor_count(
+        self, height, tree_seed, p
+    ):
+        tree = iid_boolean(2, height, 0.45, seed=tree_seed)
+        assert (
+            simulate(tree, physical_processors=p).value
+            == simulate(tree).value
+        )
+
+    @given(
+        height=st.integers(min_value=1, max_value=5),
+        tree_seed=st.integers(min_value=0, max_value=12),
+        extra=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_enough_processors_is_bit_identical(
+        self, height, tree_seed, extra
+    ):
+        # With p >= num_levels every zone has one level: the multiplex
+        # path must be an exact no-op, not merely value-preserving.
+        tree = iid_boolean(2, height, 0.45, seed=tree_seed)
+        full = simulate(tree)
+        zoned = simulate(tree, physical_processors=height + 1 + extra)
+        assert (zoned.value, zoned.ticks, zoned.expansions,
+                zoned.messages) == (full.value, full.ticks,
+                                    full.expansions, full.messages)
+        assert zoned.degree_by_tick == full.degree_by_tick
