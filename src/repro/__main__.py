@@ -15,10 +15,13 @@ bench --wallclock
     Wall-clock measurements: incremental vs rescan frontier backend,
     and (with ``--workers``) the process-pool oracle runtime.
 lint
-    Static-analysis pass enforcing the model invariants (R1-R6).
+    Static-analysis pass enforcing the model invariants (R1-R7).
 chaos
     Fault-injection sweep: convergence and overhead under seeded
     message/processor faults, plus oracle-runtime fault drills.
+trace
+    Record an instrumented run under the deterministic telemetry
+    recorder and export it as a Chrome ``trace_event`` file or JSONL.
 """
 
 from __future__ import annotations
@@ -157,6 +160,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         oracle_iters=args.oracle_iters,
+        trace_out=args.trace_out,
     )
 
 
@@ -177,7 +181,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         max_faults=args.max_faults,
         quick=args.quick,
         runtime=args.runtime,
+        trace_out=args.trace_out,
     )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.cli import run_trace
+
+    return run_trace(args)
 
 
 def _tw(res: EvalResult) -> Tuple[int, int, int]:
@@ -232,12 +243,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also run the process-pool oracle benchmark",
     )
     bench.add_argument("--oracle-iters", type=int, default=20000)
+    bench.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="also write a JSONL telemetry trace of one bench run",
+    )
     bench.set_defaults(fn=_cmd_bench)
 
     from .lint.cli import add_lint_arguments
 
     lint = sub.add_parser(
-        "lint", help="run the invariant static-analysis pass (R1-R6)"
+        "lint", help="run the invariant static-analysis pass (R1-R7)"
     )
     add_lint_arguments(lint)
     lint.set_defaults(fn=_cmd_lint)
@@ -268,7 +283,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--runtime", action="store_true",
         help="also chaos-test the oracle runtime (FaultyExecutor)",
     )
+    chaos.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="also write a JSONL telemetry trace of one faulty run",
+    )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    from .telemetry.cli import add_trace_arguments
+
+    trace = sub.add_parser(
+        "trace", help="record and export a deterministic telemetry trace"
+    )
+    add_trace_arguments(trace)
+    trace.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

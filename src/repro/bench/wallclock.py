@@ -169,8 +169,16 @@ def run_wallclock(
     seed: int = 2026,
     workers: Optional[int] = None,
     oracle_iters: int = 20000,
+    trace_out: Optional[str] = None,
 ) -> int:
-    """CLI driver for ``repro bench --wallclock``."""
+    """CLI driver for ``repro bench --wallclock``.
+
+    ``trace_out`` additionally records one instrumented run of the
+    bench workload (the incremental backend at the first width, under
+    a wall-clock-enabled recorder) and writes it as a JSONL trace —
+    the same format ``repro trace`` and ``repro chaos --trace-out``
+    emit.
+    """
     table = backend_wallclock_table(
         branching=branching, height=height, widths=widths, seed=seed
     )
@@ -181,4 +189,16 @@ def run_wallclock(
             workers=workers, oracle_iters=oracle_iters, seed=seed
         )
         print(oracle_table.render())
+    if trace_out is not None:
+        from ..telemetry import InMemoryRecorder
+        from ..telemetry.cli import emit_jsonl_trace
+
+        recorder = InMemoryRecorder(wallclock=True)
+        tree = iid_boolean(
+            branching, height, level_invariant_bias(branching), seed=seed
+        )
+        parallel_solve(tree, widths[0], recorder=recorder)
+        emit_jsonl_trace(recorder, trace_out)
+        print(f"wrote {trace_out} ({len(recorder.events)} events, "
+              f"width={widths[0]} seed={seed})")
     return 0

@@ -31,6 +31,7 @@ from typing import Callable, List, Optional
 
 from ...errors import ModelViolationError
 from ...models.accounting import EvalResult, ExecutionTrace
+from ...telemetry import Recorder, live
 from ...trees.base import GameTree, NodeId
 from ...types import NodeType
 from ..frontier import FrontierIndex, _IncrementalPolicy
@@ -185,8 +186,10 @@ def run_minmax(
     keep_batches: bool = False,
     on_step: Optional[MinmaxStepHook] = None,
     max_steps: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Run the pruning process under ``policy``; return value and trace."""
+    rec = live(recorder)
     state = AlphaBetaState(tree)
     trace = ExecutionTrace(keep_batches=keep_batches)
     evaluated: List[NodeId] = []
@@ -202,13 +205,26 @@ def run_minmax(
             )
         for leaf in batch:
             state.finish_leaf(leaf)
-        prune_to_fixpoint(state)
+        pruned = prune_to_fixpoint(state)
         trace.record(batch)
         evaluated.extend(batch)
+        if rec is not None:
+            rec.advance(step + 1)
+            rec.add_span(
+                "step", step, step + 1, track="alphabeta",
+                degree=len(batch), pruned=pruned,
+            )
+            rec.count("alphabeta.leaves_evaluated", len(batch))
+            if pruned:
+                rec.count("alphabeta.pruned", pruned)
+            rec.sample("alphabeta.degree", len(batch), track="alphabeta")
         if on_step is not None:
             on_step(state, step, batch)
         step += 1
         if max_steps is not None and step > max_steps:
             raise ModelViolationError(f"exceeded {max_steps} steps")
 
+    if rec is not None:
+        rec.count("alphabeta.steps", step)
+        rec.gauge("alphabeta.processors", trace.processors)
     return EvalResult(state.finished_value[root], trace, evaluated)

@@ -9,7 +9,10 @@ speed-up on uniform MIN/MAX trees using n+1 processors).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...models.accounting import EvalResult
+from ...telemetry import Recorder
 from ...trees.base import GameTree
 from ..parallel_solve import resolve_backend
 from .engine import (
@@ -20,9 +23,13 @@ from .engine import (
 )
 
 
-def _width_policy(width: int, backend: str) -> MinmaxPolicy:
+def _width_policy(
+    width: int, backend: str, recorder: Optional[Recorder] = None
+) -> MinmaxPolicy:
     if resolve_backend(backend) == "incremental":
-        return IncrementalAlphaBetaWidthPolicy(width)
+        policy = IncrementalAlphaBetaWidthPolicy(width)
+        policy.recorder = recorder
+        return policy
     return AlphaBetaWidthPolicy(width)
 
 
@@ -31,10 +38,14 @@ def sequential_alpha_beta(
     *,
     keep_batches: bool = False,
     backend: str = "incremental",
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """The alpha-beta pruning procedure, one leaf per basic step."""
     return run_minmax(
-        tree, _width_policy(0, backend), keep_batches=keep_batches
+        tree,
+        _width_policy(0, backend, recorder),
+        keep_batches=keep_batches,
+        recorder=recorder,
     )
 
 
@@ -45,16 +56,21 @@ def parallel_alpha_beta(
     keep_batches: bool = False,
     on_step=None,
     backend: str = "incremental",
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Parallel alpha-beta of the given width.
 
     ``backend`` selects the frontier engine: ``"incremental"``
     (default) or ``"rescan"`` (the reference per-step recomputation).
     Both produce identical per-step batches.
+
+    ``recorder`` attaches a telemetry sink (step spans with prune
+    counts, degree samples, frontier counters).
     """
     return run_minmax(
         tree,
-        _width_policy(width, backend),
+        _width_policy(width, backend, recorder),
         keep_batches=keep_batches,
         on_step=on_step,
+        recorder=recorder,
     )

@@ -67,6 +67,8 @@ from __future__ import annotations
 from bisect import insort
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import Recorder
+from ..telemetry import live as _live_recorder
 from ..trees.base import GameTree, NodeId
 from .status import BooleanState
 
@@ -106,9 +108,11 @@ class FrontierIndex:
         width: Optional[int],
         settled: Callable[[NodeId], bool],
         terminal: Optional[Callable[[NodeId], bool]] = None,
+        recorder: Optional[Recorder] = None,
     ):
         if width is not None and width < 0:
             raise ValueError("width must be >= 0")
+        self._rec = _live_recorder(recorder)
         self.tree = tree
         self.state = state
         self.width = width
@@ -130,6 +134,10 @@ class FrontierIndex:
             initial = width if width is not None else 0
             self._activate(root, initial, (), sink=self._frontier)
             self._frontier.sort()
+
+    def set_recorder(self, recorder: Optional[Recorder]) -> None:
+        """Attach a telemetry sink (normalised; ``None`` disables)."""
+        self._rec = _live_recorder(recorder)
 
     # -- reads -------------------------------------------------------------
     def _is_current(self, node: NodeId) -> bool:
@@ -200,6 +208,8 @@ class FrontierIndex:
         if width is None:
             raise ValueError("unbounded frontier has no pruning budgets")
         leaves = self.batch()
+        if self._rec is not None:
+            self._rec.observe("frontier.most_urgent_pool", len(leaves))
         if len(leaves) <= processors:
             return leaves
         budget = self._budget
@@ -241,6 +251,8 @@ class FrontierIndex:
         ancestor that settled in the same cascade are skipped).
         """
         budget_map = self._budget
+        if self._rec is not None:
+            self._rec.count("frontier.settled")
         if node in budget_map:
             self._remove_subtree(node)
         parent = self.tree.parent(node)
@@ -293,6 +305,8 @@ class FrontierIndex:
         b = self._budget.get(node)
         if b is None:
             return
+        if self._rec is not None:
+            self._rec.count("frontier.expanded")
         if self.tree.is_leaf(node):
             # The leaf's determination cascade follows as on_settled
             # events, which clear the budget/key entries.
@@ -392,19 +406,25 @@ class FrontierIndex:
         if terminal(node):
             del budget_map[node]
             del key_map[node]
+            if self._rec is not None:
+                self._rec.observe("frontier.settle_cascade", 1)
             return
         kids_map = self._kids
+        removed = 0
         stack = [node]
         while stack:
             v = stack.pop()
             del budget_map[v]
             del key_map[v]
+            removed += 1
             if terminal(v):
                 continue
             for child in kids_map.get(v, ()):
                 if child in budget_map:
                     stack.append(child)
             kids_map.pop(v, None)
+        if self._rec is not None:
+            self._rec.observe("frontier.settle_cascade", removed)
 
 
 # ---------------------------------------------------------------------------
@@ -418,10 +438,14 @@ class _IncrementalPolicy:
     The index binds lazily to the engine's state on the first call (and
     rebinds if the policy object is reused on a fresh run); the state's
     transition feed keeps it current from then on.
+
+    Setting :attr:`recorder` (done by the solver entry points) attaches
+    a telemetry sink to the index at bind time.
     """
 
     def __init__(self) -> None:
         self._index: Optional[FrontierIndex] = None
+        self.recorder: Optional[Recorder] = None
 
     def _bind(self, tree: GameTree, state: object) -> FrontierIndex:
         raise NotImplementedError
@@ -430,6 +454,7 @@ class _IncrementalPolicy:
         idx = self._index
         if idx is None or idx.state is not state:
             idx = self._bind(tree, state)
+            idx.set_recorder(self.recorder)
             self._index = idx
         return idx
 

@@ -11,6 +11,7 @@ from typing import Callable, List, Optional
 
 from ...errors import ModelViolationError
 from ...models.accounting import EvalResult, ExecutionTrace
+from ...telemetry import Recorder, live
 from ...trees.base import GameTree, NodeId
 from ..frontier import FrontierIndex, _IncrementalPolicy
 from .state import ExpansionState
@@ -138,8 +139,10 @@ def run_expansion(
     keep_batches: bool = False,
     on_step: Optional[ExpansionStepHook] = None,
     max_steps: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Evaluate a Boolean tree in the node-expansion model."""
+    rec = live(recorder)
     state = ExpansionState(tree)
     trace = ExecutionTrace(keep_batches=keep_batches)
     expanded_order: List[NodeId] = []
@@ -157,10 +160,21 @@ def run_expansion(
             state.expand(node)
         trace.record(batch)
         expanded_order.extend(batch)
+        if rec is not None:
+            rec.advance(step + 1)
+            rec.add_span(
+                "step", step, step + 1, track="expansion",
+                degree=len(batch),
+            )
+            rec.count("expansion.nodes_expanded", len(batch))
+            rec.sample("expansion.degree", len(batch), track="expansion")
         if on_step is not None:
             on_step(state, step, batch)
         step += 1
         if max_steps is not None and step > max_steps:
             raise ModelViolationError(f"exceeded {max_steps} steps")
 
+    if rec is not None:
+        rec.count("expansion.steps", step)
+        rec.gauge("expansion.processors", trace.processors)
     return EvalResult(state.value[root], trace, expanded_order)

@@ -38,5 +38,7 @@ def n_parallel_solve(
     :func:`repro.core.parallel_solve.parallel_solve`).
     """
     if resolve_backend(backend) == "incremental":
-        return run_expansion(tree, IncrementalNWidthPolicy(width), **kw)
+        policy = IncrementalNWidthPolicy(width)
+        policy.recorder = kw.get("recorder")
+        return run_expansion(tree, policy, **kw)
     return run_expansion(tree, NWidthPolicy(width), **kw)

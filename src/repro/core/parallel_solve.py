@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..models.accounting import EvalResult
+from ..telemetry import Recorder
 from ..trees.base import GameTree
 from .frontier import (
     IncrementalBoundedWidthPolicy,
@@ -54,6 +55,7 @@ def parallel_solve(
     keep_batches: bool = False,
     on_step=None,
     backend: str = "incremental",
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Run Parallel SOLVE of the given width on a Boolean tree.
 
@@ -64,6 +66,9 @@ def parallel_solve(
     ``backend`` selects the frontier engine: ``"incremental"``
     (default) or ``"rescan"`` (the reference per-step recomputation).
     Both produce identical per-step batches.
+
+    ``recorder`` attaches a telemetry sink (step spans, degree
+    samples, frontier counters); the default records nothing.
     """
     policy: Policy
     if resolve_backend(backend) == "incremental":
@@ -71,6 +76,7 @@ def parallel_solve(
             policy = IncrementalWidthPolicy(width)
         else:
             policy = IncrementalBoundedWidthPolicy(width, max_processors)
+        policy.recorder = recorder
     elif max_processors is None:
         policy = WidthPolicy(width)
     else:
@@ -80,6 +86,7 @@ def parallel_solve(
         policy,
         keep_batches=keep_batches,
         on_step=on_step,
+        recorder=recorder,
     )
 
 
@@ -88,14 +95,18 @@ def saturation_solve(
     *,
     keep_batches: bool = False,
     backend: str = "incremental",
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Evaluate every live leaf at every step (unbounded parallelism)."""
     policy: Policy
     if resolve_backend(backend) == "incremental":
         policy = IncrementalSaturationPolicy()
+        policy.recorder = recorder
     else:
         policy = SaturationPolicy()
-    return run_boolean(tree, policy, keep_batches=keep_batches)
+    return run_boolean(
+        tree, policy, keep_batches=keep_batches, recorder=recorder
+    )
 
 
 def span(tree: GameTree) -> int:

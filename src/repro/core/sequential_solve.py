@@ -13,23 +13,29 @@ Two implementations are provided:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..models.accounting import EvalResult, ExecutionTrace
+from ..telemetry import Recorder, record_execution_trace
 from ..trees.base import GameTree, NodeId
 
 
-def sequential_solve(tree: GameTree) -> EvalResult:
+def sequential_solve(
+    tree: GameTree, *, recorder: Optional[Recorder] = None
+) -> EvalResult:
     """Evaluate a Boolean tree left-to-right with short-circuiting.
 
     Returns an :class:`EvalResult` whose trace has one degree-1 step per
     evaluated leaf, matching the leaf-evaluation model's accounting of
-    Sequential SOLVE.
+    Sequential SOLVE.  The trace is built after the fact (the fast
+    non-recursive walk has no per-step loop), so telemetry is bridged
+    from it via the :mod:`repro.telemetry.adapters` path.
     """
     value, leaves = solve_subtree(tree, tree.root)
     trace = ExecutionTrace()
     for leaf in leaves:
         trace.record([leaf])
+    record_execution_trace(recorder, trace, track="sequential")
     return EvalResult(value, trace, list(leaves))
 
 

@@ -12,6 +12,7 @@ from typing import Callable, List, Optional
 
 from ..errors import ModelViolationError
 from ..models.accounting import EvalResult, ExecutionTrace
+from ..telemetry import Recorder, live
 from ..trees.base import GameTree, NodeId
 from .status import BooleanState
 
@@ -30,6 +31,7 @@ def run_boolean(
     on_step: Optional[StepHook] = None,
     max_steps: Optional[int] = None,
     validate_batches: bool = False,
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Evaluate a Boolean tree under ``policy``; return value and trace.
 
@@ -48,7 +50,10 @@ def run_boolean(
         Check every selected leaf against the model's contract (live,
         distinct) before evaluating — for exercising custom policies;
         the built-in policies satisfy the contract by construction.
+    recorder:
+        Telemetry sink; the logical clock is the basic-step count.
     """
+    rec = live(recorder)
     state = BooleanState(tree)
     trace = ExecutionTrace(keep_batches=keep_batches)
     evaluated: List[NodeId] = []
@@ -71,12 +76,22 @@ def run_boolean(
             state.evaluate_leaf(leaf)
         trace.record(batch)
         evaluated.extend(batch)
+        if rec is not None:
+            rec.advance(step + 1)
+            rec.add_span(
+                "step", step, step + 1, track="solve", degree=len(batch)
+            )
+            rec.count("solve.leaves_evaluated", len(batch))
+            rec.sample("solve.degree", len(batch), track="solve")
         if on_step is not None:
             on_step(state, step, batch)
         step += 1
         if max_steps is not None and step > max_steps:
             raise ModelViolationError(f"exceeded {max_steps} steps")
 
+    if rec is not None:
+        rec.count("solve.steps", step)
+        rec.gauge("solve.processors", trace.processors)
     return EvalResult(state.value[root], trace, evaluated)
 
 

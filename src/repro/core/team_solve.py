@@ -9,7 +9,10 @@ It is the baseline that Parallel SOLVE's width strategy improves on.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..models.accounting import EvalResult
+from ..telemetry import Recorder
 from ..trees.base import GameTree
 from .frontier import IncrementalTeamPolicy
 from .parallel_solve import resolve_backend
@@ -23,6 +26,7 @@ def team_solve(
     *,
     keep_batches: bool = False,
     backend: str = "incremental",
+    recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Run Team SOLVE with ``processors`` processors on a Boolean tree.
 
@@ -32,6 +36,9 @@ def team_solve(
     policy: Policy
     if resolve_backend(backend) == "incremental":
         policy = IncrementalTeamPolicy(processors)
+        policy.recorder = recorder
     else:
         policy = TeamPolicy(processors)
-    return run_boolean(tree, policy, keep_batches=keep_batches)
+    return run_boolean(
+        tree, policy, keep_batches=keep_batches, recorder=recorder
+    )

@@ -123,6 +123,33 @@ def _square(x: int) -> int:
     return x * x
 
 
+def _emit_trace(
+    path: str,
+    *,
+    height: int,
+    seed: int,
+    kind: str,
+    rate: float,
+    max_faults: Optional[int],
+) -> None:
+    """Record one representative faulty run and write its JSONL trace."""
+    from ..simulator import simulate
+    from ..telemetry import InMemoryRecorder
+    from ..telemetry.cli import emit_jsonl_trace
+    from ..trees.generators import iid_boolean
+
+    recorder = InMemoryRecorder()
+    tree = iid_boolean(2, height, 0.45, seed=seed)
+    plan = FaultPlan.with_rate(seed, kind, rate, max_faults=max_faults)
+    try:
+        simulate(tree, fault_plan=plan, recorder=recorder)
+    except SimulationError as exc:
+        print(f"trace run aborted ({exc}); writing the partial trace")
+    emit_jsonl_trace(recorder, path)
+    print(f"wrote {path} ({len(recorder.events)} events, "
+          f"kind={kind} rate={rate} seed={seed})")
+
+
 def run_chaos(
     *,
     height: int = 6,
@@ -132,8 +159,15 @@ def run_chaos(
     max_faults: Optional[int] = 64,
     quick: bool = False,
     runtime: bool = False,
+    trace_out: Optional[str] = None,
 ) -> int:
-    """Run the chaos sweep; returns the process exit status."""
+    """Run the chaos sweep; returns the process exit status.
+
+    ``trace_out`` additionally records one representative faulty run
+    (first kind, first rate, first seed) under a telemetry recorder
+    and writes it as a JSONL trace — the same format ``repro trace``
+    and ``repro bench --trace-out`` emit.
+    """
     if quick:
         height, num_seeds = 4, 2
         rates, kinds = (0.05,), ("drop", "crash")
@@ -163,6 +197,9 @@ def run_chaos(
         all_ok = all_ok and ok
         for line in lines:
             print(line)
+    if trace_out is not None:
+        _emit_trace(trace_out, height=height, seed=seeds[0],
+                    kind=kinds[0], rate=rates[0], max_faults=max_faults)
     print()
     print("all runs converged and replayed deterministically"
           if all_ok else "CHAOS FAILURES — see table above")

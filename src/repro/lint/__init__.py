@@ -1,6 +1,6 @@
 """Static analysis enforcing the reproduction's model invariants.
 
-The rules (R1–R6, see ``docs/static_analysis.md``) mechanically check
+The rules (R1–R7, see ``docs/static_analysis.md``) mechanically check
 the conventions the paper's theorems rely on: all work is charged
 through :class:`~repro.models.accounting.ExecutionTrace`, all
 randomness is explicitly seeded, the Section 7 simulator dispatches on
@@ -24,7 +24,7 @@ from .base import (
 from .findings import Finding, Severity, render_json, render_text
 from .runner import lint_paths, lint_source
 from .suppress import SuppressionTable, parse_suppressions
-from . import rules  # noqa: F401  (importing registers R1-R6)
+from . import rules  # noqa: F401  (importing registers R1-R7)
 
 __all__ = [
     "Finding",

@@ -1,4 +1,4 @@
-"""The paper-specific rules R1–R6.
+"""The paper-specific rules R1–R7.
 
 Each rule protects one discipline the reproduction's correctness
 arguments lean on; ``docs/static_analysis.md`` maps every rule to the
@@ -649,3 +649,84 @@ class SwallowedExceptionRule(Rule):
                 continue
             return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# R7 — clock discipline
+# ---------------------------------------------------------------------------
+
+#: ``time`` module functions that read a wall/monotonic clock.
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time",
+    "process_time_ns",
+})
+
+
+@register
+class ClockDisciplineRule(Rule):
+    """R7: raw clock reads belong to telemetry and the wallclock bench.
+
+    Extends R2's determinism story to the *allowed* wall-clock
+    modules: even where ``import time`` is legitimate (the oracle
+    runtime measures real latencies), each raw ``time.time()`` /
+    ``time.monotonic()`` / ``perf_counter()`` call site must be
+    individually acknowledged with ``# lint: disable=R7``, so new
+    timing code is pushed toward the telemetry recorder (logical
+    clocks, replay-deterministic) instead of scattering ad-hoc clock
+    reads.  ``repro.telemetry`` and ``repro.bench.wallclock`` — the
+    two modules whose *job* is real time — are exempt wholesale.
+    """
+
+    name = "R7"
+    title = "clock discipline (no raw clock reads outside telemetry)"
+    severity = Severity.ERROR
+
+    ALLOWED_PATHS = ("bench/wallclock.py",)
+    ALLOWED_PREFIXES = ("telemetry/",)
+
+    def _exempt(self, ctx: ModuleContext) -> bool:
+        return (
+            ctx.logical_path in self.ALLOWED_PATHS
+            or ctx.logical_path.startswith(self.ALLOWED_PREFIXES)
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._exempt(ctx):
+            return
+        clock_aliases = self._clock_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                dotted = self.dotted(func)
+                root, _, rest = dotted.partition(".")
+                if root == "time" and rest in _CLOCK_FUNCS:
+                    yield ctx.finding(
+                        self, node,
+                        f"raw clock read '{dotted}()'; route timing "
+                        f"through repro.telemetry (or acknowledge with "
+                        f"'# lint: disable=R7')",
+                    )
+            elif isinstance(func, ast.Name) and func.id in clock_aliases:
+                yield ctx.finding(
+                    self, node,
+                    f"raw clock read '{func.id}()' (imported from "
+                    f"'time'); route timing through repro.telemetry "
+                    f"(or acknowledge with '# lint: disable=R7')",
+                )
+
+    @staticmethod
+    def _clock_aliases(tree: ast.Module) -> Set[str]:
+        """Local names bound to clock functions by ``from time import``."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if (node.module or "").split(".")[0] != "time":
+                continue
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCS:
+                    aliases.add(alias.asname or alias.name)
+        return aliases

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..errors import DegradedRunError, WorkerCrashError
+from ..telemetry import Recorder, live
 
 
 class BatchEvaluator:
@@ -175,6 +176,7 @@ class OracleRuntime:
         max_consecutive_rebuilds: Optional[int] = None,
         executor_factory: Optional[Callable[[], Executor]] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        recorder: Optional[Recorder] = None,
     ):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -201,6 +203,7 @@ class OracleRuntime:
         self._sleep = sleep if sleep is not None else time.sleep
         self._pool: Optional[Executor] = None
         self.stats = RuntimeStats()
+        self._rec = live(recorder)
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "OracleRuntime":
@@ -227,6 +230,8 @@ class OracleRuntime:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         self.stats.pool_restarts += 1
+        if self._rec is not None:
+            self._rec.event("oracle.pool_restart", track="oracle")
         self._ensure_pool()
 
     # -- evaluation --------------------------------------------------------
@@ -242,7 +247,7 @@ class OracleRuntime:
         once ``max_consecutive_rebuilds`` pools broke back-to-back.
         """
         items = list(payloads)
-        start = time.perf_counter()
+        start = time.perf_counter()  # lint: disable=R7
         results: List[Any] = [None] * len(items)
         pending = self._split(items)
         attempt = 0
@@ -276,19 +281,30 @@ class OracleRuntime:
                         f"retries ({len(pending)} chunk(s) outstanding)"
                     ) from error
                 self.stats.retries += 1
+                if self._rec is not None:
+                    self._rec.event(
+                        "oracle.retry", track="oracle",
+                        attempt=attempt, outstanding=len(pending),
+                    )
                 self._sleep(
                     min(
                         self.backoff_seconds * 2 ** (attempt - 1),
                         self.max_backoff_seconds,
                     )
                 )
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # lint: disable=R7
         stats = self.stats
         stats.batches += 1
         stats.units += len(items)
         stats.oracle_seconds += elapsed
         stats.last_batch_seconds = elapsed
         stats.last_batch_size = len(items)
+        rec = self._rec
+        if rec is not None:
+            rec.count("oracle.batches")
+            rec.count("oracle.units", len(items))
+            if rec.wallclock:
+                rec.observe("oracle.batch_seconds", elapsed)
         return results
 
     def _split(self, items: List[Any]) -> List[Tuple[int, List[Any]]]:
@@ -331,10 +347,17 @@ class OracleRuntime:
             else:
                 submitted.append((start, chunk, fut))
         failed: List[Tuple[int, List[Any]]] = []
+        rec = self._rec
+        time_chunks = rec is not None and rec.wallclock
         for start, chunk, fut in submitted:
+            if rec is not None:
+                rec.observe("oracle.chunk_size", len(chunk))
             if fut is None:
                 failed.append((start, chunk))
                 continue
+            wait_from = (
+                time.perf_counter() if time_chunks else 0.0  # lint: disable=R7
+            )
             try:
                 values = fut.result(timeout=self.chunk_timeout)
             except FuturesTimeoutError as exc:
@@ -353,6 +376,12 @@ class OracleRuntime:
                 error = exc
                 failed.append((start, chunk))
             else:
+                if time_chunks:
+                    assert rec is not None
+                    rec.observe(
+                        "oracle.chunk_seconds",
+                        time.perf_counter() - wait_from,  # lint: disable=R7
+                    )
                 results[start : start + len(values)] = values
         if broken:
             self.restart_pool()

@@ -35,6 +35,7 @@ from ..core.status import BooleanState
 from ..errors import DegradedRunError, ModelViolationError
 from ..models.accounting import ExecutionTrace
 from ..models.executors import OracleRuntime
+from ..telemetry import Recorder, live, record_runtime_stats
 from ..trees.base import GameTree, NodeId
 
 
@@ -87,6 +88,7 @@ def run_with_oracle(
     payload: Callable[[GameTree, NodeId], Any] = None,
     max_steps: Optional[int] = None,
     runtime: Optional[OracleRuntime] = None,
+    recorder: Optional[Recorder] = None,
 ) -> OracleRunResult:
     """Evaluate ``tree`` with leaf values produced by ``oracle``.
 
@@ -113,26 +115,30 @@ def run_with_oracle(
         finished before the failing batch.
 
     Per-step wall-clock times are recorded in the trace's
-    ``step_seconds``.
+    ``step_seconds``.  ``recorder`` attaches a telemetry sink (step
+    spans keyed on the basic-step count, with wall-clock step
+    durations as an opt-in histogram when the recorder was built with
+    ``wallclock=True``).
     """
     if payload is None:
         payload = lambda t, leaf: t.leaf_value(leaf)  # noqa: E731
     if runtime is not None and executor is not None:
         raise ValueError("pass either executor or runtime, not both")
 
+    rec = live(recorder)
     cache: Dict[NodeId, int] = {}
     view = _OracleLeafView(tree, cache)
     state = BooleanState(view)
     trace = ExecutionTrace()
     evaluated: List[NodeId] = []
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint: disable=R7
     oracle_time = 0.0
     root = tree.root
 
     def eval_batch(batch: List[NodeId]) -> float:
         nonlocal oracle_time
         inputs = [payload(tree, leaf) for leaf in batch]
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # lint: disable=R7
         if runtime is not None:
             try:
                 outputs = runtime.evaluate(inputs)
@@ -143,7 +149,7 @@ def run_with_oracle(
             outputs = [oracle(x) for x in inputs]
         else:
             outputs = list(executor.map(oracle, inputs))
-        elapsed = time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0  # lint: disable=R7
         oracle_time += elapsed
         for leaf, out in zip(batch, outputs):
             cache[leaf] = int(out)
@@ -161,14 +167,25 @@ def run_with_oracle(
             state.evaluate_leaf(leaf)
         trace.record(batch, seconds=seconds)
         evaluated.extend(batch)
+        if rec is not None:
+            rec.advance(step + 1)
+            rec.add_span(
+                "step", step, step + 1, track="oracle-run",
+                degree=len(batch),
+            )
+            rec.count("oracle_run.leaves_evaluated", len(batch))
+            if rec.wallclock:
+                rec.observe("oracle_run.step_seconds", seconds)
         step += 1
         if max_steps is not None and step > max_steps:
             raise ModelViolationError(f"exceeded {max_steps} steps")
 
+    if rec is not None and runtime is not None:
+        record_runtime_stats(rec, runtime.stats)
     return OracleRunResult(
         value=state.value[root],
         trace=trace,
         oracle_seconds=oracle_time,
-        total_seconds=time.perf_counter() - start,
+        total_seconds=time.perf_counter() - start,  # lint: disable=R7
         evaluated=evaluated,
     )

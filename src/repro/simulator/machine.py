@@ -54,6 +54,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..telemetry import (
+    ActivityCoalescer,
+    Recorder,
+    live,
+    record_fault_stats,
+)
 from ..trees.base import GameTree, NodeId
 from ..types import TreeKind
 from .messages import MACHINE_LEVEL, SUPERVISOR_LEVEL, Message, MsgKind
@@ -160,6 +166,7 @@ class Machine:
         heartbeat_interval: int = 3,
         heartbeat_timeout: int = 12,
         retransmit_timeout: int = 5,
+        recorder: Optional[Recorder] = None,
     ):
         if tree.kind is not TreeKind.BOOLEAN:
             raise SimulationError("the implementation evaluates NOR trees")
@@ -206,12 +213,24 @@ class Machine:
         # Supervisor state (fault mode only).
         self._sup_pending: Dict[int, _PendingInvocation] = {}
         self._last_heard: Dict[int, int] = {}
+        # Telemetry (one busy/idle coalescer per Section-7 level).
+        self._rec = live(recorder)
+        self._coalescers: Dict[int, ActivityCoalescer] = (
+            {
+                d: ActivityCoalescer(self._rec, f"level-{d}")
+                for d in range(self.num_levels)
+            }
+            if self._rec is not None
+            else {}
+        )
 
     # -- messaging ---------------------------------------------------------
     def send(self, kind: MsgKind, node: NodeId, dest_level: int,
              value: Optional[int] = None) -> None:
         self._seq += 1
         self._messages += 1
+        if self._rec is not None:
+            self._rec.count(f"machine.msg.{kind.name}")
         msg = Message(kind=kind, node=node, dest_level=dest_level,
                       seq=self._seq, sent_at=self._tick, value=value)
         if self.faults is None:
@@ -309,6 +328,11 @@ class Machine:
             # dropped newer invocation forever.
             if tick - pending.since >= self.heartbeat_timeout:
                 stats.reissues += 1
+                if self._rec is not None:
+                    self._rec.event(
+                        "reissue", track="faults",
+                        level=level, kind=pending.kind_name,
+                    )
                 # send() re-registers the pending record with
                 # since=tick, which restarts the silence timer.
                 self.send(MsgKind[pending.kind_name], pending.node, level)
@@ -326,8 +350,11 @@ class Machine:
         degree_by_tick: List[int] = []
         # Kick-off: the machine directs processor 0 to solve the root.
         self.send(MsgKind.P_SOLVE, self.tree.root, 0)
+        rec = self._rec
         while self._root_value is None:
             self._tick += 1
+            if rec is not None:
+                rec.advance(self._tick)
             if self._tick > max_ticks:
                 raise SimulationError(
                     f"no result after {max_ticks} ticks — deadlock?"
@@ -356,6 +383,22 @@ class Machine:
                 self._recovery_phase()
             self._work_phase()
             degree_by_tick.append(self._expansions_this_tick)
+            if rec is not None:
+                rec.sample(
+                    "machine.degree", self._expansions_this_tick,
+                    track="machine",
+                )
+        if rec is not None:
+            for level, coalescer in self._coalescers.items():
+                coalescer.finish(self._tick)
+                rec.gauge(
+                    f"machine.level{level}.busy_ticks",
+                    coalescer.busy_ticks,
+                )
+            rec.count("machine.ticks", self._tick)
+            rec.count("machine.expansions", self._expansions)
+            rec.count("machine.messages", self._messages)
+            record_fault_stats(rec, self.fault_stats)
         return SimulationResult(
             value=self._root_value,
             ticks=self._tick,
@@ -404,20 +447,33 @@ class Machine:
         by_level.setdefault(msg.dest_level, []).append(msg)
 
     def _work_phase(self) -> None:
+        rec = self._rec
         if self.physical is None:
+            if rec is None:
+                for level in range(self.num_levels):
+                    self.procs[level].work()
+                return
             for level in range(self.num_levels):
-                self.procs[level].work()
+                busy = self.procs[level].work()
+                self._coalescers[level].observe(self._tick, busy)
             return
         p = self.physical
+        busy_levels = set()
         for phys in range(min(p, self.num_levels)):
             levels = list(range(phys, self.num_levels, p))
             start = self._rr.get(phys, 0)
             for i in range(len(levels)):
                 level = levels[(start + i) % len(levels)]
                 if self.procs[level].has_work():
-                    self.procs[level].work()
+                    if self.procs[level].work():
+                        busy_levels.add(level)
                     self._rr[phys] = (start + i + 1) % len(levels)
                     break
+        if rec is not None:
+            for level in range(self.num_levels):
+                self._coalescers[level].observe(
+                    self._tick, level in busy_levels
+                )
 
 
 def simulate(
@@ -427,6 +483,7 @@ def simulate(
     work_priority: str = "p_first",
     trace_events: bool = False,
     fault_plan: Optional["FaultPlan"] = None,
+    recorder: Optional[Recorder] = None,
     **recovery_knobs: int,
 ) -> SimulationResult:
     """Run the Section 7 machine on a binary NOR tree.
@@ -437,10 +494,15 @@ def simulate(
     and the run's fault accounting lands in ``result.fault_stats``.
     ``recovery_knobs`` forwards ``heartbeat_interval`` /
     ``heartbeat_timeout`` / ``retransmit_timeout`` to the machine.
+
+    ``recorder`` attaches a telemetry sink: per-level busy/idle spans
+    (one track per level processor), per-kind message counters, a
+    per-tick degree time series and bridged fault accounting.
     """
     machine = Machine(tree, physical_processors,
                       work_priority=work_priority,
                       trace_events=trace_events,
                       fault_plan=fault_plan,
+                      recorder=recorder,
                       **recovery_knobs)
     return machine.run(max_ticks)

@@ -264,17 +264,18 @@ class LevelProcessor:
             return True
         return self.s_task is not None and not self.s_task.done
 
-    def work(self) -> None:
-        """One unit of work.
+    def work(self) -> bool:
+        """One unit of work; returns whether any work was done.
 
         By default the P-task (expansion / traversal on the critical
         cascade) has priority over the S-task (the speculative sibling
         search); the machine's ``work_priority`` knob flips this for
-        the ablation benchmark.
+        the ablation benchmark.  The boolean feeds the machine's
+        per-level busy/idle telemetry and changes nothing else.
         """
         if self.machine.faults is not None \
                 and self.in_outage(self.machine._tick):
-            return
+            return False
         p_ready = (
             self.p_task is not None
             and not self.p_task.finished
@@ -285,5 +286,8 @@ class LevelProcessor:
             == "s_first"
         if p_ready and not (prefer_s and s_ready):
             self.p_task.work(self)
+            return True
         elif s_ready:
             self.s_task.work(self)
+            return True
+        return False

@@ -1,0 +1,56 @@
+"""Deterministic tracing + metrics for every engine in the repo.
+
+Logical-clock spans, counters/gauges/histograms, JSONL and Chrome
+``trace_event`` exporters, and adapters bridging the pre-existing
+stats dialects (``ExecutionTrace``, ``FaultStats``, ``RuntimeStats``).
+See ``docs/telemetry.md``.
+"""
+
+from .adapters import (
+    record_execution_trace,
+    record_fault_stats,
+    record_runtime_stats,
+)
+from .export import (
+    SCHEMA_VERSION,
+    chrome_json,
+    summarize,
+    to_chrome,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome,
+    write_jsonl,
+)
+from .metrics import HistogramSummary, MetricsRegistry
+from .recorder import (
+    NULL_RECORDER,
+    ActivityCoalescer,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    TraceEvent,
+    live,
+)
+
+__all__ = [
+    "ActivityCoalescer",
+    "HistogramSummary",
+    "InMemoryRecorder",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SCHEMA_VERSION",
+    "TraceEvent",
+    "chrome_json",
+    "live",
+    "record_execution_trace",
+    "record_fault_stats",
+    "record_runtime_stats",
+    "summarize",
+    "to_chrome",
+    "to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome",
+    "write_jsonl",
+]

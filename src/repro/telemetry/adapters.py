@@ -1,0 +1,95 @@
+"""Bridges from the repo's three pre-existing stats dialects.
+
+``ExecutionTrace`` (idealized-model engines), ``FaultStats`` (Section-7
+machine) and ``RuntimeStats`` (process-pool oracle runtime) each predate
+the telemetry subsystem and keep their own accumulators.  These
+adapters translate each into recorder calls *after the fact* — the
+dialects stay authoritative for their callers, and telemetry composes
+them into one trace without import cycles (everything here is
+duck-typed on the attributes the classes actually expose; nothing from
+``repro.core`` / ``repro.simulator`` / ``repro.models`` is imported).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .recorder import Recorder, live
+
+
+def record_execution_trace(
+    recorder: Optional[Recorder],
+    trace: object,
+    *,
+    track: str = "solve",
+) -> None:
+    """Replay an ``ExecutionTrace`` degree sequence into a recorder.
+
+    One ``"step"`` span per basic step (degree attached), plus the
+    derived totals as counters/gauges.  Wall-clock ``step_seconds``
+    are bridged only when the recorder opted into wall time.
+    """
+    rec = live(recorder)
+    if rec is None:
+        return
+    degrees = getattr(trace, "degrees", ())
+    for step, degree in enumerate(degrees):
+        rec.advance(step + 1)
+        rec.add_span("step", step, step + 1, track=track, degree=degree)
+        rec.sample("degree", degree, track=track)
+    rec.count("steps", len(degrees))
+    rec.count("work", sum(degrees))
+    rec.gauge("processors", max(degrees) if degrees else 0)
+    if rec.wallclock:
+        for seconds in getattr(trace, "step_seconds", ()):
+            rec.observe("step_seconds", seconds)
+
+
+def record_fault_stats(
+    recorder: Optional[Recorder],
+    stats: object,
+    *,
+    track: str = "faults",
+) -> None:
+    """Bridge a machine run's ``FaultStats`` into counters + one event."""
+    rec = live(recorder)
+    if rec is None or stats is None:
+        return
+    fields = (
+        "dropped", "duplicated", "delayed", "reordered", "crashes",
+        "stalls", "lost_in_outage", "retransmissions", "reissues",
+        "heartbeats", "acks",
+    )
+    attrs = {}
+    for name in fields:
+        value = getattr(stats, name, 0)
+        attrs[name] = value
+        if value:
+            rec.count(f"fault.{name}", value)
+    rec.event("fault_stats", track=track, **attrs)
+
+
+def record_runtime_stats(
+    recorder: Optional[Recorder],
+    stats: object,
+    *,
+    track: str = "oracle",
+) -> None:
+    """Bridge ``OracleRuntime.stats`` totals into counters + one event."""
+    rec = live(recorder)
+    if rec is None or stats is None:
+        return
+    fields = ("batches", "chunks", "units", "retries", "timeouts",
+              "pool_restarts")
+    attrs = {}
+    for name in fields:
+        value = getattr(stats, name, 0)
+        attrs[name] = value
+        if value:
+            rec.count(f"oracle.{name}", value)
+    if rec.wallclock:
+        seconds = getattr(stats, "oracle_seconds", 0.0)
+        if seconds:
+            rec.observe("oracle.batch_seconds", seconds)
+        attrs["oracle_seconds"] = seconds
+    rec.event("runtime_stats", track=track, **attrs)

@@ -1,0 +1,234 @@
+"""Exporters: JSONL event stream and Chrome ``trace_event`` JSON.
+
+Both exports are pure functions of the recorder's state and emit keys
+in sorted order with fixed separators, so the same recording always
+produces byte-identical artifacts — the property the `repro trace`
+replay acceptance test pins down.
+
+JSONL: one JSON object per line.  Line 1 is a ``{"kind": "meta", ...}``
+header carrying the schema version; span/instant/counter events follow
+in recording order; the final line is a ``{"kind": "metrics", ...}``
+snapshot of the registry.
+
+Chrome: the ``{"traceEvents": [...]}`` wrapper loadable in Perfetto or
+``chrome://tracing``.  Each recorder *track* becomes a Chrome "process"
+(one per algorithm stage or Section-7 level processor) named via a
+``process_name`` metadata event; logical timestamps are scaled by
+×1000 so one step/tick reads as 1ms on the Perfetto timeline rather
+than sub-microsecond noise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .recorder import InMemoryRecorder, TraceEvent
+
+#: Bumped when the JSONL record shapes change.
+SCHEMA_VERSION = 1
+
+#: Perfetto display scale: one logical step/tick = 1000 "microseconds".
+CHROME_TICK_US = 1000
+
+
+def _dump(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def event_record(event: TraceEvent) -> Dict[str, object]:
+    """The JSONL dict for one trace event (schema shared by all emitters)."""
+    record: Dict[str, object] = {
+        "kind": event.kind,
+        "name": event.name,
+        "track": event.track,
+        "start": event.start,
+        "end": event.end,
+    }
+    if event.value is not None:
+        record["value"] = event.value
+    if event.attrs:
+        record["attrs"] = dict(event.attrs)
+    return record
+
+
+def to_jsonl(recorder: InMemoryRecorder) -> str:
+    """Serialise a recording as newline-terminated JSONL."""
+    lines = [_dump({
+        "kind": "meta",
+        "schema": SCHEMA_VERSION,
+        "clock": recorder.clock,
+        "events": len(recorder.events),
+    })]
+    lines.extend(_dump(event_record(e)) for e in recorder.events)
+    lines.append(_dump({
+        "kind": "metrics",
+        **recorder.metrics.snapshot(),
+    }))
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(recorder: InMemoryRecorder, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(recorder))
+
+
+def _track_pids(events: List[TraceEvent]) -> Dict[str, int]:
+    """Track name -> Chrome pid, in first-appearance order from 1."""
+    pids: Dict[str, int] = {}
+    for event in events:
+        if event.track not in pids:
+            pids[event.track] = len(pids) + 1
+    return pids
+
+
+def to_chrome(recorder: InMemoryRecorder) -> Dict[str, object]:
+    """Build the Chrome ``trace_event`` document for a recording."""
+    pids = _track_pids(recorder.events)
+    trace_events: List[Dict[str, object]] = []
+    for track, pid in pids.items():
+        trace_events.append({
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": track},
+        })
+    for event in recorder.events:
+        pid = pids[event.track]
+        ts = event.start * CHROME_TICK_US
+        args: Dict[str, object] = dict(event.attrs)
+        if event.kind == "span":
+            trace_events.append({
+                "ph": "X",
+                "name": event.name,
+                "pid": pid,
+                "tid": 0,
+                "ts": ts,
+                "dur": max(event.end - event.start, 0) * CHROME_TICK_US,
+                "args": args,
+            })
+        elif event.kind == "counter":
+            trace_events.append({
+                "ph": "C",
+                "name": event.name,
+                "pid": pid,
+                "tid": 0,
+                "ts": ts,
+                "args": {event.name: event.value},
+            })
+        else:
+            trace_events.append({
+                "ph": "i",
+                "name": event.name,
+                "pid": pid,
+                "tid": 0,
+                "ts": ts,
+                "s": "t",
+                "args": args,
+            })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA_VERSION,
+            "clock": recorder.clock,
+            "metrics": recorder.metrics.snapshot(),
+        },
+    }
+
+
+def chrome_json(recorder: InMemoryRecorder) -> str:
+    return _dump(to_chrome(recorder)) + "\n"
+
+
+def write_chrome(recorder: InMemoryRecorder, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_json(recorder))
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Check a parsed Chrome trace document against our schema.
+
+    Returns a list of problems (empty means valid).  Hand-rolled
+    because the toolchain has no ``jsonschema``; covers exactly the
+    invariants the telemetry-smoke CI job needs.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["top level is not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    named_pids = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i", "C"):
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name is not a string")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: pid is not an int")
+        if ph == "M":
+            args = event.get("args")
+            if (
+                event.get("name") == "process_name"
+                and isinstance(args, dict)
+                and isinstance(args.get("name"), str)
+            ):
+                named_pids.add(event.get("pid"))
+            else:
+                problems.append(f"{where}: malformed process_name metadata")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if event.get("pid") not in named_pids:
+            problems.append(f"{where}: pid {event.get('pid')!r} has no "
+                            "process_name metadata")
+    return problems
+
+
+def summarize(recorder: InMemoryRecorder) -> str:
+    """Human-readable digest of a recording (for ``repro trace summary``)."""
+    lines = [
+        f"clock: {recorder.clock}",
+        f"events: {len(recorder.events)}",
+    ]
+    per_track: Dict[str, Dict[str, int]] = {}
+    for event in recorder.events:
+        bucket = per_track.setdefault(event.track, {})
+        bucket[event.kind] = bucket.get(event.kind, 0) + 1
+    for track in recorder.tracks():
+        kinds = per_track[track]
+        detail = ", ".join(f"{k}={kinds[k]}" for k in sorted(kinds))
+        lines.append(f"track {track}: {detail}")
+    snap = recorder.metrics.snapshot()
+    counters = snap["counters"]
+    gauges = snap["gauges"]
+    hists = snap["histograms"]
+    assert isinstance(counters, dict)
+    assert isinstance(gauges, dict)
+    assert isinstance(hists, dict)
+    for name, value in counters.items():
+        lines.append(f"counter {name}: {value:g}")
+    for name, value in gauges.items():
+        lines.append(f"gauge {name}: {value:g}")
+    for name, summary in hists.items():
+        assert isinstance(summary, dict)
+        lines.append(
+            f"histogram {name}: count={summary['count']} "
+            f"mean={summary['mean']:.6g} p50={summary['p50']:g} "
+            f"max={summary['max']:g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Counters, gauges and histograms with deterministic summaries.
+
+The registry is a plain accumulator: it never reads a clock, never
+allocates per-update, and its exported form is fully determined by the
+sequence of updates — so two replays of the same seeded run export
+byte-identical metric blocks.
+
+Histograms keep every observation.  That is deliberate: the quantities
+observed here are small (per-step degrees, per-chunk latencies on
+bench-sized workloads), exact quantiles beat approximate sketches for
+reproduction work, and the memory cost is bounded by the run the user
+asked to trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class HistogramSummary:
+    """Deterministic summary of one histogram's observations."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+    p50: float
+    p90: float
+    p99: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile on a pre-sorted list (deterministic)."""
+    if not sorted_values:
+        raise ValueError("quantile of empty histogram")
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters, gauges and histograms.
+
+    Update methods are the hot path (dict get + add), summary methods
+    are called once at export time.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+
+    # -- updates -----------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        bucket = self.histograms.get(name)
+        if bucket is None:
+            bucket = self.histograms[name] = []
+        bucket.append(value)
+
+    # -- summaries ---------------------------------------------------------
+    def histogram_summary(self, name: str) -> Optional[HistogramSummary]:
+        values = self.histograms.get(name)
+        if not values:
+            return None
+        ordered = sorted(values)
+        return HistogramSummary(
+            count=len(ordered),
+            total=sum(ordered),
+            min=ordered[0],
+            max=ordered[-1],
+            p50=_quantile(ordered, 0.50),
+            p90=_quantile(ordered, 0.90),
+            p99=_quantile(ordered, 0.99),
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view with deterministically sorted keys."""
+        hists: Dict[str, object] = {}
+        for name in sorted(self.histograms):
+            summary = self.histogram_summary(name)
+            if summary is None:
+                continue
+            hists[name] = {
+                "count": summary.count,
+                "total": summary.total,
+                "min": summary.min,
+                "max": summary.max,
+                "mean": summary.mean,
+                "p50": summary.p50,
+                "p90": summary.p90,
+                "p99": summary.p99,
+            }
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": hists,
+        }

@@ -4,14 +4,19 @@ Debugging and teaching aids used by the examples: ``render_tree``
 draws a tree with gates/polarities and leaf values; ``render_schedule``
 draws the per-step parallel degrees of a trace as a bar timeline, which
 makes the difference between Team SOLVE's ragged schedule and Parallel
-SOLVE's pruning-number cascade visible at a glance.
+SOLVE's pruning-number cascade visible at a glance;
+``render_span_timeline`` draws an
+:class:`~repro.telemetry.InMemoryRecorder` trace as one bar row per
+track in the same style.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import math
+from typing import Dict, List, Optional
 
 from ..models.accounting import ExecutionTrace
+from ..telemetry import InMemoryRecorder, TraceEvent
 from ..types import TreeKind
 from .base import GameTree, NodeId
 
@@ -70,7 +75,13 @@ def render_schedule(
     width: int = 50,
     label: str = "",
 ) -> str:
-    """Draw per-step parallel degrees as a horizontal bar chart."""
+    """Draw per-step parallel degrees as a horizontal bar chart.
+
+    Zero-degree steps (possible for tick-based degree sequences such
+    as the Section-7 machine's, where a tick may deliver messages but
+    expand nothing) render a distinct ``idle`` marker rather than a
+    one-unit bar that would be indistinguishable from degree 1.
+    """
     if not trace.degrees:
         return "(empty trace)"
     peak = max(trace.degrees)
@@ -83,6 +94,52 @@ def render_schedule(
         f"processors={peak}"
     )
     for step, degree in enumerate(trace.degrees):
+        if degree == 0:
+            lines.append(f"{step:>4} |. idle")
+            continue
         bar = "#" * max(1, round(degree / scale))
         lines.append(f"{step:>4} |{bar} {degree}")
+    return "\n".join(lines)
+
+
+def render_span_timeline(
+    recorder: InMemoryRecorder,
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """Draw a recorded trace as one bar row per track.
+
+    Each row spans the recording's logical clock, scaled to at most
+    ``width`` columns: ``#`` marks time covered by an active span,
+    ``.`` time covered only by ``idle`` spans, and space time no span
+    covers.  The per-level rows of a Section-7 machine recording read
+    like :func:`render_schedule` bars laid side by side.
+    """
+    spans = [e for e in recorder.events if e.kind == "span"]
+    if not spans:
+        return "(empty trace)"
+    horizon = max(recorder.clock, max(e.end for e in spans), 1)
+    cols = min(width, horizon)
+    scale = horizon / cols
+    by_track: Dict[str, List[TraceEvent]] = {}
+    for event in spans:
+        by_track.setdefault(event.track, []).append(event)
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(
+        f"clock={recorder.clock} spans={len(spans)} "
+        f"(1 column ~ {scale:g} ticks)"
+    )
+    name_width = max(len(track) for track in by_track)
+    for track, events in by_track.items():
+        cells = [" "] * cols
+        for event in events:
+            lo = min(cols - 1, int(event.start / scale))
+            hi = min(cols, max(lo + 1, math.ceil(event.end / scale)))
+            mark = "." if event.name == "idle" else "#"
+            for i in range(lo, hi):
+                if mark == "#" or cells[i] == " ":
+                    cells[i] = mark
+        lines.append(f"{track:>{name_width}} |{''.join(cells)}|")
     return "\n".join(lines)

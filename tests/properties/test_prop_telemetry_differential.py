@@ -1,0 +1,109 @@
+"""Differential properties: recorders never change what engines compute.
+
+The telemetry parameter threads through every engine entry point; the
+contract is that the run is *identical* — same value, same per-step
+degrees, same batches, same machine tick/message accounting — whether
+``recorder`` is ``None``, a ``NullRecorder``, or a live
+``InMemoryRecorder``.  A second property pins replay determinism: two
+recordings of the same seeded run serialise to identical JSONL.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import parallel_solve, team_solve
+from repro.core.alphabeta import parallel_alpha_beta
+from repro.core.nodeexpansion import n_parallel_solve
+from repro.simulator import simulate
+from repro.telemetry import InMemoryRecorder, NullRecorder
+from repro.telemetry.export import to_jsonl
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import level_invariant_bias
+
+from ..conftest import (
+    boolean_tree_from_spec,
+    minmax_tree_from_spec,
+    nested_boolean,
+    nested_minmax,
+)
+
+RECORDERS = (lambda: None, NullRecorder, InMemoryRecorder)
+
+
+def _signature(result):
+    return (result.value, result.trace.degrees, result.trace.batches)
+
+
+def _assert_recorder_invariant(solver, *args, **kwargs):
+    signatures = [
+        _signature(solver(
+            *args, keep_batches=True, recorder=make(), **kwargs
+        ))
+        for make in RECORDERS
+    ]
+    assert signatures[0] == signatures[1] == signatures[2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_boolean(), st.integers(min_value=0, max_value=3))
+def test_parallel_solve_recorder_invariant(spec, width):
+    tree = boolean_tree_from_spec(spec)
+    _assert_recorder_invariant(parallel_solve, tree, width)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nested_boolean(), st.integers(min_value=1, max_value=4))
+def test_team_solve_recorder_invariant(spec, p):
+    tree = boolean_tree_from_spec(spec)
+    _assert_recorder_invariant(team_solve, tree, p)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nested_minmax(), st.integers(min_value=0, max_value=2))
+def test_parallel_alpha_beta_recorder_invariant(spec, width):
+    tree = minmax_tree_from_spec(spec)
+    _assert_recorder_invariant(parallel_alpha_beta, tree, width)
+
+
+@settings(max_examples=25, deadline=None)
+@given(nested_boolean(), st.integers(min_value=1, max_value=3))
+def test_n_parallel_solve_recorder_invariant(spec, width):
+    tree = boolean_tree_from_spec(spec)
+    _assert_recorder_invariant(n_parallel_solve, tree, width)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_simulate_recorder_invariant(height, seed):
+    tree = iid_boolean(2, height, level_invariant_bias(2), seed=seed)
+    runs = [
+        simulate(tree, recorder=make()) for make in RECORDERS
+    ]
+    profiles = [
+        (r.value, r.ticks, r.expansions, r.messages, r.degree_by_tick)
+        for r in runs
+    ]
+    assert profiles[0] == profiles[1] == profiles[2]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["machine", "solve"]),
+)
+def test_recordings_replay_byte_identical(height, seed, mode):
+    tree = iid_boolean(2, height, level_invariant_bias(2), seed=seed)
+
+    def record():
+        rec = InMemoryRecorder()
+        if mode == "machine":
+            simulate(tree, recorder=rec)
+        else:
+            parallel_solve(tree, 2, recorder=rec)
+        return to_jsonl(rec)
+
+    assert record() == record()

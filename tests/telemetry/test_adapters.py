@@ -1,0 +1,94 @@
+"""Adapter tests: the three stats dialects bridged into a recorder."""
+
+from repro.models.accounting import ExecutionTrace
+from repro.models.executors import RuntimeStats
+from repro.simulator.machine import FaultStats
+from repro.telemetry import (
+    InMemoryRecorder,
+    NullRecorder,
+    record_execution_trace,
+    record_fault_stats,
+    record_runtime_stats,
+)
+
+
+class TestExecutionTraceAdapter:
+    def _trace(self):
+        trace = ExecutionTrace()
+        trace.record([1, 2, 3], seconds=0.25)
+        trace.record([4], seconds=0.5)
+        return trace
+
+    def test_one_step_span_per_step_with_degree(self):
+        rec = InMemoryRecorder()
+        record_execution_trace(rec, self._trace(), track="sequential")
+        spans = rec.spans(track="sequential")
+        assert [(s.start, s.end) for s in spans] == [(0, 1), (1, 2)]
+        assert [dict(s.attrs)["degree"] for s in spans] == [3, 1]
+        assert rec.clock == 2
+
+    def test_derived_totals(self):
+        rec = InMemoryRecorder()
+        record_execution_trace(rec, self._trace())
+        assert rec.metrics.counters["steps"] == 2
+        assert rec.metrics.counters["work"] == 4
+        assert rec.metrics.gauges["processors"] == 3
+
+    def test_step_seconds_only_with_wallclock_opt_in(self):
+        cold = InMemoryRecorder()
+        record_execution_trace(cold, self._trace())
+        assert "step_seconds" not in cold.metrics.histograms
+        warm = InMemoryRecorder(wallclock=True)
+        record_execution_trace(warm, self._trace())
+        assert warm.metrics.histograms["step_seconds"] == [0.25, 0.5]
+
+    def test_null_and_none_recorders_are_noops(self):
+        record_execution_trace(None, self._trace())
+        record_execution_trace(NullRecorder(), self._trace())
+
+
+class TestFaultStatsAdapter:
+    def test_nonzero_fields_become_counters_plus_one_event(self):
+        rec = InMemoryRecorder()
+        stats = FaultStats(dropped=3, retransmissions=5, acks=2)
+        record_fault_stats(rec, stats)
+        assert rec.metrics.counters == {
+            "fault.dropped": 3, "fault.retransmissions": 5,
+            "fault.acks": 2,
+        }
+        (event,) = rec.events
+        assert (event.kind, event.name, event.track) == (
+            "instant", "fault_stats", "faults"
+        )
+        attrs = dict(event.attrs)
+        assert attrs["dropped"] == 3
+        assert attrs["crashes"] == 0  # zeros reported in the event
+
+    def test_none_stats_is_a_noop(self):
+        rec = InMemoryRecorder()
+        record_fault_stats(rec, None)
+        assert rec.events == []
+
+
+class TestRuntimeStatsAdapter:
+    def test_totals_bridged(self):
+        rec = InMemoryRecorder()
+        stats = RuntimeStats(batches=4, chunks=9, units=30, retries=1)
+        record_runtime_stats(rec, stats)
+        assert rec.metrics.counters["oracle.batches"] == 4
+        assert rec.metrics.counters["oracle.units"] == 30
+        assert "oracle.timeouts" not in rec.metrics.counters  # zero
+        (event,) = rec.events
+        assert event.name == "runtime_stats"
+        assert dict(event.attrs)["chunks"] == 9
+
+    def test_oracle_seconds_only_with_wallclock(self):
+        stats = RuntimeStats(batches=1, oracle_seconds=1.25)
+        cold = InMemoryRecorder()
+        record_runtime_stats(cold, stats)
+        assert "oracle.batch_seconds" not in cold.metrics.histograms
+        assert "oracle_seconds" not in dict(cold.events[0].attrs)
+        warm = InMemoryRecorder(wallclock=True)
+        record_runtime_stats(warm, stats)
+        assert warm.metrics.histograms["oracle.batch_seconds"] == [1.25]
+        assert dict(warm.events[0].attrs)["oracle_seconds"] == 1.25

@@ -1,0 +1,80 @@
+"""``repro trace`` CLI tests: every algo, both formats, replay identity."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.telemetry import validate_chrome_trace
+from repro.telemetry.cli import ALGOS, record_run
+
+
+class TestRecordRun:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_every_algo_records_events(self, algo):
+        rec = record_run(algo, branching=2, height=4, seed=1, width=2)
+        assert rec.events
+        assert rec.clock > 0
+        assert rec.metrics.snapshot()["counters"]
+
+    def test_machine_run_has_one_track_per_level(self):
+        rec = record_run("machine", branching=2, height=6, seed=2026,
+                         width=2)
+        tracks = rec.tracks()
+        assert [f"level-{d}" for d in range(7)] == sorted(
+            (t for t in tracks if t.startswith("level-")),
+            key=lambda t: int(t.split("-")[1]),
+        )
+
+
+class TestTraceCommand:
+    def test_chrome_export_validates_and_loads(self, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--height", "4", "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {
+            e["args"]["name"] for e in document["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "level-0" in names
+
+    def test_jsonl_replay_is_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        argv = ["trace", "--format", "jsonl", "--height", "4"]
+        assert main(argv + ["--out", str(a)]) == 0
+        assert main(argv + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_different_seeds_differ(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        argv = ["trace", "--format", "jsonl", "--height", "4"]
+        assert main(argv + ["--seed", "1", "--out", str(a)]) == 0
+        assert main(argv + ["--seed", "2", "--out", str(b)]) == 0
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_stdout_output(self, capsys):
+        assert main(["trace", "--format", "jsonl", "--height", "3",
+                     "--out", "-"]) == 0
+        captured = capsys.readouterr().out
+        header = json.loads(captured.splitlines()[0])
+        assert header["kind"] == "meta"
+
+    def test_summary_action(self, capsys):
+        assert main(["trace", "summary", "--algo", "solve",
+                     "--height", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "clock:" in out
+        assert "counter solve.steps:" in out
+
+    def test_quick_mode_self_validates(self, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        assert main(["trace", "--quick", "--out", str(out)]) == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_all_algos_through_the_cli(self, algo, tmp_path):
+        out = tmp_path / f"{algo}.json"
+        assert main(["trace", "--algo", algo, "--height", "4",
+                     "--out", str(out)]) == 0
+        assert validate_chrome_trace(json.loads(out.read_text())) == []

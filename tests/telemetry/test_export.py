@@ -1,0 +1,154 @@
+"""Exporter tests: JSONL/Chrome structure, escaping, edge cases."""
+
+import json
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    InMemoryRecorder,
+    chrome_json,
+    summarize,
+    to_chrome,
+    to_jsonl,
+    validate_chrome_trace,
+)
+
+
+def _sample_recorder() -> InMemoryRecorder:
+    rec = InMemoryRecorder()
+    rec.advance(1)
+    rec.add_span("step", 0, 1, track="solve", degree=3)
+    rec.sample("degree", 3, track="solve")
+    rec.advance(2)
+    rec.event("reissue", track="faults", level=2)
+    rec.count("solve.steps", 2)
+    rec.observe("cascade", 4.0)
+    return rec
+
+
+class TestJsonl:
+    def test_header_events_and_metrics_lines(self):
+        rec = _sample_recorder()
+        lines = to_jsonl(rec).splitlines()
+        header = json.loads(lines[0])
+        assert header == {
+            "kind": "meta", "schema": SCHEMA_VERSION,
+            "clock": 2, "events": 3,
+        }
+        records = [json.loads(line) for line in lines[1:-1]]
+        assert [r["kind"] for r in records] == ["span", "counter", "instant"]
+        assert records[0]["attrs"] == {"degree": 3}
+        assert records[1]["value"] == 3.0
+        footer = json.loads(lines[-1])
+        assert footer["kind"] == "metrics"
+        assert footer["counters"] == {"solve.steps": 2}
+        assert footer["histograms"]["cascade"]["count"] == 1
+
+    def test_trailing_newline_and_one_object_per_line(self):
+        payload = to_jsonl(_sample_recorder())
+        assert payload.endswith("\n")
+        for line in payload.splitlines():
+            json.loads(line)
+
+    def test_byte_identical_across_replays(self):
+        assert to_jsonl(_sample_recorder()) == to_jsonl(_sample_recorder())
+
+    def test_empty_recorder_still_has_header_and_metrics(self):
+        lines = to_jsonl(InMemoryRecorder()).splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["events"] == 0
+        assert json.loads(lines[1])["kind"] == "metrics"
+
+    def test_names_needing_escaping_round_trip(self):
+        rec = InMemoryRecorder()
+        nasty = 'quo"te\\back\nnew\ttab é'
+        rec.add_span(nasty, 0, 1, track=nasty, note=nasty)
+        lines = to_jsonl(rec).splitlines()
+        record = json.loads(lines[1])
+        assert record["name"] == nasty
+        assert record["track"] == nasty
+        assert record["attrs"]["note"] == nasty
+        # The payload itself stays one-object-per-line despite the \n
+        # inside the name (json escapes it).
+        assert len(lines) == 3
+
+
+class TestChrome:
+    def test_one_process_metadata_per_track_in_appearance_order(self):
+        doc = to_chrome(_sample_recorder())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["solve", "faults"]
+        assert [m["pid"] for m in meta] == [1, 2]
+
+    def test_span_counter_instant_shapes(self):
+        doc = to_chrome(_sample_recorder())
+        events = doc["traceEvents"]
+        x = next(e for e in events if e["ph"] == "X")
+        assert (x["ts"], x["dur"]) == (0, 1000)  # 1 tick = 1000us
+        assert x["args"] == {"degree": 3}
+        c = next(e for e in events if e["ph"] == "C")
+        assert c["args"] == {"degree": 3.0}
+        i = next(e for e in events if e["ph"] == "i")
+        assert i["s"] == "t"
+        assert i["ts"] == 2000
+
+    def test_other_data_carries_schema_and_metrics(self):
+        doc = to_chrome(_sample_recorder())
+        assert doc["otherData"]["schema"] == SCHEMA_VERSION
+        assert doc["otherData"]["metrics"]["counters"] == {"solve.steps": 2}
+
+    def test_chrome_json_is_deterministic_and_parses(self):
+        a = chrome_json(_sample_recorder())
+        b = chrome_json(_sample_recorder())
+        assert a == b
+        json.loads(a)
+
+    def test_empty_recorder_exports_valid_document(self):
+        doc = to_chrome(InMemoryRecorder())
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidate:
+    def test_sample_document_is_valid(self):
+        assert validate_chrome_trace(to_chrome(_sample_recorder())) == []
+
+    def test_rejects_non_object_and_missing_trace_events(self):
+        assert validate_chrome_trace([]) == ["top level is not an object"]
+        assert validate_chrome_trace({}) == [
+            "traceEvents is missing or not a list"
+        ]
+
+    def test_flags_unknown_phase_and_orphan_pid(self):
+        doc = to_chrome(_sample_recorder())
+        doc["traceEvents"].append(
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 0}
+        )
+        doc["traceEvents"].append(
+            {"ph": "i", "name": "x", "pid": 99, "tid": 0, "ts": 0, "s": "t"}
+        )
+        problems = validate_chrome_trace(doc)
+        assert any("unknown ph" in p for p in problems)
+        assert any("no process_name" in p for p in problems)
+
+    def test_flags_negative_timestamps_and_durations(self):
+        doc = to_chrome(_sample_recorder())
+        for event in doc["traceEvents"]:
+            if event["ph"] == "X":
+                event["ts"] = -5
+                event["dur"] = -1
+        problems = validate_chrome_trace(doc)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+
+class TestSummarize:
+    def test_digest_mentions_tracks_and_metrics(self):
+        out = summarize(_sample_recorder())
+        assert "clock: 2" in out
+        assert "track solve: counter=1, span=1" in out
+        assert "counter solve.steps: 2" in out
+        assert "histogram cascade: count=1" in out
+
+    def test_empty_recorder_digest(self):
+        out = summarize(InMemoryRecorder())
+        assert "events: 0" in out

@@ -1,0 +1,79 @@
+"""Unit tests for the metrics registry and histogram summaries."""
+
+from repro.telemetry import MetricsRegistry
+
+
+class TestUpdates:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("c")
+        reg.count("c", 4)
+        reg.count("other", 0.5)
+        assert reg.counters == {"c": 5, "other": 0.5}
+
+    def test_gauges_keep_latest(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1)
+        reg.gauge("g", 9)
+        assert reg.gauges["g"] == 9
+
+    def test_observations_append(self):
+        reg = MetricsRegistry()
+        for v in (3.0, 1.0, 2.0):
+            reg.observe("h", v)
+        assert reg.histograms["h"] == [3.0, 1.0, 2.0]
+
+
+class TestSummaries:
+    def test_summary_of_missing_histogram_is_none(self):
+        assert MetricsRegistry().histogram_summary("nope") is None
+
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("h", float(v))
+        s = reg.histogram_summary("h")
+        assert (s.count, s.min, s.max) == (100, 1.0, 100.0)
+        assert s.total == 5050.0
+        assert s.mean == 50.5
+        # Nearest-rank on the sorted values.
+        assert s.p50 == 51.0
+        assert s.p90 == 91.0
+        assert s.p99 == 100.0
+
+    def test_single_observation_summary(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 7.0)
+        s = reg.histogram_summary("h")
+        assert (s.p50, s.p90, s.p99) == (7.0, 7.0, 7.0)
+        assert s.mean == 7.0
+
+    def test_summary_order_independent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for v in values:
+            a.observe("h", v)
+        for v in sorted(values):
+            b.observe("h", v)
+        assert a.histogram_summary("h") == b.histogram_summary("h")
+
+
+class TestSnapshot:
+    def test_snapshot_keys_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.count("z", 1)
+        reg.count("a", 2)
+        reg.gauge("m", 3)
+        reg.observe("h", 1.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["histograms"]["h"]["count"] == 1
+        json.dumps(snap)  # must serialise as-is
+
+    def test_empty_snapshot(self):
+        assert MetricsRegistry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

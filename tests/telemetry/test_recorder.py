@@ -1,0 +1,148 @@
+"""Unit tests for the recorder core: clock, spans, metrics, coalescer."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_RECORDER,
+    ActivityCoalescer,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    TraceEvent,
+    live,
+)
+
+
+class TestLive:
+    def test_none_and_disabled_normalise_to_none(self):
+        assert live(None) is None
+        assert live(NullRecorder()) is None
+        assert live(NULL_RECORDER) is None
+
+    def test_enabled_recorder_passes_through(self):
+        rec = InMemoryRecorder()
+        assert live(rec) is rec
+
+    def test_both_recorders_satisfy_the_protocol(self):
+        assert isinstance(InMemoryRecorder(), Recorder)
+        assert isinstance(NullRecorder(), Recorder)
+
+
+class TestNullRecorder:
+    def test_every_method_is_a_noop(self):
+        rec = NullRecorder()
+        rec.advance(10)
+        with rec.span("s"):
+            pass
+        rec.add_span("s", 0, 1)
+        rec.event("e")
+        rec.count("c")
+        rec.gauge("g", 1.0)
+        rec.observe("h", 1.0)
+        rec.sample("x", 2.0)
+        assert rec.enabled is False
+        assert rec.wallclock is False
+
+
+class TestInMemoryRecorder:
+    def test_clock_advances_monotonically(self):
+        rec = InMemoryRecorder()
+        rec.advance(3)
+        rec.advance(1)  # never goes backwards
+        assert rec.clock == 3
+        rec.advance(7)
+        assert rec.clock == 7
+
+    def test_span_context_manager_brackets_the_clock(self):
+        rec = InMemoryRecorder()
+        rec.advance(2)
+        with rec.span("phase", track="t", depth=1):
+            rec.advance(5)
+        (event,) = rec.events
+        assert event == TraceEvent(
+            "span", "phase", "t", 2, 5, attrs=(("depth", 1),)
+        )
+
+    def test_span_recorded_even_when_body_raises(self):
+        rec = InMemoryRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("boom"):
+                rec.advance(4)
+                raise RuntimeError("x")
+        assert rec.spans()[0].end == 4
+
+    def test_add_span_attrs_are_sorted_deterministically(self):
+        rec = InMemoryRecorder()
+        rec.add_span("s", 0, 1, track="t", zeta=1, alpha=2)
+        assert rec.events[0].attrs == (("alpha", 2), ("zeta", 1))
+
+    def test_event_is_an_instant_at_the_current_clock(self):
+        rec = InMemoryRecorder()
+        rec.advance(9)
+        rec.event("marker", track="faults", level=3)
+        (event,) = rec.events
+        assert (event.kind, event.start, event.end) == ("instant", 9, 9)
+        assert dict(event.attrs) == {"level": 3}
+
+    def test_sample_feeds_registry_and_appends_counter_event(self):
+        rec = InMemoryRecorder()
+        rec.advance(4)
+        rec.sample("degree", 6, track="machine")
+        assert rec.metrics.gauges["degree"] == 6
+        (event,) = rec.events
+        assert (event.kind, event.value) == ("counter", 6.0)
+
+    def test_count_gauge_observe_do_not_append_events(self):
+        rec = InMemoryRecorder()
+        rec.count("c", 2)
+        rec.gauge("g", 5)
+        rec.observe("h", 0.5)
+        assert rec.events == []
+        assert rec.metrics.counters["c"] == 2
+
+    def test_spans_and_tracks_introspection(self):
+        rec = InMemoryRecorder()
+        rec.add_span("a", 0, 1, track="x")
+        rec.event("e", track="y")
+        rec.add_span("b", 1, 2, track="x")
+        assert [s.name for s in rec.spans()] == ["a", "b"]
+        assert [s.name for s in rec.spans(track="x")] == ["a", "b"]
+        assert rec.spans(track="y") == []
+        assert rec.tracks() == ["x", "y"]  # first-appearance order
+
+
+class TestActivityCoalescer:
+    def test_maximal_runs_become_single_spans(self):
+        rec = InMemoryRecorder()
+        co = ActivityCoalescer(rec, "level-0")
+        for t, busy in enumerate([True, True, False, False, False, True]):
+            co.observe(t, busy)
+        co.finish(6)
+        assert [(s.name, s.start, s.end) for s in rec.spans()] == [
+            ("busy", 0, 2), ("idle", 2, 5), ("busy", 5, 6),
+        ]
+        assert co.busy_ticks == 3
+
+    def test_spans_tile_the_whole_run(self):
+        rec = InMemoryRecorder()
+        co = ActivityCoalescer(rec, "t")
+        pattern = [True, False, True, True, False, False, True, False]
+        for t, busy in enumerate(pattern):
+            co.observe(t, busy)
+        co.finish(len(pattern))
+        spans = rec.spans()
+        assert spans[0].start == 0
+        assert spans[-1].end == len(pattern)
+        for prev, cur in zip(spans, spans[1:]):
+            assert prev.end == cur.start
+            assert prev.name != cur.name  # alternating by construction
+
+    def test_finish_is_idempotent_and_empty_run_emits_nothing(self):
+        rec = InMemoryRecorder()
+        co = ActivityCoalescer(rec, "t")
+        co.finish(5)
+        assert rec.events == []
+        co.observe(0, True)
+        co.finish(1)
+        co.finish(1)
+        assert len(rec.spans()) == 1

@@ -2,8 +2,13 @@
 
 from repro.core import parallel_solve
 from repro.models import ExecutionTrace
+from repro.telemetry import InMemoryRecorder
 from repro.trees import ExplicitTree
-from repro.trees.render import render_schedule, render_tree
+from repro.trees.render import (
+    render_schedule,
+    render_span_timeline,
+    render_tree,
+)
 from repro.types import TreeKind
 
 
@@ -63,3 +68,49 @@ class TestRenderSchedule:
         out = render_schedule(tr, width=20)
         bar_lines = out.splitlines()[1:]
         assert all(line.count("#") <= 21 for line in bar_lines)
+
+    def test_zero_degree_steps_render_idle_marker(self):
+        # Regression: tick-based degree sequences (the Section-7
+        # machine's) contain zeros; those must not render a one-unit
+        # bar indistinguishable from degree 1.
+        tr = ExecutionTrace()
+        # Zeros enter a trace the way the machine's tick-degree list
+        # does (a tick may only deliver messages), not via record().
+        tr.degrees = [2, 0, 1]
+        lines = render_schedule(tr).splitlines()
+        assert lines[1].endswith("2")
+        assert "idle" in lines[2]
+        assert "#" not in lines[2]
+        assert lines[3].endswith("1")
+
+
+class TestRenderSpanTimeline:
+    def test_empty_recorder(self):
+        assert "empty" in render_span_timeline(InMemoryRecorder())
+
+    def test_one_row_per_track_with_busy_and_idle_marks(self):
+        rec = InMemoryRecorder()
+        rec.advance(10)
+        rec.add_span("busy", 0, 4, track="level-0")
+        rec.add_span("idle", 4, 10, track="level-0")
+        rec.add_span("step", 2, 8, track="solve")
+        out = render_span_timeline(rec, width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("clock=10 spans=3")
+        rows = {line.split("|")[0].strip(): line for line in lines[1:]}
+        assert set(rows) == {"level-0", "solve"}
+        assert "#" in rows["level-0"] and "." in rows["level-0"]
+        assert "." not in rows["solve"].split("|")[1]
+
+    def test_machine_recording_has_one_row_per_level(self):
+        from repro.simulator import simulate
+        from repro.trees.generators import iid_boolean
+
+        tree = iid_boolean(2, 4, 0.4, seed=7)
+        rec = InMemoryRecorder()
+        simulate(tree, recorder=rec)
+        out = render_span_timeline(rec, label="machine")
+        lines = out.splitlines()
+        assert lines[0] == "machine"
+        level_rows = [ln for ln in lines if ln.strip().startswith("level-")]
+        assert len(level_rows) == 5  # height 4 → levels 0..4
