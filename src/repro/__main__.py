@@ -22,6 +22,10 @@ chaos
 trace
     Record an instrumented run under the deterministic telemetry
     recorder and export it as a Chrome ``trace_event`` file or JSONL.
+serve
+    Batch-evaluation service: canonical-tree result cache in front of
+    hash-sharded oracle-runtime pools, with deterministic response
+    logs and an optional chaos (crashing-shard) mode.
 """
 
 from __future__ import annotations
@@ -191,6 +195,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return run_trace(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.cli import run_serve
+
+    return run_serve(args)
+
+
 def _tw(res: EvalResult) -> Tuple[int, int, int]:
     return res.num_steps, res.total_work, res.processors
 
@@ -296,6 +306,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     add_trace_arguments(trace)
     trace.set_defaults(fn=_cmd_trace)
+
+    from .serve.cli import add_serve_arguments
+
+    serve = sub.add_parser(
+        "serve", help="sharded batch-evaluation service with caching"
+    )
+    add_serve_arguments(serve)
+    serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

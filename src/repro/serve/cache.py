@@ -1,0 +1,92 @@
+"""Canonical-form LRU result cache with hit/miss/eviction metrics.
+
+Keys are the canonical request hashes of
+:func:`repro.serve.request.request_key`; values are the deterministic
+``(value, steps, work)`` outcome dicts.  Because a key identifies the
+*content* of a request, the cache doubles as the deduplicator: any two
+requests over semantically equal trees with the same algorithm and
+parameters share one entry.
+
+Capacity semantics:
+
+* ``capacity=None`` — unbounded (never evicts);
+* ``capacity=0`` — disabled (every lookup misses, nothing is stored);
+* ``capacity=k > 0`` — LRU: inserting beyond ``k`` evicts the least
+  recently *used* entry (lookups refresh recency).
+
+The cache never influences response content — only whether a request
+is recomputed — which the cache-correctness property tests pin down
+by serving identical streams at capacities 0, k and ∞.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over a cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """LRU mapping from canonical request key to outcome dict."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0 (or None for unbounded)")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look one key up, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Insert (or refresh) one entry, evicting LRU beyond capacity."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = outcome
+            return
+        self._entries[key] = outcome
+        self.stats.insertions += 1
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (stats are preserved)."""
+        self._entries.clear()

@@ -1,6 +1,7 @@
 """Tree substrate: representations, views and instance generators."""
 
 from .base import GameTree, NodeId, exact_value, subtree_leaves
+from .canonical import canonical_encoding, canonical_hash, trees_equal
 from .explicit import ExplicitTree
 from .gates import GateScheme, all_nor, alternating
 from .lazy import LazyTree, lazy_view
@@ -12,6 +13,9 @@ __all__ = [
     "NodeId",
     "exact_value",
     "subtree_leaves",
+    "canonical_encoding",
+    "canonical_hash",
+    "trees_equal",
     "ExplicitTree",
     "UniformTree",
     "LazyTree",

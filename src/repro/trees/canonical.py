@@ -1,0 +1,123 @@
+"""Canonical forms for game trees: stable hashing and equality.
+
+Two trees are *semantically equal* when they have the same shape, the
+same evaluation semantics (kind and, for Boolean trees, per-node
+gates) and the same leaf values in the same left-to-right order.  The
+node identifiers themselves are representation detail — a
+:class:`~repro.trees.uniform.UniformTree` and an
+:class:`~repro.trees.explicit.ExplicitTree` of the same instance are
+equal, and hash equal, under the functions here.
+
+:func:`canonical_encoding` walks a tree in preorder through the
+abstract :class:`~repro.trees.base.GameTree` interface only and emits
+a deterministic byte string; :func:`canonical_hash` is its SHA-256
+digest, the content address the ``repro.serve`` result cache keys on.
+Float leaf values are encoded via ``repr``, which round-trips IEEE-754
+doubles exactly, so value-distinct trees get distinct encodings.
+
+Lazy trees are materialised by the walk (every reachable node is
+expanded), exactly as :meth:`GameTree.iter_nodes` would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from ..types import TreeKind
+from .base import GameTree, NodeId
+
+__all__ = ["canonical_encoding", "canonical_hash", "trees_equal"]
+
+
+def _leaf_token(tree: GameTree, node: NodeId) -> str:
+    value = tree.leaf_value(node)
+    if tree.kind is TreeKind.BOOLEAN:
+        return str(int(value))
+    return repr(float(value))
+
+
+def canonical_encoding(tree: GameTree) -> bytes:
+    """Deterministic byte encoding of a tree's semantic content.
+
+    Preorder traversal; each internal node contributes its arity (and
+    gate name for Boolean trees), each leaf its value.  Identifiers
+    never appear, so the encoding is representation-invariant.
+    """
+    parts: List[str] = [tree.kind.value]
+    stack: List[NodeId] = [tree.root]
+    while stack:
+        node = stack.pop()
+        if tree.is_leaf(node):
+            parts.append(f"L{_leaf_token(tree, node)}")
+        else:
+            kids = tree.children(node)
+            if tree.kind is TreeKind.BOOLEAN:
+                parts.append(f"N{len(kids)}:{tree.gate(node).name}")
+            else:
+                parts.append(f"N{len(kids)}")
+            stack.extend(reversed(kids))
+    return "|".join(parts).encode("utf-8")
+
+
+#: instance-attribute memo slot; trees are immutable once built, so a
+#: computed digest stays valid for the object's lifetime.
+_HASH_ATTR = "_repro_canonical_hash"
+
+
+def canonical_hash(tree: GameTree) -> str:
+    """SHA-256 hex digest of :func:`canonical_encoding`.
+
+    Stable across processes and Python versions (no ``hash()``
+    involvement, so ``PYTHONHASHSEED`` is irrelevant) — the property
+    the sharded serving layer relies on to route equal requests to
+    the same shard and cache slot.
+
+    The digest is memoised on the tree instance (an O(n) walk per
+    *object*, not per call): a serving stream hits the same pool trees
+    thousands of times, and re-hashing them would dominate the
+    warm-cache path.
+    """
+    cached = getattr(tree, _HASH_ATTR, None)
+    if cached is not None:
+        return str(cached)
+    digest = hashlib.sha256(canonical_encoding(tree)).hexdigest()
+    # Slotted/frozen tree types reject the memo attribute; the digest
+    # is simply recomputed on demand for them.
+    try:
+        setattr(tree, _HASH_ATTR, digest)
+    except AttributeError:  # lint: disable=R6
+        pass
+    return digest
+
+
+def trees_equal(a: GameTree, b: GameTree) -> bool:
+    """Structural/semantic equality (see module docstring).
+
+    Walks both trees in lockstep; cheap early exits on kind, arity and
+    leaf-value mismatches.  Used by the collision property tests to
+    certify that hash-equal trees really are the same instance.
+    """
+    if a.kind is not b.kind:
+        return False
+    stack: List[tuple] = [(a.root, b.root)]
+    while stack:
+        na, nb = stack.pop()
+        leaf_a, leaf_b = a.is_leaf(na), b.is_leaf(nb)
+        if leaf_a != leaf_b:
+            return False
+        if leaf_a:
+            va, vb = a.leaf_value(na), b.leaf_value(nb)
+            if a.kind is TreeKind.BOOLEAN:
+                if int(va) != int(vb):
+                    return False
+            elif float(va) != float(vb):
+                return False
+            continue
+        kids_a, kids_b = a.children(na), b.children(nb)
+        if len(kids_a) != len(kids_b):
+            return False
+        if a.kind is TreeKind.BOOLEAN and a.gate(na) is not b.gate(nb):
+            return False
+        stack.extend(zip(kids_a, kids_b))
+    return True

@@ -48,6 +48,31 @@ def load_uniform(path: str) -> UniformTree:
         )
 
 
+def uniform_to_dict(tree: UniformTree) -> Dict[str, Any]:
+    """JSON-compatible representation of a uniform tree."""
+    return {
+        "repr": "uniform",
+        "kind": tree.kind.value,
+        "branching": tree.branching,
+        "height": tree.height(),
+        "gates": [g.name for g in tree._scheme.cycle],
+        "leaves": tree.leaf_values_array.tolist(),
+    }
+
+
+def uniform_from_dict(data: Dict[str, Any]) -> UniformTree:
+    """Inverse of :func:`uniform_to_dict`."""
+    kind = TreeKind(data["kind"])
+    gates = GateScheme([Gate[name] for name in data["gates"]])
+    return UniformTree(
+        int(data["branching"]),
+        int(data["height"]),
+        np.asarray(data["leaves"]),
+        kind=kind,
+        gates=gates if kind is TreeKind.BOOLEAN else None,
+    )
+
+
 def explicit_to_dict(tree: ExplicitTree) -> Dict[str, Any]:
     """JSON-compatible representation of an explicit tree."""
     n = tree.num_nodes()
@@ -96,6 +121,34 @@ def load_explicit(path: str) -> ExplicitTree:
     """Read an explicit tree written by :func:`save_explicit`."""
     with open(path) as fh:
         return explicit_from_dict(json.load(fh))
+
+
+def tree_to_dict(tree: Union[UniformTree, ExplicitTree]) -> Dict[str, Any]:
+    """Representation-tagged dict for either concrete tree type.
+
+    The ``"repr"`` key selects the decoder in :func:`tree_from_dict`;
+    explicit-tree dicts from older callers (no tag) still decode.  The
+    dict is JSON- *and* pickle-friendly, which is what lets the serve
+    layer ship whole evaluation requests to worker processes.
+    """
+    if isinstance(tree, UniformTree):
+        return uniform_to_dict(tree)
+    if isinstance(tree, ExplicitTree):
+        return {"repr": "explicit", **explicit_to_dict(tree)}
+    raise TreeStructureError(
+        f"cannot serialise {type(tree).__name__}; materialise lazy "
+        f"trees first"
+    )
+
+
+def tree_from_dict(data: Dict[str, Any]) -> Union[UniformTree, ExplicitTree]:
+    """Inverse of :func:`tree_to_dict` (dispatch on the ``repr`` tag)."""
+    tag = data.get("repr", "explicit")
+    if tag == "uniform":
+        return uniform_from_dict(data)
+    if tag == "explicit":
+        return explicit_from_dict(data)
+    raise TreeStructureError(f"unknown tree representation {tag!r}")
 
 
 def save_tree(tree: Union[UniformTree, ExplicitTree], path: str) -> None:

@@ -1,0 +1,165 @@
+"""Regenerate the golden-master corpus under ``tests/golden/corpus/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate_corpus.py
+
+Each corpus instance is serialised through :mod:`repro.trees.io`
+(uniform trees as ``.npz``, explicit trees as ``.json``) and
+``manifest.json`` records, per instance and per engine, the expected
+``val(root)`` and model step count.  The replay test
+(``test_golden_corpus.py``) diffs every engine against these frozen
+outputs, so *any* behavioural drift in an engine — intended or not —
+shows up as a golden failure and must be re-frozen deliberately by
+re-running this script.
+
+The instance set mixes i.i.d. uniform trees (both kinds), adversarial
+worst cases, near-uniform explicit trees and hand-built irregular
+shapes, so the corpus exercises pruning, tie-handling and non-uniform
+arity paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+from repro.serve.engines import run_algorithm  # noqa: E402
+from repro.trees import ExplicitTree  # noqa: E402
+from repro.trees.generators import (  # noqa: E402
+    iid_boolean,
+    iid_minmax,
+    iid_minmax_integers,
+)
+from repro.trees.generators.adversarial import (  # noqa: E402
+    alpha_beta_worst_case,
+    sequential_worst_case,
+    team_solve_hard_instance,
+)
+from repro.trees.generators.iid import level_invariant_bias  # noqa: E402
+from repro.trees.generators.near_uniform import (  # noqa: E402
+    near_uniform_boolean,
+)
+from repro.trees.io import save_tree  # noqa: E402
+from repro.types import TreeKind  # noqa: E402
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: engine name -> params, replayed for every Boolean instance.
+BOOLEAN_ENGINES = {
+    "sequential": {},
+    "team": {"processors": 4},
+    "parallel": {"width": 1},
+    "parallel_w2": {"width": 2},
+    "nsequential": {},
+    "nparallel": {"width": 1},
+    "machine": {},
+}
+
+#: engine name -> params, replayed for every MIN/MAX instance.
+MINMAX_ENGINES = {
+    "minimax": {},
+    "alphabeta": {},
+    "sequential_ab": {},
+    "parallel_ab": {"width": 1},
+    "nsequential_ab": {},
+    "nparallel_ab": {"width": 1},
+    "scout": {},
+    "sss": {},
+}
+
+#: golden engine label -> serve-registry algorithm name.
+ALGO_OF = {"parallel_w2": "parallel"}
+
+
+def build_instances():
+    """The frozen instance list: (name, tree) pairs."""
+    phi = level_invariant_bias(2)
+    instances = [
+        # i.i.d. Boolean uniform trees across shapes and biases.
+        ("bool_iid_d2h3", iid_boolean(2, 3, 0.5, seed=101)),
+        ("bool_iid_d2h4", iid_boolean(2, 4, phi, seed=102)),
+        ("bool_iid_d2h5", iid_boolean(2, 5, phi, seed=103)),
+        ("bool_iid_d3h3", iid_boolean(3, 3, 0.4, seed=104)),
+        ("bool_iid_d4h2", iid_boolean(4, 2, 0.6, seed=105)),
+        ("bool_iid_d2h6", iid_boolean(2, 6, phi, seed=106)),
+        # Adversarial Boolean instances.
+        ("bool_seq_worst_d2h4", sequential_worst_case(2, 4)),
+        ("bool_seq_worst_d3h3", sequential_worst_case(3, 3, root_value=0)),
+        ("bool_team_hard_d2h4", team_solve_hard_instance(2, 4)),
+        # Near-uniform and hand-built explicit Boolean trees.
+        ("bool_near_uniform", near_uniform_boolean(
+            2, 4, alpha=0.5, beta=1.0, p=phi, seed=107)),
+        ("bool_irregular_a", ExplicitTree.from_nested(
+            [[0, [1, 0]], [[1, 1, 0], 1], 0])),
+        ("bool_irregular_b", ExplicitTree.from_nested(
+            [[[0, 1], [1, [0, 0, 1]]], [1, [0, 1]]])),
+        # i.i.d. MIN/MAX uniform trees (continuous and tie-heavy).
+        ("mm_iid_d2h4", iid_minmax(2, 4, seed=201)),
+        ("mm_iid_d2h5", iid_minmax(2, 5, seed=202)),
+        ("mm_iid_d3h3", iid_minmax(3, 3, seed=203)),
+        ("mm_ties_d2h4", iid_minmax_integers(2, 4, seed=204)),
+        ("mm_ties_d3h3", iid_minmax_integers(3, 3, seed=205, num_values=3)),
+        # Adversarial MIN/MAX instance.
+        ("mm_ab_worst_d2h4", alpha_beta_worst_case(2, 4)),
+        # Hand-built irregular MIN/MAX trees.
+        ("mm_irregular_a", ExplicitTree.from_nested(
+            [[3.0, [1.0, 4.0]], [[1.5, 9.0], 2.5], 5.0],
+            kind=TreeKind.MINMAX)),
+        ("mm_irregular_b", ExplicitTree.from_nested(
+            [[[2.0, 7.0], 1.0], [[8.0, 2.0], [3.0, 3.0]]],
+            kind=TreeKind.MINMAX)),
+    ]
+    return instances
+
+
+def _is_binary_uniform(tree) -> bool:
+    return (
+        type(tree).__name__ == "UniformTree" and tree.branching == 2
+    )
+
+
+def freeze(tree, engines):
+    """Expected {engine: {value, steps, work}} for one instance."""
+    expected = {}
+    for name, params in engines.items():
+        # The Section-7 machine implementation is binary-NOR only.
+        if name == "machine" and not _is_binary_uniform(tree):
+            continue
+        algo = ALGO_OF.get(name, name)
+        value, steps, work = run_algorithm(algo, tree, params)
+        expected[name] = {"value": value, "steps": steps, "work": work}
+    return expected
+
+
+def main() -> int:
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    manifest = []
+    for name, tree in build_instances():
+        is_boolean = tree.kind is TreeKind.BOOLEAN
+        engines = BOOLEAN_ENGINES if is_boolean else MINMAX_ENGINES
+        ext = ".npz" if type(tree).__name__ == "UniformTree" else ".json"
+        filename = name + ext
+        save_tree(tree, os.path.join(CORPUS_DIR, filename))
+        manifest.append({
+            "name": name,
+            "file": filename,
+            "kind": tree.kind.value,
+            "leaves": tree.num_leaves(),
+            "expected": freeze(tree, engines),
+        })
+        print(f"froze {name}: {len(manifest[-1]['expected'])} engines")
+    with open(os.path.join(CORPUS_DIR, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(manifest)} instances to {CORPUS_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

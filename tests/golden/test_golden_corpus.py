@@ -1,0 +1,88 @@
+"""Golden-master replay: every engine against the frozen corpus.
+
+``corpus/manifest.json`` records, for ~20 serialized instances, the
+expected ``val(root)``, step count and total work of every applicable
+engine.  This test replays each (instance, engine) cell and compares
+exactly — a failure means an engine's observable behaviour changed.
+If the change is intentional, re-freeze deliberately with::
+
+    PYTHONPATH=src python tests/golden/generate_corpus.py
+
+and review the manifest diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.serve.engines import run_algorithm
+from repro.trees.io import load_explicit, load_uniform
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: golden engine label -> (serve-registry algorithm, params).
+ENGINE_PARAMS = {
+    "sequential": ("sequential", {}),
+    "team": ("team", {"processors": 4}),
+    "parallel": ("parallel", {"width": 1}),
+    "parallel_w2": ("parallel", {"width": 2}),
+    "nsequential": ("nsequential", {}),
+    "nparallel": ("nparallel", {"width": 1}),
+    "machine": ("machine", {}),
+    "minimax": ("minimax", {}),
+    "alphabeta": ("alphabeta", {}),
+    "sequential_ab": ("sequential_ab", {}),
+    "parallel_ab": ("parallel_ab", {"width": 1}),
+    "nsequential_ab": ("nsequential_ab", {}),
+    "nparallel_ab": ("nparallel_ab", {"width": 1}),
+    "scout": ("scout", {}),
+    "sss": ("sss", {}),
+}
+
+
+def _load_manifest():
+    with open(os.path.join(CORPUS_DIR, "manifest.json")) as fh:
+        return json.load(fh)
+
+
+MANIFEST = _load_manifest()
+
+CELLS = [
+    pytest.param(entry, engine, id=f"{entry['name']}-{engine}")
+    for entry in MANIFEST
+    for engine in sorted(entry["expected"])
+]
+
+
+def _load_tree(entry):
+    path = os.path.join(CORPUS_DIR, entry["file"])
+    if entry["file"].endswith(".npz"):
+        return load_uniform(path)
+    return load_explicit(path)
+
+
+def test_corpus_is_populated():
+    assert len(MANIFEST) >= 20
+    assert len(CELLS) >= 100  # every engine covered across instances
+    covered = {engine for entry in MANIFEST for engine in entry["expected"]}
+    assert covered == set(ENGINE_PARAMS)
+
+
+@pytest.mark.parametrize("entry,engine", CELLS)
+def test_golden_replay(entry, engine):
+    tree = _load_tree(entry)
+    algo, params = ENGINE_PARAMS[engine]
+    value, steps, work = run_algorithm(algo, tree, params)
+    expected = entry["expected"][engine]
+    assert value == expected["value"], (
+        f"{entry['name']}/{engine}: value drifted"
+    )
+    assert steps == expected["steps"], (
+        f"{entry['name']}/{engine}: step count drifted"
+    )
+    assert work == expected["work"], (
+        f"{entry['name']}/{engine}: total work drifted"
+    )

@@ -1,0 +1,111 @@
+"""Differential properties for Scout and SSS* against αβ/minimax.
+
+``scout.py`` and ``sss.py`` were only lightly covered by direct unit
+tests; these properties pin their *values* to the sequential αβ and
+plain minimax references on random nested trees, tie-heavy trees and
+the adversarial generator instances, and pin the theoretical
+dominance relations on their work counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabeta import (
+    alpha_beta,
+    alpha_beta_leaf_set,
+    minimax,
+    scout,
+    sequential_alpha_beta,
+    sss_leaf_count,
+    sss_star,
+)
+from repro.trees import exact_value
+from repro.trees.generators import iid_minmax, iid_minmax_integers
+from repro.trees.generators.adversarial import alpha_beta_worst_case
+
+from ..conftest import minmax_tree_from_spec, nested_minmax
+
+
+@settings(max_examples=80, deadline=None)
+@given(nested_minmax())
+def test_scout_agrees_with_references(spec):
+    tree = minmax_tree_from_spec(spec)
+    truth = exact_value(tree)
+    result = scout(tree)
+    assert result.value == truth
+    assert result.value == minimax(tree).value
+    assert result.value == sequential_alpha_beta(tree).value
+
+
+@settings(max_examples=80, deadline=None)
+@given(nested_minmax())
+def test_sss_agrees_with_references(spec):
+    tree = minmax_tree_from_spec(spec)
+    truth = exact_value(tree)
+    result = sss_star(tree)
+    assert result.value == truth
+    assert result.value == minimax(tree).value
+    assert result.value == alpha_beta(tree).value
+
+
+def nested_tied():
+    """Tie-heavy specs: integer leaves from a three-value domain."""
+    return st.recursive(
+        st.integers(min_value=0, max_value=2).map(float),
+        lambda kids: st.lists(kids, min_size=1, max_size=3),
+        max_leaves=16,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(nested_tied())
+def test_scout_and_sss_agree_under_heavy_ties(spec):
+    tree = minmax_tree_from_spec(spec)
+    truth = exact_value(tree)
+    assert scout(tree).value == truth
+    assert sss_star(tree).value == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_minmax())
+def test_sss_never_examines_more_leaves_than_alpha_beta(spec):
+    # Stockman's dominance theorem: SSS* examines a subset of the
+    # leaves examined by directional αβ.
+    tree = minmax_tree_from_spec(spec)
+    assert sss_leaf_count(tree) <= len(alpha_beta_leaf_set(tree))
+
+
+@settings(max_examples=40, deadline=None)
+@given(nested_minmax())
+def test_scout_distinct_leaves_bounded_by_minimax(spec):
+    # Test calls may revisit leaves (events can exceed the leaf
+    # count), but the *distinct* leaves SCOUT touches are a subset of
+    # the frontier minimax reads exhaustively.
+    tree = minmax_tree_from_spec(spec)
+    result = scout(tree)
+    assert result.distinct_leaves <= minimax(tree).num_steps
+    assert set(result.evaluated) <= set(minimax(tree).evaluated)
+
+
+@pytest.mark.parametrize("branching,height", [(2, 3), (2, 5), (3, 3)])
+@pytest.mark.parametrize("seed", [7, 8, 9])
+def test_scout_sss_on_iid_instances(branching, height, seed):
+    for tree in (
+        iid_minmax(branching, height, seed=seed),
+        iid_minmax_integers(branching, height, seed=seed, num_values=3),
+    ):
+        truth = exact_value(tree)
+        assert scout(tree).value == truth
+        assert sss_star(tree).value == truth
+
+
+@pytest.mark.parametrize("branching,height", [(2, 4), (2, 6), (3, 3)])
+def test_scout_sss_on_adversarial_instances(branching, height):
+    tree = alpha_beta_worst_case(branching, height)
+    truth = exact_value(tree)
+    assert scout(tree).value == truth
+    assert sss_star(tree).value == truth
+    assert sss_leaf_count(tree) <= len(alpha_beta_leaf_set(tree))

@@ -1,0 +1,86 @@
+"""LRU semantics and metrics of the canonical result cache."""
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+def _outcome(i):
+    return {"value": float(i), "steps": i, "work": i}
+
+
+def test_unbounded_cache_never_evicts():
+    cache = ResultCache(None)
+    for i in range(100):
+        cache.put(f"k{i}", _outcome(i))
+    assert len(cache) == 100
+    assert cache.stats.insertions == 100
+    assert cache.stats.evictions == 0
+    assert cache.get("k0") == _outcome(0)
+
+
+def test_disabled_cache_stores_nothing():
+    cache = ResultCache(0)
+    cache.put("k", _outcome(1))
+    assert len(cache) == 0
+    assert cache.get("k") is None
+    assert cache.stats.misses == 1
+    assert cache.stats.insertions == 0
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(2)
+    cache.put("a", _outcome(1))
+    cache.put("b", _outcome(2))
+    assert cache.get("a") is not None  # refresh "a": "b" is now LRU
+    cache.put("c", _outcome(3))
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats.evictions == 1
+
+
+def test_put_refreshes_recency_without_reinserting():
+    cache = ResultCache(2)
+    cache.put("a", _outcome(1))
+    cache.put("b", _outcome(2))
+    cache.put("a", _outcome(10))  # refresh + overwrite, no new slot
+    assert cache.stats.insertions == 2
+    cache.put("c", _outcome(3))
+    assert "b" not in cache
+    assert cache.get("a") == _outcome(10)
+
+
+def test_eviction_order_is_insertion_order_without_lookups():
+    cache = ResultCache(3)
+    for key in ("a", "b", "c", "d", "e"):
+        cache.put(key, _outcome(0))
+    assert list(["c" in cache, "d" in cache, "e" in cache]) == [True] * 3
+    assert "a" not in cache and "b" not in cache
+    assert cache.stats.evictions == 2
+
+
+def test_hit_miss_counters_and_hit_rate():
+    cache = ResultCache(None)
+    assert cache.stats.hit_rate == 0.0
+    cache.put("a", _outcome(1))
+    assert cache.get("a") is not None
+    assert cache.get("nope") is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.lookups == 2
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_clear_drops_entries_but_keeps_stats():
+    cache = ResultCache(None)
+    cache.put("a", _outcome(1))
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+    assert cache.stats.insertions == 1
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(-1)

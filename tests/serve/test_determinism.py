@@ -1,0 +1,72 @@
+"""The determinism contract: response logs are configuration-blind.
+
+The response log of a request stream must be byte-identical across
+shard counts, cache capacities, repeat serving (warm cache) and chaos
+mode — placement and recomputation may change, answers may not.
+"""
+
+import itertools
+
+import pytest
+
+from repro.serve import ShardedBatchService, response_log, synthetic_stream
+from repro.serve.engines import evaluate_payload
+
+
+def _stream():
+    # Mixed algorithms over both tree kinds, with zipf-repeated trees
+    # so caching and dedup actually engage.
+    return synthetic_stream(
+        30, seed=424, num_trees=6, height=3, zipf_s=1.1,
+    )
+
+
+def _log(num_shards, cache_size, oracle_for_shard=None):
+    with ShardedBatchService(
+        num_shards,
+        cache_size=cache_size,
+        oracle_for_shard=oracle_for_shard,
+    ) as service:
+        return response_log(service.serve(_stream()))
+
+
+BASELINE_CONFIG = (1, None)
+
+
+@pytest.mark.parametrize(
+    "num_shards,cache_size",
+    [
+        pair for pair in itertools.product((1, 2, 4), (0, 64, None))
+        if pair != BASELINE_CONFIG
+    ],
+    ids=lambda v: str(v),
+)
+def test_log_identical_across_shards_and_cache_sizes(
+    num_shards, cache_size
+):
+    assert _log(num_shards, cache_size) == _log(*BASELINE_CONFIG)
+
+
+def test_log_identical_on_warm_cache():
+    requests = _stream()
+    with ShardedBatchService(2, cache_size=None) as service:
+        cold = response_log(service.serve(requests))
+        warm = response_log(service.serve(requests))
+    assert warm == cold
+    assert service.stats.cache.hits > 0  # the warm pass really cached
+
+
+def test_log_identical_under_chaos():
+    def crash_first_shard(shard):
+        if shard == 0:
+            def _crash(payload):
+                raise RuntimeError("chaos")
+            return _crash
+        return evaluate_payload
+
+    chaotic = _log(3, 64, oracle_for_shard=crash_first_shard)
+    assert chaotic == _log(*BASELINE_CONFIG)
+
+
+def test_log_is_reproducible_across_service_instances():
+    assert _log(2, 16) == _log(2, 16)

@@ -1,0 +1,106 @@
+"""Soak tests: sustained mixed-algorithm load under fault injection.
+
+The fast variant (a few hundred requests) runs in every suite and in
+the CI ``serve-smoke`` job; the 10k-request variant is marked
+``slow`` (deselect with ``-m 'not slow'``).  Both assert the same
+invariants: zero wrong answers (the faulted run's response log equals
+a clean run's byte for byte), bounded queue depth, and — because the
+faults are transient — no shard permanently degraded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultyOracle, OracleFaultSpec
+from repro.serve import ShardedBatchService, response_log, synthetic_stream
+from repro.serve.engines import evaluate_payload
+from repro.telemetry import InMemoryRecorder
+
+
+def _faulty_oracle_for_shard(tmp_path, error_rate=0.25):
+    """Every shard gets a transiently crashing oracle.
+
+    ``transient_dir`` is shared, so a payload faults exactly once
+    service-wide and the runtime's retry rounds absorb it.
+    """
+    transient = tmp_path / "transient"
+    transient.mkdir(exist_ok=True)
+
+    def for_shard(shard):
+        return FaultyOracle(
+            evaluate_payload,
+            OracleFaultSpec(
+                seed=99, error_rate=error_rate,
+                transient_dir=str(transient),
+            ),
+        )
+
+    return for_shard
+
+
+def _run_soak(tmp_path, num_requests, batch_size, *, num_shards=3):
+    requests = synthetic_stream(
+        num_requests, seed=31, num_trees=10, height=3, zipf_s=1.1,
+    )
+    batches = [
+        requests[i:i + batch_size]
+        for i in range(0, len(requests), batch_size)
+    ]
+    rec = InMemoryRecorder()
+    with ShardedBatchService(
+        num_shards,
+        cache_size=None,
+        max_retries=8,
+        oracle_for_shard=_faulty_oracle_for_shard(tmp_path),
+        recorder=rec,
+    ) as faulted:
+        faulted_logs = [
+            response_log(faulted.serve(batch)) for batch in batches
+        ]
+        stats = faulted.stats
+
+    with ShardedBatchService(1, cache_size=None) as clean:
+        clean_logs = [
+            response_log(clean.serve(batch)) for batch in batches
+        ]
+
+    # Zero wrong answers: byte-identical logs, batch by batch.
+    assert faulted_logs == clean_logs
+
+    # The injected faults really exercised the retry machinery.
+    retries = sum(s.retries for s in stats.shard_stats)
+    assert retries > 0
+
+    # Transient faults must not permanently degrade shards.
+    assert stats.degraded_shards == []
+    assert stats.requests == num_requests
+
+    # Bounded queue depth: samples never exceed the largest batch and
+    # every batch drains to zero.
+    depths = [
+        e.value for e in rec.events
+        if e.kind == "counter" and e.name == "serve.queue_depth"
+    ]
+    assert depths, "queue depth was never sampled"
+    assert max(depths) <= batch_size
+    assert depths[-1] == 0
+    return stats
+
+
+def test_soak_fast_profile(tmp_path):
+    stats = _run_soak(tmp_path, num_requests=300, batch_size=50)
+    # The zipf stream repeats trees, so the cache must carry real load.
+    assert stats.cache.hits > 0
+    assert stats.deduplicated > 0
+
+
+@pytest.mark.slow
+def test_soak_10k_requests(tmp_path):
+    stats = _run_soak(
+        tmp_path, num_requests=10_000, batch_size=500, num_shards=4,
+    )
+    # At 10k requests over a finite pool the cache dominates: unique
+    # evaluations are a tiny fraction of traffic.
+    assert stats.evaluated < 1_000
+    assert stats.cache.hits + stats.deduplicated > 9_000

@@ -1,0 +1,127 @@
+"""Canonical hashing and semantic equality of trees."""
+
+import pytest
+
+from repro.trees import (
+    ExplicitTree,
+    LazyTree,
+    UniformTree,
+    canonical_encoding,
+    canonical_hash,
+    trees_equal,
+)
+from repro.trees.generators import iid_boolean, iid_minmax
+from repro.types import Gate, TreeKind
+
+
+def _explicit_copy(tree):
+    """Rebuild any tree as an ExplicitTree with fresh ids."""
+    n = tree.num_nodes()
+    order = list(tree.iter_nodes())
+    index = {node: i for i, node in enumerate(order)}
+    children = [
+        [index[c] for c in tree.children(node)] for node in order
+    ]
+    leaves = {
+        index[node]: tree.leaf_value(node)
+        for node in order
+        if tree.is_leaf(node)
+    }
+    gates = None
+    if tree.kind is TreeKind.BOOLEAN:
+        gates = {
+            index[node]: tree.gate(node)
+            for node in order
+            if not tree.is_leaf(node)
+        }
+    assert len(children) == n
+    return ExplicitTree(children, leaves, kind=tree.kind, gates=gates)
+
+
+def test_hash_is_representation_invariant():
+    uniform = iid_boolean(2, 4, 0.5, seed=3)
+    explicit = _explicit_copy(uniform)
+    assert canonical_hash(uniform) == canonical_hash(explicit)
+    assert trees_equal(uniform, explicit)
+
+
+def test_hash_is_stable_across_calls():
+    tree = iid_minmax(2, 3, seed=9)
+    assert canonical_hash(tree) == canonical_hash(tree)
+    # Pinned digest: the encoding is part of the serve cache-key
+    # contract; changing it invalidates every persisted key.
+    assert len(canonical_hash(tree)) == 64
+
+
+def test_leaf_value_changes_hash():
+    a = ExplicitTree.from_nested([[0, 1], [1, 1]])
+    b = ExplicitTree.from_nested([[0, 1], [1, 0]])
+    assert canonical_hash(a) != canonical_hash(b)
+    assert not trees_equal(a, b)
+
+
+def test_structure_changes_hash():
+    a = ExplicitTree.from_nested([[0, 1], 1])
+    b = ExplicitTree.from_nested([0, [1, 1]])
+    assert canonical_hash(a) != canonical_hash(b)
+    assert not trees_equal(a, b)
+
+
+def test_gate_changes_hash():
+    a = ExplicitTree.from_nested([[0, 1], [1, 1]], gates=Gate.NOR)
+    b = ExplicitTree.from_nested([[0, 1], [1, 1]], gates=Gate.AND)
+    assert canonical_hash(a) != canonical_hash(b)
+    assert not trees_equal(a, b)
+
+
+def test_kind_changes_hash():
+    a = ExplicitTree.from_nested([[0, 1], [1, 1]])
+    b = ExplicitTree.from_nested(
+        [[0.0, 1.0], [1.0, 1.0]], kind=TreeKind.MINMAX
+    )
+    assert canonical_hash(a) != canonical_hash(b)
+    assert not trees_equal(a, b)
+
+
+def test_minmax_float_values_encoded_exactly():
+    a = ExplicitTree.from_nested([0.1, 0.2], kind=TreeKind.MINMAX)
+    b = ExplicitTree.from_nested(
+        [0.1, 0.2 + 1e-12], kind=TreeKind.MINMAX
+    )
+    assert canonical_hash(a) != canonical_hash(b)
+
+
+def test_lazy_tree_hashes_like_its_materialisation():
+    def expand(payload, depth):
+        if depth == 2:
+            return ("leaf", payload % 2)
+        return ("internal", [payload * 2, payload * 2 + 1])
+
+    lazy = LazyTree(1, expand, kind=TreeKind.BOOLEAN)
+    explicit = ExplicitTree.from_nested([[0, 1], [0, 1]])
+    assert canonical_hash(lazy) == canonical_hash(explicit)
+    assert trees_equal(lazy, explicit)
+
+
+def test_single_leaf_trees():
+    a = UniformTree(2, 0, [1])
+    b = ExplicitTree([()], {0: 1})
+    assert canonical_hash(a) == canonical_hash(b)
+    assert trees_equal(a, b)
+
+
+def test_encoding_is_bytes_and_prefix_tagged():
+    tree = ExplicitTree.from_nested([0, 1])
+    enc = canonical_encoding(tree)
+    assert isinstance(enc, bytes)
+    assert enc.startswith(b"boolean")
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_distinct_random_instances_hash_distinct(seed):
+    a = iid_boolean(2, 4, 0.5, seed=seed)
+    b = iid_boolean(2, 4, 0.5, seed=seed + 100)
+    if trees_equal(a, b):  # pragma: no cover - astronomically unlikely
+        assert canonical_hash(a) == canonical_hash(b)
+    else:
+        assert canonical_hash(a) != canonical_hash(b)
