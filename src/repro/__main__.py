@@ -15,7 +15,7 @@ bench --wallclock
     Wall-clock measurements: incremental vs rescan frontier backend,
     and (with ``--workers``) the process-pool oracle runtime.
 lint
-    Static-analysis pass enforcing the model invariants (R1-R7).
+    Static-analysis pass enforcing the model invariants (R1-R11).
 chaos
     Fault-injection sweep: convergence and overhead under seeded
     message/processor faults, plus oracle-runtime fault drills.
@@ -262,7 +262,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .lint.cli import add_lint_arguments
 
     lint = sub.add_parser(
-        "lint", help="run the invariant static-analysis pass (R1-R7)"
+        "lint", help="run the invariant static-analysis pass (R1-R11)"
     )
     add_lint_arguments(lint)
     lint.set_defaults(fn=_cmd_lint)

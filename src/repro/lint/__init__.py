@@ -1,11 +1,19 @@
 """Static analysis enforcing the reproduction's model invariants.
 
-The rules (R1–R7, see ``docs/static_analysis.md``) mechanically check
-the conventions the paper's theorems rely on: all work is charged
-through :class:`~repro.models.accounting.ExecutionTrace`, all
-randomness is explicitly seeded, the Section 7 simulator dispatches on
-every message kind, message payloads are immutable, the public API
-surface stays truthful, and no exception is silently swallowed.
+The per-file rules (R1–R7, see ``docs/static_analysis.md``)
+mechanically check the conventions the paper's theorems rely on: all
+work is charged through
+:class:`~repro.models.accounting.ExecutionTrace`, all randomness is
+explicitly seeded, the Section 7 simulator dispatches on every message
+kind, message payloads are immutable, the public API surface stays
+truthful, and no exception is silently swallowed.
+
+The project-wide rules (R8–R11, built on the :mod:`repro.lint.flow`
+import/call-graph framework) defend the byte-identical-replay contract
+interprocedurally: unordered data and unstable keys must not reach
+ordering-sensitive sinks, executor submissions must be picklable and
+race-free, telemetry in step loops must follow the ``live()`` pattern,
+and serve request paths must never block.
 
 Run it as ``python -m repro lint [paths]`` or programmatically::
 
@@ -16,6 +24,7 @@ Run it as ``python -m repro lint [paths]`` or programmatically::
 from .base import (
     LintConfig,
     ModuleContext,
+    ProjectRule,
     Rule,
     all_rules,
     get_rule,
@@ -25,15 +34,18 @@ from .findings import Finding, Severity, render_json, render_text
 from .runner import lint_paths, lint_source
 from .suppress import SuppressionTable, parse_suppressions
 from . import rules  # noqa: F401  (importing registers R1-R7)
+from .flow import rules as flow_rules  # noqa: F401  (registers R8-R11)
 
 __all__ = [
     "Finding",
     "Severity",
     "LintConfig",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "SuppressionTable",
     "all_rules",
+    "flow_rules",
     "get_rule",
     "register",
     "lint_paths",

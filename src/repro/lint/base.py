@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Type
 
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flow.project import ProjectContext
 
 
 @dataclass
@@ -110,6 +113,28 @@ class Rule:
         return owner
 
 
+class ProjectRule(Rule):
+    """Base class for project-wide (interprocedural) rules.
+
+    A :class:`ProjectRule` sees the whole linted tree at once through a
+    :class:`~repro.lint.flow.project.ProjectContext` — every parsed
+    module plus the import graph, the call graph and per-function
+    summaries built by ``repro.lint.flow``.  Its per-module ``check``
+    is a no-op; the runner calls :meth:`check_project` exactly once per
+    run, after all modules have been parsed.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        """Yield findings for the whole linted tree.  Override."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator for type checkers
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -121,9 +146,14 @@ def register(cls: Type[Rule]) -> Type[Rule]:
     return cls
 
 
+def _natural(name: str) -> Tuple[int, str]:
+    """Sort key putting R2 before R10 (length, then lexicographic)."""
+    return (len(name), name)
+
+
 def all_rules() -> List[Type[Rule]]:
-    """Registered rule classes, in name order."""
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    """Registered rule classes, in natural name order (R1..R11)."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY, key=_natural)]
 
 
 def get_rule(name: str) -> Type[Rule]:

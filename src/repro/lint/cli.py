@@ -1,7 +1,15 @@
 """The ``repro lint`` subcommand.
 
-Exit status: 0 when every linted file is clean, 1 when any finding is
-reported (suppressed findings do not count), 2 on usage errors.
+Exit status: 0 when every linted file is clean (or every finding is
+absorbed by the ``--baseline`` snapshot), 1 when any new finding is
+reported, 2 on usage errors (unknown rule, missing path, unreadable
+baseline).
+
+``--write-baseline FILE`` records the current findings as the
+snapshot and exits 0 — the adoption path for linting a tree that is
+not yet clean.  ``--format=sarif`` emits a SARIF 2.1.0 document for
+CI code-scanning upload; with a baseline, only new findings appear
+in it.
 """
 
 from __future__ import annotations
@@ -22,12 +30,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--rules",
         help="comma-separated subset of rules to run (e.g. R2,R3)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="subtract the findings recorded in this snapshot; only "
+             "new findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current findings as the baseline snapshot "
+             "and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -56,8 +74,36 @@ def run_lint(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"lint: {exc.args[0]}")
         return 2
-    if args.format == "json":
+
+    if args.write_baseline:
+        from .flow.baseline import write_baseline
+
+        count = write_baseline(findings, Path(args.write_baseline))
+        print(
+            f"lint: wrote baseline with {count} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        from .flow.baseline import load_baseline, subtract_baseline
+
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"lint: {exc}")
+            return 2
+        findings, suppressed = subtract_baseline(findings, baseline)
+
+    if args.format == "sarif":
+        from .flow.sarif import render_sarif
+
+        print(render_sarif(findings))
+    elif args.format == "json":
         print(render_json(findings))
     else:
         print(render_text(findings))
+        if suppressed:
+            print(f"({suppressed} finding(s) matched the baseline)")
     return 1 if findings else 0

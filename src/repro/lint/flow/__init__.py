@@ -1,0 +1,47 @@
+"""Project-wide dataflow analysis for the lint pass.
+
+``repro.lint.flow`` grows the per-file AST rules (R1–R7) into an
+interprocedural analysis.  It builds, over the whole linted tree:
+
+* a **module import graph** (:mod:`.modgraph`) — which linted module
+  imports which, resolved for both ``repro.``-absolute and relative
+  imports;
+* **per-function summaries** (:mod:`.summaries`) — for every function,
+  method, and nested def: the calls it makes, the ordering-sensitive
+  sinks it feeds, the names it binds locally;
+* a **call graph** (:mod:`.callgraph`) — summaries linked by callee
+  name, with resolution restricted to imported modules, plus the
+  fixpoint machinery that propagates properties (``feeds an ordering
+  sink``) through arbitrarily deep call chains and cycles;
+* the **interprocedural rules** R8–R11 (:mod:`.rules`), which run on a
+  :class:`~repro.lint.flow.project.ProjectContext` assembled from all
+  of the above;
+* the **adoption tooling**: a findings :mod:`.baseline` for
+  incremental rollout and a SARIF 2.1.0 exporter (:mod:`.sarif`) for
+  the CI code-scanning gate.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, subtract_baseline, write_baseline
+from .callgraph import CallGraph
+from .modgraph import ModuleGraph
+from .project import ProjectContext, build_project
+from .sarif import render_sarif, sarif_report, validate_sarif
+from .summaries import CallSite, FunctionInfo, collect_functions
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "ModuleGraph",
+    "ProjectContext",
+    "build_project",
+    "collect_functions",
+    "load_baseline",
+    "render_sarif",
+    "sarif_report",
+    "subtract_baseline",
+    "validate_sarif",
+    "write_baseline",
+]

@@ -1,0 +1,107 @@
+"""Findings baseline: incremental adoption of new rules.
+
+A baseline is a committed JSON snapshot of known findings.  Linting
+with ``--baseline FILE`` subtracts them: only *new* findings fail the
+gate, so a rule can land before every historical violation is fixed
+(the pattern used for ``tests/`` and ``benchmarks/``).
+
+Fingerprints are ``(rule, path, message)`` — deliberately without the
+line number, so unrelated edits that shift a known finding up or down
+do not break the gate.  Duplicate fingerprints are counted: a file
+with three identical findings baselines three, and introducing a
+fourth fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from ..findings import Finding
+
+#: Matching key for one finding.
+Fingerprint = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.rule, finding.path, finding.message)
+
+
+def write_baseline(findings: Iterable[Finding], path: Path) -> int:
+    """Write the baseline snapshot; returns the entry count."""
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in findings
+    ]
+    document = {
+        "version": _VERSION,
+        "tool": "repro-lint",
+        "findings": entries,
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def load_baseline(path: Path) -> Dict[Fingerprint, int]:
+    """Load a baseline into fingerprint -> allowed-count.
+
+    Raises ``ValueError`` on a malformed or wrong-version document so
+    a corrupted baseline can never silently allow everything.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path}: invalid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get(
+        "version"
+    ) != _VERSION:
+        raise ValueError(
+            f"baseline {path}: expected a version-{_VERSION} document"
+        )
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: missing findings list")
+    counts: Dict[Fingerprint, int] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path}: malformed entry {entry!r}")
+        try:
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["message"]),
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline {path}: entry missing {exc.args[0]!r}"
+            ) from exc
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def subtract_baseline(
+    findings: Iterable[Finding],
+    baseline: Dict[Fingerprint, int],
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count).
+
+    Each baseline entry absorbs at most its recorded count of matching
+    findings, in report order.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    return new, suppressed

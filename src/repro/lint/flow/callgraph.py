@@ -1,0 +1,132 @@
+"""The project call graph and its fixpoint property propagation.
+
+Edges link a :class:`~repro.lint.flow.summaries.CallSite` to every
+linted function with the same terminal name whose module the caller
+can see (same module, or transitively imported per the
+:class:`~repro.lint.flow.modgraph.ModuleGraph`).  This is a sound
+over-approximation for the rules built on it: ``runtime.evaluate(...)``
+links to every visible ``evaluate``, so a property that holds for any
+candidate propagates.
+
+Two queries drive the rules:
+
+* :meth:`CallGraph.transitive` — the set of functions for which a
+  predicate holds directly *or in any transitive callee* (fixpoint
+  iteration, so call cycles and recursion converge);
+* :meth:`CallGraph.reachable` — BFS from a root set, optionally
+  restricted to a module predicate (R11 walks only ``serve/``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from .modgraph import ModuleGraph
+from .summaries import FunctionInfo
+
+
+class CallGraph:
+    """Name-resolved call graph over function summaries."""
+
+    def __init__(
+        self,
+        functions: Sequence[FunctionInfo],
+        modgraph: Optional[ModuleGraph] = None,
+    ) -> None:
+        self.functions: List[FunctionInfo] = list(functions)
+        self._modgraph = modgraph
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        for fn in self.functions:
+            self._by_name.setdefault(fn.name, []).append(fn)
+        self._callee_cache: Dict[str, List[FunctionInfo]] = {}
+
+    def _visible(self, caller: FunctionInfo, cand: FunctionInfo) -> bool:
+        """May a call in ``caller`` bind to ``cand``?"""
+        if cand.module == caller.module:
+            return True
+        if self._modgraph is None:
+            return True
+        return self._modgraph.imports_transitively(
+            caller.module, cand.module
+        )
+
+    def candidates(self, name: str) -> List[FunctionInfo]:
+        """Every linted function with terminal name ``name``."""
+        return list(self._by_name.get(name, ()))
+
+    def callees(self, fn: FunctionInfo) -> List[FunctionInfo]:
+        """Resolved callees of ``fn``, de-duplicated, call-site order."""
+        cached = self._callee_cache.get(fn.key)
+        if cached is not None:
+            return cached
+        out: List[FunctionInfo] = []
+        seen: Set[str] = set()
+        for site in fn.calls:
+            for cand in self._by_name.get(site.name, ()):
+                if cand.key not in seen and self._visible(fn, cand):
+                    seen.add(cand.key)
+                    out.append(cand)
+        self._callee_cache[fn.key] = out
+        return out
+
+    def transitive(
+        self, pred: Callable[[FunctionInfo], bool]
+    ) -> FrozenSet[str]:
+        """Keys of functions where ``pred`` holds directly or in any
+        (transitive) callee.  Fixpoint iteration: recursion and mutual
+        call cycles converge because the marked set only grows."""
+        marked: Set[str] = {
+            fn.key for fn in self.functions if pred(fn)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions:
+                if fn.key in marked:
+                    continue
+                if any(c.key in marked for c in self.callees(fn)):
+                    marked.add(fn.key)
+                    changed = True
+        return frozenset(marked)
+
+    def reachable(
+        self,
+        roots: Iterable[FunctionInfo],
+        within: Optional[Callable[[FunctionInfo], bool]] = None,
+    ) -> List[FunctionInfo]:
+        """Functions reachable from ``roots`` along call edges.
+
+        ``within`` restricts the *traversal*: a function failing the
+        predicate is neither reported nor expanded.  Roots are always
+        included (when they pass ``within``).  Result is in BFS order.
+        """
+        out: List[FunctionInfo] = []
+        seen: Set[str] = set()
+        frontier: List[FunctionInfo] = [
+            fn for fn in roots if within is None or within(fn)
+        ]
+        for fn in frontier:
+            if fn.key not in seen:
+                seen.add(fn.key)
+                out.append(fn)
+        index = 0
+        while index < len(out):
+            current = out[index]
+            index += 1
+            for callee in self.callees(current):
+                if callee.key in seen:
+                    continue
+                if within is not None and not within(callee):
+                    continue
+                seen.add(callee.key)
+                out.append(callee)
+        return out

@@ -1,0 +1,54 @@
+"""The project context handed to interprocedural rules.
+
+A :class:`ProjectContext` bundles everything ``repro.lint.flow`` knows
+about one lint run: every parsed module, every function summary, the
+import graph and the call graph.  The runner builds it once per run
+(after all modules parsed cleanly) and hands it to each registered
+:class:`~repro.lint.base.ProjectRule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..base import ModuleContext
+from .callgraph import CallGraph
+from .modgraph import ModuleGraph
+from .summaries import FunctionInfo, collect_functions
+
+
+@dataclass
+class ProjectContext:
+    """Everything a project-wide rule may inspect."""
+
+    modules: List[ModuleContext]
+    functions: List[FunctionInfo]
+    modgraph: ModuleGraph
+    callgraph: CallGraph
+    #: logical path -> module context, for cross-module lookups.
+    by_module: Dict[str, ModuleContext] = field(default_factory=dict)
+
+    def functions_in(self, prefix: str) -> List[FunctionInfo]:
+        """Summaries of functions whose module starts with ``prefix``."""
+        return [
+            fn for fn in self.functions
+            if fn.module.startswith(prefix)
+        ]
+
+
+def build_project(modules: Sequence[ModuleContext]) -> ProjectContext:
+    """Assemble the full project context from parsed modules."""
+    mods = list(modules)
+    functions: List[FunctionInfo] = []
+    for ctx in mods:
+        functions.extend(collect_functions(ctx))
+    modgraph = ModuleGraph(mods)
+    callgraph = CallGraph(functions, modgraph)
+    return ProjectContext(
+        modules=mods,
+        functions=functions,
+        modgraph=modgraph,
+        callgraph=callgraph,
+        by_module={ctx.logical_path: ctx for ctx in mods},
+    )

@@ -1,0 +1,841 @@
+"""The interprocedural rules R8–R11.
+
+Each rule defends the byte-identical-replay contract from a failure
+mode that per-file AST rules cannot see; ``docs/static_analysis.md``
+gives the full rationale and examples.  All four run on the
+:class:`~repro.lint.flow.project.ProjectContext` built by the runner.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..base import ModuleContext, ProjectRule, Rule, register
+from ..findings import Finding, Severity
+from .project import ProjectContext
+from .summaries import (
+    FunctionInfo,
+    FunctionNode,
+    ORDER_SINK_NAMES,
+    receiver_base,
+    walk_shallow,
+)
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _terminal_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _loop_ancestry(node: FunctionNode) -> Dict[int, List[ast.AST]]:
+    """Map ``id(child)`` -> ancestor chain (shallow, loops and ifs).
+
+    The chain is innermost-last and stops at nested function/class
+    boundaries, so guard lookups stay within one function body.
+    """
+    chains: Dict[int, List[ast.AST]] = {}
+
+    def visit(parent: ast.AST, chain: List[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(parent):
+            # AST nodes are unhashable by value; object identity is
+            # the only usable memo key, and it never leaves this
+            # process or this lint run.
+            chains[id(child)] = chain  # lint: disable=R8
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(
+                child, (ast.For, ast.AsyncFor, ast.While, ast.If)
+            ):
+                visit(child, chain + [child])
+            else:
+                visit(child, chain)
+
+    visit(node, [])
+    return chains
+
+
+def _statements_in_order(node: FunctionNode) -> List[ast.stmt]:
+    """Every (shallow) statement of a function, in source order."""
+    out: List[ast.stmt] = []
+
+    def visit(parent: ast.AST) -> None:
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(child, ast.stmt):
+                out.append(child)
+            visit(child)
+
+    visit(node)
+    out.sort(key=lambda s: (s.lineno, s.col_offset))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R8 — determinism taint
+# ---------------------------------------------------------------------------
+
+#: Set-producing method names (called on anything, these return sets).
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+#: Nondeterministic value sources that may never appear in replayed
+#: paths: process-unique, boot-unique, or OS-entropy-backed.
+_NONDET_CALLS = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.token_urlsafe", "secrets.randbelow",
+    "secrets.choice",
+})
+
+#: Substrings marking a callee as a keying/sharding chokepoint.
+_KEYING_MARKERS = ("key", "shard", "bucket", "route")
+
+
+def _is_sorted_wrapper(node: ast.expr) -> bool:
+    """``sorted(...)`` / ``min`` / ``max`` imposing a total order."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("sorted", "min", "max")
+    )
+
+
+def _set_typed_names(node: FunctionNode) -> Set[str]:
+    """Local names whose every visible assignment is a set expression."""
+    set_assigned: Set[str] = set()
+    other_assigned: Set[str] = set()
+    for child in walk_shallow(node):
+        if isinstance(child, ast.Assign) and len(child.targets) == 1:
+            target = child.targets[0]
+            if isinstance(target, ast.Name):
+                if _is_set_expr(child.value, frozenset()):
+                    set_assigned.add(target.id)
+                else:
+                    other_assigned.add(target.id)
+        elif isinstance(child, ast.AnnAssign) and isinstance(
+            child.target, ast.Name
+        ):
+            ann = child.target
+            if child.value is not None:
+                if _is_set_expr(child.value, frozenset()):
+                    set_assigned.add(ann.id)
+                else:
+                    other_assigned.add(ann.id)
+    return set_assigned - other_assigned
+
+
+def _is_set_expr(node: ast.expr, set_names: FrozenSet[str]) -> bool:
+    """Is ``node`` statically a ``set``/``frozenset`` value?"""
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call):
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id in (
+            "set", "frozenset"
+        ):
+            return True
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr in _SET_METHODS
+        ):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+@register
+class DeterminismTaintRule(ProjectRule):
+    """R8: unordered data and nondeterministic values must not reach
+    ordering-sensitive sinks.
+
+    Three checks, all feeding the replay contract:
+
+    1. a ``for`` loop over a ``set`` expression whose body feeds an
+       ordering-sensitive sink — directly (``q.put``, ``frontier
+       .append``, executor ``submit``), through a ``yield``, or
+       through a call to any function that transitively does — is
+       flagged unless the iterable passes through ``sorted()``;
+    2. process-/entropy-unique value sources (``uuid.uuid4``,
+       ``os.urandom``, ``secrets.*``) are flagged everywhere;
+    3. ``id()`` / builtin ``hash()`` used where a *stable* key is
+       required: as a subscript-store or dict-literal key, as an
+       argument to a keying/sharding callee, or in the return value of
+       a function named like a key derivation.
+    """
+
+    name = "R8"
+    title = "determinism taint (unordered/unstable data at ordered sinks)"
+    severity = Severity.ERROR
+
+    EXEMPT_PREFIXES = ("bench/",)
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        # Seed on real order sinks only.  A callee merely *being* a
+        # generator is not a sink: consuming it inside the loop keeps
+        # the iteration order local.  Order escapes through a yield in
+        # the loop body itself, which _loop_body_sink checks directly.
+        sink_keys = project.callgraph.transitive(
+            lambda fn: bool(fn.order_sinks)
+        )
+        for fn in project.functions:
+            if fn.module.startswith(self.EXEMPT_PREFIXES):
+                continue
+            yield from self._check_set_loops(project, fn, sink_keys)
+            yield from self._check_unstable_keys(fn)
+        for ctx in project.modules:
+            if ctx.logical_path.startswith(self.EXEMPT_PREFIXES):
+                continue
+            yield from self._check_nondet_sources(ctx)
+
+    # -- check 1: set iteration into ordered sinks -------------------------
+    def _check_set_loops(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        sink_keys: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        set_names = frozenset(_set_typed_names(fn.node))
+        for child in walk_shallow(fn.node):
+            if not isinstance(child, (ast.For, ast.AsyncFor)):
+                continue
+            iterable = child.iter
+            if _is_sorted_wrapper(iterable):
+                continue
+            if not _is_set_expr(iterable, set_names):
+                continue
+            sink = self._loop_body_sink(
+                project, fn, child, sink_keys
+            )
+            if sink is not None:
+                yield fn.ctx.finding(
+                    self, child,
+                    "iteration over an unordered set feeds the "
+                    f"ordering-sensitive sink {sink!r}; iterate "
+                    "sorted(...) (or justify with a disable comment)",
+                )
+
+    def _loop_body_sink(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        loop: ast.AST,
+        sink_keys: FrozenSet[str],
+    ) -> Optional[str]:
+        """Name of the first ordering-sensitive sink the loop body
+        reaches (directly, via yield, or via a tainted callee)."""
+        for node in walk_shallow(loop):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yield"
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name in ORDER_SINK_NAMES and isinstance(
+                node.func, ast.Attribute
+            ):
+                base = receiver_base(node.func.value)
+                local_only = (
+                    base is not None
+                    and base in fn.local_names
+                    and base not in fn.param_names
+                )
+                if not local_only:
+                    return name
+                continue
+            for cand in project.callgraph.candidates(name):
+                if cand.key in sink_keys and (
+                    cand.module == fn.module
+                    or project.modgraph.imports_transitively(
+                        fn.module, cand.module
+                    )
+                ):
+                    return name
+        return None
+
+    # -- check 2: entropy sources ------------------------------------------
+    def _check_nondet_sources(
+        self, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = (
+                Rule.dotted(node.func)
+                if isinstance(node.func, ast.Attribute)
+                else ""
+            )
+            if dotted in _NONDET_CALLS or dotted.startswith("secrets."):
+                yield ctx.finding(
+                    self, node,
+                    f"{dotted}() draws process-unique entropy; replayed "
+                    "paths must derive every value from explicit seeds",
+                )
+
+    # -- check 3: id()/hash() as keys --------------------------------------
+    @staticmethod
+    def _unstable_calls(expr: ast.expr) -> List[ast.Call]:
+        """``id(...)`` / ``hash(...)`` builtin calls inside ``expr``."""
+        return [
+            node for node in ast.walk(expr)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("id", "hash")
+        ]
+
+    def _check_unstable_keys(
+        self, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        name_is_keying = any(
+            marker in fn.name.lower() for marker in _KEYING_MARKERS
+        ) or "entropy" in fn.name.lower()
+        for node in walk_shallow(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        for call in self._unstable_calls(target.slice):
+                            yield from self._key_finding(fn, call)
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is None:
+                        continue
+                    for call in self._unstable_calls(key):
+                        yield from self._key_finding(fn, call)
+            elif isinstance(node, ast.Call):
+                callee = _terminal_name(node.func).lower()
+                if any(m in callee for m in _KEYING_MARKERS):
+                    for arg in node.args:
+                        for call in self._unstable_calls(arg):
+                            yield from self._key_finding(fn, call)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if name_is_keying:
+                    for call in self._unstable_calls(node.value):
+                        yield from self._key_finding(fn, call)
+
+    def _key_finding(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> Iterator[Finding]:
+        func = call.func
+        assert isinstance(func, ast.Name)
+        yield fn.ctx.finding(
+            self, call,
+            f"builtin {func.id}() is process-unique (id) or hash-"
+            "randomized (str hash) and must not derive keys; use a "
+            "stable digest (e.g. zlib.crc32 over a canonical repr)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# R9 — cross-process race / pickle safety
+# ---------------------------------------------------------------------------
+
+#: Method calls that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "pop",
+    "popleft", "popitem", "clear", "update", "add", "discard",
+    "setdefault", "sort", "reverse", "write",
+})
+
+#: Receiver-name substrings marking an executor-like object, used to
+#: treat ``.map`` as a submission (plain ``.map`` is too common).
+_EXECUTOR_HINTS = ("executor", "pool", "runtime")
+
+
+def _submit_args(call: ast.Call) -> List[ast.expr]:
+    """Positional + keyword argument expressions of a submit call."""
+    out = list(call.args)
+    out.extend(kw.value for kw in call.keywords)
+    return out
+
+
+def _tracked_token(expr: ast.expr) -> Optional[str]:
+    """A mutation-trackable spelling of an argument: a bare name
+    (``chunk``) or a ``self`` attribute (``self.oracle``)."""
+    if isinstance(expr, ast.Starred):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"self.{expr.attr}"
+    return None
+
+
+def _expr_token(expr: ast.AST) -> Optional[str]:
+    """Token of an expression being mutated (mirror of above)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"self.{expr.attr}"
+    return None
+
+
+@register
+class SubmitSafetyRule(ProjectRule):
+    """R9: objects handed to an executor must be picklable and must
+    not be mutated after the submission point.
+
+    ``OracleRuntime`` (and every raw executor) pickles the task and its
+    arguments *eventually* — a process pool serialises on a worker
+    thread, so a mutation racing the pickle is a nondeterministic
+    payload, and an unpicklable callable (lambda, locally-defined
+    function or class) fails only at run time, on the fault path the
+    corpus never exercises.  Both are statically visible:
+
+    * a ``lambda`` or locally-defined function/class passed to
+      ``.submit(...)`` / executor ``.map(...)`` is flagged;
+    * an argument submitted at line L and mutated later in the same
+      function (mutating method call, subscript/attribute store,
+      augmented assignment) is flagged — rebinding the name to a fresh
+      object clears the taint.
+    """
+
+    name = "R9"
+    title = "cross-process submission safety (pickling, post-submit mutation)"
+    severity = Severity.ERROR
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for fn in project.functions:
+            yield from self._check_function(fn)
+
+    # -- submission-site discovery -----------------------------------------
+    @staticmethod
+    def _is_submit(call: ast.Call) -> bool:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr == "submit":
+            return True
+        if func.attr == "map":
+            base = Rule.dotted(func.value) or (
+                receiver_base(func.value) or ""
+            )
+            return any(
+                hint in base.lower() for hint in _EXECUTOR_HINTS
+            )
+        return False
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[Finding]:
+        submits: List[Tuple[ast.Call, List[str]]] = []
+        for node in walk_shallow(fn.node):
+            if isinstance(node, ast.Call) and self._is_submit(node):
+                tokens = []
+                for arg in _submit_args(node):
+                    yield from self._check_picklable(fn, node, arg)
+                    token = _tracked_token(arg)
+                    if token is not None:
+                        tokens.append(token)
+                submits.append((node, tokens))
+        if submits:
+            yield from self._check_post_submit(fn, submits)
+
+    def _check_picklable(
+        self, fn: FunctionInfo, call: ast.Call, arg: ast.expr
+    ) -> Iterator[Finding]:
+        if isinstance(arg, ast.Starred):
+            arg = arg.value
+        if isinstance(arg, ast.Lambda):
+            yield fn.ctx.finding(
+                self, arg,
+                "lambda submitted to an executor is not picklable by a "
+                "process pool; use a module-level function",
+            )
+        elif isinstance(arg, ast.Name) and arg.id in fn.local_defs:
+            yield fn.ctx.finding(
+                self, call,
+                f"locally-defined {arg.id!r} submitted to an executor "
+                "is not picklable by a process pool; define it at "
+                "module level",
+            )
+
+    # -- post-submit mutation ----------------------------------------------
+    def _check_post_submit(
+        self,
+        fn: FunctionInfo,
+        submits: List[Tuple[ast.Call, List[str]]],
+    ) -> Iterator[Finding]:
+        statements = _statements_in_order(fn.node)
+        # token -> line of the earliest live submission capturing it.
+        captured: Dict[str, int] = {}
+        submit_lines = {
+            id(call): (call, tokens) for call, tokens in submits
+        }
+        for stmt in statements:
+            # Activate captures whose submit call sits in this stmt.
+            for node in ast.walk(stmt):
+                entry = submit_lines.get(id(node))
+                if entry is not None:
+                    call, tokens = entry
+                    for token in tokens:
+                        captured.setdefault(token, call.lineno)
+            if not captured:
+                continue
+            # Rebinding a plain name frees the captured object.
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    token = _expr_token(target)
+                    if (
+                        token is not None
+                        and token in captured
+                        and isinstance(target, ast.Name)
+                        and stmt.lineno > captured[token]
+                    ):
+                        del captured[token]
+            yield from self._mutations_in(fn, stmt, captured)
+
+    def _mutations_in(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.stmt,
+        captured: Dict[str, int],
+    ) -> Iterator[Finding]:
+        def hit(token: Optional[str], node: ast.AST) -> Iterator[Finding]:
+            if token is None or token not in captured:
+                return
+            if getattr(node, "lineno", 0) <= captured[token]:
+                return
+            yield fn.ctx.finding(
+                self, node,
+                f"{token!r} was submitted to an executor at line "
+                f"{captured[token]} and is mutated afterwards; the "
+                "worker may pickle either state — copy before "
+                "submitting or mutate a fresh object",
+            )
+
+        if isinstance(stmt, ast.AugAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                yield from hit(target.id, stmt)
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                yield from hit(_expr_token(_container_of(target)), stmt)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    yield from hit(
+                        _expr_token(_container_of(target)), stmt
+                    )
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    yield from hit(
+                        _expr_token(_container_of(target)), stmt
+                    )
+        elif isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Call
+        ):
+            call = stmt.value
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+            ):
+                yield from hit(_expr_token(func.value), call)
+
+
+def _container_of(target: ast.expr) -> ast.expr:
+    """``x[i]`` / ``x.attr`` -> ``x`` (the object actually mutated)."""
+    assert isinstance(target, (ast.Subscript, ast.Attribute))
+    return target.value
+
+
+# ---------------------------------------------------------------------------
+# R10 — recorder hot-path discipline
+# ---------------------------------------------------------------------------
+
+#: Methods of the Recorder protocol.
+_REC_METHODS = frozenset({
+    "advance", "span", "add_span", "event", "count", "gauge",
+    "observe", "sample",
+})
+
+
+def _is_recorder_name(terminal: str) -> bool:
+    return terminal in ("rec", "_rec", "recorder", "_recorder")
+
+
+def _guards(test: ast.expr) -> Set[str]:
+    """Dotted receivers proven live by an ``if`` test.
+
+    Recognises ``X is not None``, plain truthiness ``X``, and either
+    of those inside an ``and`` chain.
+    """
+    out: Set[str] = set()
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for value in test.values:
+            out |= _guards(value)
+        return out
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        dotted = Rule.dotted(test.left)
+        if dotted:
+            out.add(dotted)
+    elif isinstance(test, (ast.Name, ast.Attribute)):
+        dotted = Rule.dotted(test)
+        if dotted:
+            out.add(dotted)
+    return out
+
+
+@register
+class RecorderDisciplineRule(ProjectRule):
+    """R10: telemetry in step loops must follow the ``live()`` pattern.
+
+    The zero-overhead telemetry story (gated ≤1.05× by e24) relies on
+    two conventions at every instrumentation site:
+
+    * a recorder held on an engine is normalised **once** via
+      :func:`repro.telemetry.live` (``self._rec = live(recorder)``),
+      never stored raw — a raw disabled recorder silently turns every
+      hot-loop call into a live dispatch;
+    * inside a loop, every call on a recorder-named receiver
+      (``rec`` / ``_rec`` / ``recorder``) must sit under an ``if X is
+      not None`` (or truthiness) guard of that same receiver.
+    """
+
+    name = "R10"
+    title = "recorder hot-path discipline (live() + None-guard in loops)"
+    severity = Severity.ERROR
+
+    EXEMPT_PREFIXES = ("telemetry/",)
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        for fn in project.functions:
+            if fn.module.startswith(self.EXEMPT_PREFIXES):
+                continue
+            yield from self._check_loop_guards(fn)
+            yield from self._check_raw_store(fn)
+
+    def _check_loop_guards(self, fn: FunctionInfo) -> Iterator[Finding]:
+        chains = _loop_ancestry(fn.node)
+        # ``assert rec is not None`` is the accepted narrowing idiom
+        # when liveness is established through a derived flag (e.g.
+        # ``time_chunks = rec is not None and ...``); the assert
+        # blesses the name for calls after it.
+        asserted: List[Tuple[str, int]] = []
+        for node in walk_shallow(fn.node):
+            if isinstance(node, ast.Assert):
+                for dotted in _guards(node.test):
+                    asserted.append((dotted, node.lineno))
+        for node in walk_shallow(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _REC_METHODS
+            ):
+                continue
+            receiver = func.value
+            terminal = (
+                receiver.id if isinstance(receiver, ast.Name)
+                else receiver.attr
+                if isinstance(receiver, ast.Attribute)
+                else ""
+            )
+            if not _is_recorder_name(terminal):
+                continue
+            chain = chains.get(id(node), [])
+            in_loop = any(
+                isinstance(a, (ast.For, ast.AsyncFor, ast.While))
+                for a in chain
+            )
+            if not in_loop:
+                continue
+            dotted = Rule.dotted(receiver)
+            guarded = any(
+                isinstance(a, ast.If) and dotted in _guards(a.test)
+                for a in chain
+            ) or any(
+                name == dotted and lineno <= node.lineno
+                for name, lineno in asserted
+            )
+            if not guarded:
+                yield fn.ctx.finding(
+                    self, node,
+                    f"recorder call {dotted}.{func.attr}() inside a "
+                    "loop without an "
+                    f"'if {dotted} is not None' guard; normalise with "
+                    "telemetry.live() and guard the hot path",
+                )
+
+    def _check_raw_store(self, fn: FunctionInfo) -> Iterator[Finding]:
+        if "recorder" not in fn.param_names:
+            return
+        for node in walk_shallow(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "recorder"
+            ):
+                continue
+            for target in node.targets:
+                # Only the consuming object's own cache must be
+                # normalised: a bare local or ``self.<attr>``.  A
+                # store onto another object's declared slot
+                # (``policy.recorder = recorder``) is a handoff; the
+                # consumer normalises at bind time.
+                if isinstance(target, ast.Name):
+                    terminal = target.id
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    terminal = target.attr
+                else:
+                    continue
+                if _is_recorder_name(terminal):
+                    yield fn.ctx.finding(
+                        self, node,
+                        "recorder stored raw; normalise once with "
+                        "'= live(recorder)' so disabled recorders cost "
+                        "nothing on the hot path",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R11 — blocking-call hygiene in serve paths
+# ---------------------------------------------------------------------------
+
+#: Dotted call prefixes that block on the OS or the network.
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "urllib.")
+
+#: Attribute calls that perform file I/O wherever they appear.
+_FILE_IO_ATTRS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+
+@register
+class ServeBlockingRule(ProjectRule):
+    """R11: request handling in ``repro.serve`` must never block.
+
+    The serving path (`ShardedBatchService.serve` and everything it
+    reaches inside ``serve/``) is called per batch under latency
+    accounting; a ``time.sleep``, an unbounded ``Queue.get()``, file
+    I/O or a subprocess call there stalls every request behind it.
+    Blocking work belongs in the CLI driver, the runtimes (which own
+    their retry backoff via injectable sleeps), or outside the request
+    path entirely.
+    """
+
+    name = "R11"
+    title = "no blocking calls in serve request paths"
+    severity = Severity.ERROR
+
+    SCOPE_PREFIX = "serve/"
+
+    def check_project(
+        self, project: ProjectContext
+    ) -> Iterator[Finding]:
+        roots = [
+            fn for fn in project.functions_in(self.SCOPE_PREFIX)
+            if fn.name == "serve" or fn.name.startswith("handle")
+        ]
+        if not roots:
+            return
+        reachable = project.callgraph.reachable(
+            roots,
+            within=lambda fn: fn.module.startswith(self.SCOPE_PREFIX),
+        )
+        for fn in reachable:
+            yield from self._check_function(fn)
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[Finding]:
+        sleep_aliases = self._time_aliases(fn.ctx.tree)
+        for node in walk_shallow(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._blocking_label(node, sleep_aliases)
+            if label is not None:
+                yield fn.ctx.finding(
+                    self, node,
+                    f"blocking call {label} inside the serve request "
+                    f"path ({fn.qualname}); move it out of request "
+                    "handling or make it bounded",
+                )
+
+    @staticmethod
+    def _time_aliases(tree: ast.Module) -> Set[str]:
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and (
+                (node.module or "").split(".")[0] == "time"
+            ):
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        aliases.add(alias.asname or alias.name)
+        return aliases
+
+    def _blocking_label(
+        self, call: ast.Call, sleep_aliases: Set[str]
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "open()"
+            if func.id == "input":
+                return "input()"
+            if func.id in sleep_aliases:
+                return f"{func.id}() (time.sleep)"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = Rule.dotted(func)
+        if dotted == "time.sleep":
+            return "time.sleep()"
+        if dotted.startswith(_BLOCKING_PREFIXES):
+            return f"{dotted}()"
+        if func.attr in _FILE_IO_ATTRS:
+            return f".{func.attr}() file I/O"
+        if func.attr == "get":
+            base = (receiver_base(func.value) or "").lower()
+            queueish = "queue" in base or base == "q"
+            timed = any(kw.arg == "timeout" for kw in call.keywords)
+            if queueish and not call.args and not timed:
+                return f"{dotted or func.attr}() (unbounded Queue.get)"
+        return None

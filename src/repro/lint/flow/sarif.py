@@ -1,0 +1,242 @@
+"""SARIF 2.1.0 export: the CI code-scanning interchange format.
+
+:func:`sarif_report` renders a lint run as one SARIF ``run`` — tool
+metadata (every registered rule, plus the R0 pseudo-rule), one
+``result`` per finding with a physical location — and
+:func:`validate_sarif` structurally checks a document against the
+parts of the 2.1.0 schema the exporter exercises, mirroring the
+``validate_chrome_trace`` precedent in :mod:`repro.telemetry`: CI can
+assert validity without a network fetch of the schema, and the test
+suite additionally cross-checks against the real schema when the
+``jsonschema`` package is available.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from ..base import all_rules
+from ..findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+#: Descriptor for the infrastructure pseudo-rule (not in the registry).
+_R0_DESCRIPTOR = {
+    "id": "R0",
+    "name": "infrastructure",
+    "shortDescription": {
+        "text": "unparsable file or malformed lint directive",
+    },
+    "defaultConfiguration": {"level": "error"},
+}
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptors() -> List[Dict[str, object]]:
+    descriptors: List[Dict[str, object]] = [dict(_R0_DESCRIPTOR)]
+    for cls in all_rules():
+        descriptors.append({
+            "id": cls.name,
+            "name": cls.title or cls.name,
+            "shortDescription": {"text": cls.title or cls.name},
+            "defaultConfiguration": {"level": _level(cls.severity)},
+        })
+    return descriptors
+
+
+def sarif_report(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Build the SARIF document for one lint run."""
+    descriptors = _rule_descriptors()
+    index = {
+        str(desc["id"]): i for i, desc in enumerate(descriptors)
+    }
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                },
+            }],
+        }
+        rule_index = index.get(finding.rule)
+        if rule_index is not None:
+            result["ruleIndex"] = rule_index
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": (
+                        "https://example.invalid/repro/docs/"
+                        "static_analysis.md"
+                    ),
+                    "version": "1.0.0",
+                    "rules": descriptors,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The SARIF document as pretty-printed JSON."""
+    return json.dumps(sarif_report(findings), indent=2, sort_keys=True)
+
+
+def validate_sarif(document: object) -> List[str]:
+    """Structural 2.1.0 validation; returns a list of problems.
+
+    Checks every constraint the exporter relies on: required
+    top-level keys, the version literal, run/tool/driver shape, rule
+    descriptors, and each result's ruleId/level/message/location
+    shape with 1-based region coordinates.
+    """
+    problems: List[str] = []
+
+    def need(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not need(isinstance(document, dict), "document must be an object"):
+        return problems
+    assert isinstance(document, dict)
+    need(
+        document.get("version") == SARIF_VERSION,
+        f"version must be the literal {SARIF_VERSION!r}",
+    )
+    runs = document.get("runs")
+    if not need(
+        isinstance(runs, list) and len(runs) >= 1,
+        "runs must be a non-empty array",
+    ):
+        return problems
+    assert isinstance(runs, list)
+    for r, run in enumerate(runs):
+        where = f"runs[{r}]"
+        if not need(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        assert isinstance(run, dict)
+        driver = run.get("tool", {})
+        driver = (
+            driver.get("driver", {}) if isinstance(driver, dict) else {}
+        )
+        if need(
+            isinstance(driver, dict) and bool(driver),
+            f"{where}.tool.driver is required",
+        ):
+            assert isinstance(driver, dict)
+            need(
+                isinstance(driver.get("name"), str)
+                and bool(driver.get("name")),
+                f"{where}.tool.driver.name must be a non-empty string",
+            )
+            rules = driver.get("rules", [])
+            rule_ids: List[str] = []
+            if need(
+                isinstance(rules, list),
+                f"{where}.tool.driver.rules must be an array",
+            ):
+                assert isinstance(rules, list)
+                for d, desc in enumerate(rules):
+                    dw = f"{where}.tool.driver.rules[{d}]"
+                    if need(
+                        isinstance(desc, dict)
+                        and isinstance(desc.get("id"), str),
+                        f"{dw} must have a string id",
+                    ):
+                        assert isinstance(desc, dict)
+                        rule_ids.append(str(desc["id"]))
+        results = run.get("results", [])
+        if not need(
+            isinstance(results, list),
+            f"{where}.results must be an array",
+        ):
+            continue
+        assert isinstance(results, list)
+        for i, result in enumerate(results):
+            rw = f"{where}.results[{i}]"
+            if not need(
+                isinstance(result, dict), f"{rw} must be an object"
+            ):
+                continue
+            assert isinstance(result, dict)
+            message = result.get("message")
+            need(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str),
+                f"{rw}.message.text is required",
+            )
+            level = result.get("level")
+            need(
+                level in ("none", "note", "warning", "error"),
+                f"{rw}.level must be a valid SARIF level",
+            )
+            rule_index = result.get("ruleIndex")
+            if rule_index is not None:
+                need(
+                    isinstance(rule_index, int)
+                    and 0 <= rule_index < len(rule_ids)
+                    and rule_ids[rule_index] == result.get("ruleId"),
+                    f"{rw}.ruleIndex must point at its ruleId",
+                )
+            for j, loc in enumerate(result.get("locations", [])):
+                lw = f"{rw}.locations[{j}]"
+                if not need(
+                    isinstance(loc, dict), f"{lw} must be an object"
+                ):
+                    continue
+                assert isinstance(loc, dict)
+                phys = loc.get("physicalLocation")
+                if not need(
+                    isinstance(phys, dict),
+                    f"{lw}.physicalLocation is required",
+                ):
+                    continue
+                assert isinstance(phys, dict)
+                artifact = phys.get("artifactLocation", {})
+                need(
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str),
+                    f"{lw}.physicalLocation.artifactLocation.uri "
+                    "must be a string",
+                )
+                region = phys.get("region", {})
+                if need(
+                    isinstance(region, dict),
+                    f"{lw}.physicalLocation.region must be an object",
+                ):
+                    assert isinstance(region, dict)
+                    for key in ("startLine", "startColumn"):
+                        value = region.get(key)
+                        if value is not None:
+                            need(
+                                isinstance(value, int) and value >= 1,
+                                f"{lw}.physicalLocation.region.{key} "
+                                "must be a positive integer",
+                            )
+    return problems

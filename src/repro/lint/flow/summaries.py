@@ -1,0 +1,227 @@
+"""Per-function summaries: the unit the call graph is built from.
+
+A :class:`FunctionInfo` captures, for one function / method / nested
+def, everything the interprocedural rules need without re-walking the
+whole module: the calls it makes (:class:`CallSite`), the
+ordering-sensitive sink calls it contains, which names it binds
+locally (parameters, assignments, nested defs), and whether it is a
+generator.  Summaries are *shallow*: a nested def's statements belong
+to the nested def's own summary, not to its parent's.
+
+"Ordering-sensitive sink" means a call that appends/enqueues/sends
+into state that outlives the function — frontier insertion, message
+enqueue, executor submission.  A sink on a purely local variable is
+not counted (building a local list in arbitrary order is harmless
+until it escapes, which the ``yield``-in-loop check covers).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from ..base import ModuleContext, Rule
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Call names that insert into an ordered, order-preserving container
+#: or hand work to another execution context: list/deque append,
+#: queue put, message send, executor submit.
+ORDER_SINK_NAMES = frozenset({
+    "append", "appendleft", "push", "put", "put_nowait", "enqueue",
+    "send", "send_message", "submit", "emit", "publish", "extend",
+})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: full dotted form when renderable (``self._pool.submit``), else
+    #: the terminal name.
+    dotted: str
+    #: terminal callee name (``submit``); the call-graph link key.
+    name: str
+    lineno: int
+    col: int
+
+
+@dataclass(eq=False)
+class FunctionInfo:
+    """Summary of one function as the call graph sees it.
+
+    ``eq=False`` keeps identity semantics: two same-named functions in
+    different modules are distinct nodes.
+    """
+
+    ctx: ModuleContext
+    qualname: str
+    node: FunctionNode
+    calls: List[CallSite] = field(default_factory=list)
+    #: ordering-sensitive sink calls on non-local receivers.
+    order_sinks: List[CallSite] = field(default_factory=list)
+    #: names bound by nested ``def`` / ``class`` statements.
+    local_defs: Set[str] = field(default_factory=set)
+    #: parameter names.
+    param_names: Set[str] = field(default_factory=set)
+    #: names assigned anywhere in the body (loop targets included).
+    local_names: Set[str] = field(default_factory=set)
+    is_generator: bool = False
+
+    @property
+    def module(self) -> str:
+        """Logical path of the defining module."""
+        return self.ctx.logical_path
+
+    @property
+    def name(self) -> str:
+        """Bare function name (last qualname segment)."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def key(self) -> str:
+        """Project-unique identifier, e.g. ``serve/service.py::C.m``."""
+        return f"{self.module}::{self.qualname}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FunctionInfo({self.key})"
+
+
+def walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    definitions (their bodies belong to their own summaries)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def receiver_base(node: ast.AST) -> Optional[str]:
+    """Leftmost name of a receiver chain: ``self.q[0].x`` -> ``self``.
+
+    Returns ``None`` when the chain does not start at a plain name
+    (e.g. a call result receiver).
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_site(node: ast.Call) -> Optional[CallSite]:
+    """Build a :class:`CallSite` for ``node`` (None for opaque callees)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return CallSite(func.id, func.id, node.lineno, node.col_offset)
+    if isinstance(func, ast.Attribute):
+        dotted = Rule.dotted(func) or func.attr
+        return CallSite(dotted, func.attr, node.lineno, node.col_offset)
+    return None
+
+
+def _collect_assigned_names(node: FunctionNode) -> Set[str]:
+    """Names bound by assignments/loops/withs in the shallow body."""
+    bound: Set[str] = set()
+
+    def targets(t: ast.AST) -> None:
+        if isinstance(t, ast.Name):
+            bound.add(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                targets(elt)
+        elif isinstance(t, ast.Starred):
+            targets(t.value)
+
+    for child in walk_shallow(node):
+        if isinstance(child, ast.Assign):
+            for t in child.targets:
+                targets(t)
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            targets(child.target)
+        elif isinstance(child, (ast.For, ast.AsyncFor)):
+            targets(child.target)
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                if item.optional_vars is not None:
+                    targets(item.optional_vars)
+        elif isinstance(child, ast.comprehension):
+            targets(child.target)
+        elif isinstance(child, ast.NamedExpr):
+            targets(child.target)
+    return bound
+
+
+def _param_names(node: FunctionNode) -> Set[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs]
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def summarize_function(
+    ctx: ModuleContext, qualname: str, node: FunctionNode
+) -> FunctionInfo:
+    """Build the summary for one function definition."""
+    info = FunctionInfo(ctx=ctx, qualname=qualname, node=node)
+    info.param_names = _param_names(node)
+    info.local_names = _collect_assigned_names(node)
+    for child in walk_shallow(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            info.local_defs.add(child.name)
+        elif isinstance(child, ast.Call):
+            site = call_site(child)
+            if site is None:
+                continue
+            info.calls.append(site)
+            if site.name in ORDER_SINK_NAMES and isinstance(
+                child.func, ast.Attribute
+            ):
+                base = receiver_base(child.func.value)
+                # A sink on a purely function-local object does not
+                # leak ordering; parameters and attributes do.
+                local_only = (
+                    base is not None
+                    and base in info.local_names
+                    and base not in info.param_names
+                )
+                if not local_only:
+                    info.order_sinks.append(site)
+        elif isinstance(child, (ast.Yield, ast.YieldFrom)):
+            info.is_generator = True
+    info.calls.sort(key=lambda s: (s.lineno, s.col))
+    return info
+
+
+def collect_functions(ctx: ModuleContext) -> List[FunctionInfo]:
+    """All function summaries of one module, nested defs included.
+
+    Qualified names join the enclosing class/function names with dots:
+    ``Machine._work_phase``, ``outer.inner``.
+    """
+    out: List[FunctionInfo] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                out.append(summarize_function(ctx, qual, child))
+                visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(ctx.tree, "")
+    return out

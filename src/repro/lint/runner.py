@@ -3,23 +3,32 @@
 The runner owns everything rule-agnostic: walking the target paths,
 computing each file's *logical path* (its location relative to the
 package root, which is what scope checks use), parsing, building the
-suppression table, and discovering the ``MsgKind`` member list that R3
-checks coverage against.
+suppression table, discovering the ``MsgKind`` member list that R3
+checks coverage against, and assembling the project-wide context
+(import graph, call graph, function summaries) that the
+interprocedural rules R8–R11 run on.
 
-Infrastructure problems — syntax errors in a linted file, malformed
-suppression comments — are reported under the pseudo-rule ``R0`` and
-can never be suppressed.
+Infrastructure problems — syntax errors or undecodable bytes in a
+linted file, malformed suppression comments — are reported under the
+pseudo-rule ``R0`` and can never be suppressed.
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .base import LintConfig, ModuleContext, Rule, all_rules, get_rule
+from .base import (
+    LintConfig,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+)
 from .findings import Finding, Severity, sort_findings
-from .suppress import parse_suppressions
+from .suppress import SuppressionTable, parse_suppressions
 
 #: Fallback MsgKind member list, used only when the linted tree does
 #: not itself define the enum and the installed package is unavailable.
@@ -103,6 +112,33 @@ def resolve_rules(names: Optional[Sequence[str]]) -> List[Rule]:
     return [get_rule(name)() for name in names]
 
 
+def _read_source(file: Path, display: str) -> Tuple[str, Optional[Finding]]:
+    """Decode one file; an R0 finding (not an exception) on bad bytes."""
+    try:
+        return file.read_text(encoding="utf-8"), None
+    except UnicodeDecodeError as exc:
+        return "", Finding(
+            rule="R0",
+            severity=Severity.ERROR,
+            path=display,
+            line=1,
+            col=1,
+            message=(
+                f"file is not valid UTF-8 ({exc.reason} at byte "
+                f"{exc.start}); lint cannot parse it"
+            ),
+        )
+    except OSError as exc:
+        return "", Finding(
+            rule="R0",
+            severity=Severity.ERROR,
+            path=display,
+            line=1,
+            col=1,
+            message=f"file is unreadable: {exc}",
+        )
+
+
 def lint_paths(
     paths: Sequence[Path],
     rule_names: Optional[Sequence[str]] = None,
@@ -110,32 +146,55 @@ def lint_paths(
     """Lint every ``.py`` file under ``paths``; return sorted findings."""
     rules = resolve_rules(rule_names)
     files = iter_python_files([Path(p) for p in paths])
-    parsed: List[Tuple[Path, str, str, ast.Module]] = []
+    parsed: List[Tuple[str, str, ast.Module, str]] = []
     findings: List[Finding] = []
     for file, root in files:
-        source = file.read_text(encoding="utf-8")
         display = _display_path(file)
+        source, problem = _read_source(file, display)
+        if problem is not None:
+            findings.append(problem)
+            continue
         try:
             tree = ast.parse(source, filename=str(file))
-        except SyntaxError as exc:
+        except (SyntaxError, ValueError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            offset = getattr(exc, "offset", None) or 0
+            message = getattr(exc, "msg", None) or str(exc)
             findings.append(Finding(
                 rule="R0",
                 severity=Severity.ERROR,
                 path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"syntax error: {exc.msg}",
+                line=lineno,
+                col=offset + 1,
+                message=f"syntax error: {message}",
             ))
             continue
-        parsed.append((file, display, logical_path(file, root), tree))
+        parsed.append((display, logical_path(file, root), tree, source))
 
     config = LintConfig(
-        msgkind_members=_discover_msgkind([tree for *_, tree in parsed]),
+        msgkind_members=_discover_msgkind(
+            [tree for _, _, tree, _ in parsed]
+        ),
     )
-    for file, display, logical, tree in parsed:
-        source = file.read_text(encoding="utf-8")
+    contexts: List[ModuleContext] = []
+    tables: Dict[str, SuppressionTable] = {}
+    for display, logical, tree, source in parsed:
+        ctx = ModuleContext(
+            path=display, logical_path=logical, tree=tree,
+            source=source, config=config,
+        )
+        contexts.append(ctx)
+        tables[display] = parse_suppressions(source)
+
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    for ctx in contexts:
         findings.extend(
-            _lint_module(display, logical, tree, source, rules, config)
+            _lint_module(ctx, tables[ctx.path], module_rules)
+        )
+    if project_rules:
+        findings.extend(
+            _lint_project(contexts, tables, project_rules)
         )
     # A path supplied twice (or once as a file and once via its
     # directory) must not double-report.
@@ -148,35 +207,42 @@ def lint_source(
     rule_names: Optional[Sequence[str]] = None,
     config: Optional[LintConfig] = None,
 ) -> List[Finding]:
-    """Lint one in-memory module — the test suite's workhorse."""
+    """Lint one in-memory module — the test suite's workhorse.
+
+    Project-wide rules run over a single-module project, so their
+    intraprocedural checks (and same-module call chains) are testable
+    without fixture trees on disk.
+    """
     rules = resolve_rules(rule_names)
     tree = ast.parse(source)
     if config is None:
         config = LintConfig(msgkind_members=_discover_msgkind([tree]))
-    return sort_findings(
-        _lint_module(logical, logical, tree, source, rules, config)
+    ctx = ModuleContext(
+        path=logical, logical_path=logical, tree=tree, source=source,
+        config=config,
     )
+    table = parse_suppressions(source)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    out = _lint_module(ctx, table, module_rules)
+    if project_rules:
+        out.extend(
+            _lint_project([ctx], {ctx.path: table}, project_rules)
+        )
+    return sort_findings(out)
 
 
 def _lint_module(
-    display: str,
-    logical: str,
-    tree: ast.Module,
-    source: str,
+    ctx: ModuleContext,
+    table: SuppressionTable,
     rules: Sequence[Rule],
-    config: LintConfig,
 ) -> List[Finding]:
-    table = parse_suppressions(source)
-    ctx = ModuleContext(
-        path=display, logical_path=logical, tree=tree, source=source,
-        config=config,
-    )
     out: List[Finding] = []
     for lineno, text in table.malformed:
         out.append(Finding(
             rule="R0",
             severity=Severity.ERROR,
-            path=display,
+            path=ctx.path,
             line=lineno,
             col=1,
             message=f"malformed lint suppression comment: {text!r}",
@@ -185,4 +251,25 @@ def _lint_module(
         for finding in rule.check(ctx):
             if not table.is_suppressed(finding.rule, finding.line):
                 out.append(finding)
+    return out
+
+
+def _lint_project(
+    contexts: Sequence[ModuleContext],
+    tables: Dict[str, SuppressionTable],
+    rules: Sequence[ProjectRule],
+) -> List[Finding]:
+    """Run the interprocedural rules once over the whole linted set."""
+    from .flow.project import build_project
+
+    project = build_project(contexts)
+    out: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            table = tables.get(finding.path)
+            if table is not None and table.is_suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            out.append(finding)
     return out

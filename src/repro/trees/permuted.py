@@ -15,6 +15,7 @@ algorithms sharing one view — and, as the paper notes, they are computed
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -79,8 +80,14 @@ class PermutedTree(GameTree):
 
 
 def _node_entropy(node: NodeId) -> int:
-    """A stable non-negative integer derived from a node id."""
+    """A stable non-negative integer derived from a node id.
+
+    Must be identical across processes and interpreter runs: it seeds
+    the per-node permutation, so any instability would make the same
+    ``(tree, seed)`` pair produce different child orders in different
+    workers.  The builtin ``hash`` is PYTHONHASHSEED-randomized for
+    strings, so non-integer ids go through a canonical-repr digest.
+    """
     if isinstance(node, (int, np.integer)):
         return int(node)
-    # Fall back to the builtin hash; adequate for ints/strings/tuples.
-    return hash(node) & 0x7FFFFFFF
+    return zlib.crc32(repr(node).encode("utf-8")) & 0x7FFFFFFF

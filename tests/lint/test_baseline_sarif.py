@@ -1,0 +1,142 @@
+"""Baseline round-trips and SARIF 2.1.0 export validity."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow import (
+    load_baseline,
+    render_sarif,
+    sarif_report,
+    subtract_baseline,
+    validate_sarif,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _finding(rule="R8", path="core/x.py", line=3, message="boom"):
+    return Finding(
+        rule=rule, severity=Severity.ERROR, path=path, line=line,
+        col=1, message=message,
+    )
+
+
+# -- baseline ---------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    findings = [_finding(), _finding(rule="R9", message="race")]
+    snapshot = tmp_path / "baseline.json"
+    assert write_baseline(findings, snapshot) == 2
+    baseline = load_baseline(snapshot)
+    new, suppressed = subtract_baseline(findings, baseline)
+    assert new == [] and suppressed == 2
+
+
+def test_baseline_ignores_line_shifts_but_not_new_findings(tmp_path):
+    snapshot = tmp_path / "baseline.json"
+    write_baseline([_finding(line=3)], snapshot)
+    baseline = load_baseline(snapshot)
+    # Same finding moved to another line: still absorbed.
+    new, suppressed = subtract_baseline(
+        [_finding(line=99)], baseline
+    )
+    assert new == [] and suppressed == 1
+    # A different message is a new finding.
+    new, suppressed = subtract_baseline(
+        [_finding(message="other")], baseline
+    )
+    assert len(new) == 1 and suppressed == 0
+
+
+def test_baseline_counts_duplicates(tmp_path):
+    snapshot = tmp_path / "baseline.json"
+    write_baseline([_finding(), _finding()], snapshot)
+    baseline = load_baseline(snapshot)
+    three = [_finding(), _finding(), _finding()]
+    new, suppressed = subtract_baseline(three, baseline)
+    # Two absorbed, the third is new.
+    assert len(new) == 1 and suppressed == 2
+
+
+@pytest.mark.parametrize("content", [
+    "not json",
+    '{"version": 99, "findings": []}',
+    '{"version": 1}',
+    '{"version": 1, "findings": [{"rule": "R8"}]}',
+])
+def test_malformed_baseline_raises(tmp_path, content):
+    snapshot = tmp_path / "baseline.json"
+    snapshot.write_text(content)
+    with pytest.raises(ValueError):
+        load_baseline(snapshot)
+
+
+def test_committed_baseline_covers_tests_and_benchmarks():
+    # The snapshot CI lints against must stay in sync with reality:
+    # no finding outside it, no stale surplus entries hiding drift.
+    baseline = load_baseline(REPO_ROOT / ".lint-baseline.json")
+    findings = lint_paths(
+        [REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+    )
+    new, suppressed = subtract_baseline(findings, baseline)
+    assert new == [], "\n".join(f.render() for f in new)
+    assert suppressed == sum(baseline.values()), (
+        "baseline has stale entries; regenerate with --write-baseline"
+    )
+
+
+# -- SARIF ------------------------------------------------------------------
+
+def test_sarif_document_shape():
+    findings = [
+        _finding(),
+        _finding(rule="R0", path="core/broken.py", message="syntax"),
+    ]
+    document = sarif_report(findings)
+    assert validate_sarif(document) == []
+    run = document["runs"][0]
+    ids = [d["id"] for d in run["tool"]["driver"]["rules"]]
+    # R0 plus every registered rule, R10/R11 after R9.
+    assert ids[0] == "R0"
+    assert ids.index("R9") < ids.index("R10") < ids.index("R11")
+    result = run["results"][0]
+    assert result["ruleId"] == "R8"
+    assert ids[result["ruleIndex"]] == "R8"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "core/x.py"
+    assert location["region"] == {"startLine": 3, "startColumn": 1}
+
+
+def test_sarif_empty_run_is_valid():
+    document = sarif_report([])
+    assert validate_sarif(document) == []
+    assert document["runs"][0]["results"] == []
+
+
+def test_render_sarif_is_stable_json():
+    findings = [_finding()]
+    text = render_sarif(findings)
+    assert json.loads(text) == sarif_report(findings)
+    assert render_sarif(findings) == text
+
+
+def test_validate_sarif_catches_corruption():
+    document = sarif_report([_finding()])
+    document["version"] = "2.0.0"
+    document["runs"][0]["results"][0]["level"] = "fatal"
+    document["runs"][0]["results"][0]["ruleIndex"] = 999
+    problems = validate_sarif(document)
+    assert len(problems) == 3
+    assert any("version" in p for p in problems)
+    assert any("level" in p for p in problems)
+    assert any("ruleIndex" in p for p in problems)
+
+
+def test_validate_sarif_rejects_non_objects():
+    assert validate_sarif([]) != []
+    assert validate_sarif({"version": "2.1.0"}) != []

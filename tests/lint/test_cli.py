@@ -63,8 +63,73 @@ def test_missing_path_is_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("R1", "R2", "R3", "R4", "R5"):
+    for rule in ("R1", "R2", "R3", "R4", "R5", "R8", "R9", "R10",
+                 "R11"):
         assert rule in out
+    # Natural ordering: R9 before R10 (not lexicographic).
+    assert out.index("R9 ") < out.index("R10 ")
+
+
+# -- baseline flags ---------------------------------------------------------
+
+def test_write_baseline_then_lint_against_it(tmp_path, capsys):
+    path = _bad_file(tmp_path)
+    snapshot = tmp_path / "baseline.json"
+    assert main([
+        "lint", str(path), "--write-baseline", str(snapshot),
+    ]) == 0
+    assert "wrote baseline with 1 finding" in capsys.readouterr().out
+
+    # The recorded finding no longer fails the gate...
+    assert main([
+        "lint", str(path), "--baseline", str(snapshot),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out and "matched the baseline" in out
+
+    # ...but a new violation still does.
+    path.write_text("import random\nimport random as r2\n")
+    assert main([
+        "lint", str(path), "--baseline", str(snapshot),
+    ]) == 1
+
+
+def test_unreadable_baseline_is_usage_error(tmp_path, capsys):
+    path = _bad_file(tmp_path)
+    snapshot = tmp_path / "baseline.json"
+    snapshot.write_text("not json")
+    assert main([
+        "lint", str(path), "--baseline", str(snapshot),
+    ]) == 2
+    assert "invalid JSON" in capsys.readouterr().out
+
+
+# -- SARIF format -----------------------------------------------------------
+
+def test_sarif_format_emits_a_valid_document(tmp_path, capsys):
+    from repro.lint.flow import validate_sarif
+
+    path = _bad_file(tmp_path)
+    assert main(["lint", str(path), "--format=sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert validate_sarif(document) == []
+    results = document["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["R2"]
+
+
+def test_sarif_with_baseline_reports_only_new_findings(
+    tmp_path, capsys
+):
+    path = _bad_file(tmp_path)
+    snapshot = tmp_path / "baseline.json"
+    main(["lint", str(path), "--write-baseline", str(snapshot)])
+    capsys.readouterr()
+    assert main([
+        "lint", str(path), "--format=sarif",
+        "--baseline", str(snapshot),
+    ]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["runs"][0]["results"] == []
 
 
 def test_repo_gate_command_exits_zero(capsys):

@@ -1,0 +1,201 @@
+"""Units of the repro.lint.flow framework: summaries, import graph,
+call graph (cycles, decorators, methods, nested defs)."""
+
+import ast
+
+from repro.lint.base import LintConfig, ModuleContext
+from repro.lint.flow import (
+    CallGraph,
+    ModuleGraph,
+    build_project,
+    collect_functions,
+)
+from repro.lint.flow.modgraph import module_dotted
+
+
+def _ctx(source, logical="core/mod.py"):
+    return ModuleContext(
+        path=logical,
+        logical_path=logical,
+        tree=ast.parse(source),
+        source=source,
+        config=LintConfig(msgkind_members=()),
+    )
+
+
+# -- function summaries -----------------------------------------------------
+
+def test_qualnames_cover_methods_and_nested_defs():
+    ctx = _ctx(
+        "def top():\n"
+        "    def inner():\n"
+        "        pass\n"
+        "class Engine:\n"
+        "    def step(self):\n"
+        "        pass\n"
+        "    class Nested:\n"
+        "        def deep(self):\n"
+        "            pass\n"
+    )
+    quals = {fn.qualname for fn in collect_functions(ctx)}
+    assert quals == {
+        "top", "top.inner", "Engine.step", "Engine.Nested.deep",
+    }
+
+
+def test_decorated_functions_are_summarized():
+    ctx = _ctx(
+        "import functools\n"
+        "@functools.lru_cache\n"
+        "def cached(x):\n"
+        "    return helper(x)\n"
+    )
+    (fn,) = collect_functions(ctx)
+    assert fn.qualname == "cached"
+    assert [site.name for site in fn.calls] == ["helper"]
+
+
+def test_summary_is_shallow():
+    # The nested def's calls belong to the nested summary only.
+    ctx = _ctx(
+        "def outer(q):\n"
+        "    def inner():\n"
+        "        q.put(1)\n"
+        "    return inner\n"
+    )
+    by_name = {fn.qualname: fn for fn in collect_functions(ctx)}
+    assert not by_name["outer"].order_sinks
+    assert [s.name for s in by_name["outer.inner"].order_sinks] == ["put"]
+    assert "inner" in by_name["outer"].local_defs
+
+
+def test_order_sink_on_local_receiver_is_not_counted():
+    ctx = _ctx(
+        "def build(items, frontier):\n"
+        "    out = []\n"
+        "    for x in items:\n"
+        "        out.append(x)\n"       # local list: not a sink
+        "        frontier.append(x)\n"  # parameter: a sink
+    )
+    (fn,) = collect_functions(ctx)
+    assert [s.dotted for s in fn.order_sinks] == ["frontier.append"]
+
+
+def test_generator_flag_and_key():
+    ctx = _ctx(
+        "class Tree:\n"
+        "    def walk(self):\n"
+        "        yield 1\n",
+        logical="trees/base.py",
+    )
+    (fn,) = collect_functions(ctx)
+    assert fn.is_generator
+    assert fn.key == "trees/base.py::Tree.walk"
+    assert fn.name == "walk"
+
+
+# -- module import graph ----------------------------------------------------
+
+def test_module_dotted_strips_init():
+    assert module_dotted("serve/cache.py") == "serve.cache"
+    assert module_dotted("serve/__init__.py") == "serve"
+    assert module_dotted("__init__.py") == ""
+
+
+def test_import_graph_resolves_all_three_spellings():
+    a = _ctx("from repro.core import frontier\n", "models/a.py")
+    b = _ctx("from ..core.frontier import FrontierIndex\n",
+             "models/b.py")
+    c = _ctx("from core import frontier\n", "models/c.py")
+    target = _ctx("X = 1\n", "core/frontier.py")
+    graph = ModuleGraph([a, b, c, target])
+    for src in ("models/a.py", "models/b.py", "models/c.py"):
+        assert graph.imports_of(src) == ("core/frontier.py",)
+    assert set(graph.importers_of("core/frontier.py")) == {
+        "models/a.py", "models/b.py", "models/c.py",
+    }
+
+
+def test_transitive_imports_follow_chains_and_cycles():
+    a = _ctx("from . import b\n", "pkg/a.py")
+    b = _ctx("from . import c\n", "pkg/b.py")
+    c = _ctx("from . import a\n", "pkg/c.py")  # cycle back to a
+    graph = ModuleGraph([a, b, c])
+    assert graph.imports_transitively("pkg/a.py", "pkg/c.py")
+    assert graph.imports_transitively("pkg/c.py", "pkg/b.py")
+    assert not graph.imports_transitively("pkg/a.py", "pkg/missing.py")
+
+
+def test_imports_outside_the_linted_set_are_ignored():
+    ctx = _ctx("import numpy as np\nimport os\n", "core/x.py")
+    graph = ModuleGraph([ctx])
+    assert graph.imports_of("core/x.py") == ()
+
+
+# -- call graph -------------------------------------------------------------
+
+def _project(*pairs):
+    return build_project([_ctx(src, path) for path, src in pairs])
+
+
+def test_callees_resolve_within_import_scope_only():
+    project = _project(
+        ("app/main.py",
+         "from util.helpers import work\n"
+         "def run():\n"
+         "    work()\n"),
+        ("util/helpers.py", "def work():\n    pass\n"),
+        # Same-named function in a module main.py does NOT import.
+        ("island/other.py", "def work():\n    pass\n"),
+    )
+    (run,) = [f for f in project.functions if f.name == "run"]
+    callees = project.callgraph.callees(run)
+    assert [c.key for c in callees] == ["util/helpers.py::work"]
+
+
+def test_transitive_fixpoint_handles_recursion():
+    project = _project(
+        ("core/a.py",
+         "def ping(q):\n"
+         "    pong(q)\n"
+         "def pong(q):\n"
+         "    ping(q)\n"       # mutual recursion
+         "    q.put(1)\n"),    # the sink
+    )
+    marked = project.callgraph.transitive(
+        lambda fn: bool(fn.order_sinks)
+    )
+    assert marked == {"core/a.py::ping", "core/a.py::pong"}
+
+
+def test_reachable_respects_the_within_predicate():
+    project = _project(
+        ("serve/service.py",
+         "from .cache import lookup\n"
+         "from ..models.runtime import evaluate\n"
+         "def handle_request(req):\n"
+         "    lookup(req)\n"),
+        ("serve/cache.py",
+         "from ..models.runtime import evaluate\n"
+         "def lookup(req):\n"
+         "    evaluate(req)\n"),
+        ("models/runtime.py", "def evaluate(req):\n    pass\n"),
+    )
+    roots = [f for f in project.functions if f.name == "handle_request"]
+    names = [
+        fn.key for fn in project.callgraph.reachable(
+            roots, within=lambda fn: fn.module.startswith("serve/")
+        )
+    ]
+    assert names == [
+        "serve/service.py::handle_request", "serve/cache.py::lookup",
+    ]
+
+
+def test_unrestricted_callgraph_links_any_same_name():
+    # Without a module graph every name match is visible.
+    ctx = _ctx("def f():\n    g()\ndef g():\n    pass\n")
+    functions = collect_functions(ctx)
+    graph = CallGraph(functions, None)
+    f = next(fn for fn in functions if fn.name == "f")
+    assert [c.name for c in graph.callees(f)] == ["g"]

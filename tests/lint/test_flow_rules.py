@@ -1,0 +1,485 @@
+"""R8-R11 must fire on violating snippets and pass clean ones.
+
+Single-module cases go through ``lint_source`` (which builds a
+one-module project); cross-module cases build fixture trees on disk
+and run ``lint_paths``.
+"""
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+
+FLOW_RULES = ["R8", "R9", "R10", "R11"]
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- R8: determinism taint --------------------------------------------------
+
+def test_r8_set_iteration_into_sink_fires():
+    src = (
+        "def drain(frontier, items):\n"
+        "    for node in set(items):\n"
+        "        frontier.append(node)\n"
+    )
+    assert _rules(lint_source(src, "core/x.py", FLOW_RULES)) == ["R8"]
+
+
+def test_r8_sorted_wrapper_is_clean():
+    src = (
+        "def drain(frontier, items):\n"
+        "    for node in sorted(set(items)):\n"
+        "        frontier.append(node)\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r8_dict_iteration_is_clean():
+    # Dicts iterate in insertion order: deterministic, not flagged.
+    src = (
+        "def drain(frontier, table):\n"
+        "    for node in table:\n"
+        "        frontier.append(node)\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r8_set_typed_local_and_set_algebra_fire():
+    src = (
+        "def run(q, a, b):\n"
+        "    pending = set(a)\n"
+        "    for x in pending:\n"
+        "        q.put(x)\n"
+        "    for y in set(a) | set(b):\n"
+        "        q.put_nowait(y)\n"
+    )
+    assert _rules(
+        lint_source(src, "core/x.py", FLOW_RULES)
+    ) == ["R8", "R8"]
+
+
+def test_r8_sink_on_local_list_is_clean():
+    src = (
+        "def collect(items):\n"
+        "    out = []\n"
+        "    for x in set(items):\n"
+        "        out.append(x)\n"
+        "    return sorted(out)\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r8_yield_in_set_loop_fires():
+    # Order escapes to the caller through the generator protocol.
+    src = (
+        "def emit(items):\n"
+        "    for x in set(items):\n"
+        "        yield x\n"
+    )
+    assert _rules(lint_source(src, "core/x.py", FLOW_RULES)) == ["R8"]
+
+
+def test_r8_taint_through_same_module_callee():
+    src = (
+        "def publish(out, x):\n"
+        "    out.append(x)\n"
+        "def run(out, items):\n"
+        "    for x in set(items):\n"
+        "        publish(out, x)\n"
+    )
+    findings = lint_source(src, "core/x.py", FLOW_RULES)
+    assert _rules(findings) == ["R8"]
+    assert findings[0].line == 4
+
+
+def test_r8_calling_a_generator_in_the_loop_is_clean():
+    # Consuming a generator inside the loop keeps order local.
+    src = (
+        "def pairs(x):\n"
+        "    yield x\n"
+        "def run(items):\n"
+        "    total = 0\n"
+        "    for x in set(items):\n"
+        "        for y in pairs(x):\n"
+        "            total += y\n"
+        "    return total\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r8_cross_module_taint_respects_import_graph(tmp_path):
+    (tmp_path / "core").mkdir()
+    (tmp_path / "core" / "sinks.py").write_text(
+        "def enqueue_all(q, x):\n"
+        "    q.put(x)\n"
+    )
+    # caller.py imports sinks -> the call links, the taint flows.
+    (tmp_path / "core" / "caller.py").write_text(
+        "from .sinks import enqueue_all\n"
+        "def run(q, items):\n"
+        "    for x in set(items):\n"
+        "        enqueue_all(q, x)\n"
+    )
+    # island.py has a same-named local helper but no import edge, and
+    # its own enqueue_all is sink-free.
+    (tmp_path / "island.py").write_text(
+        "def enqueue_all(q, x):\n"
+        "    return (q, x)\n"
+        "def run(q, items):\n"
+        "    for x in set(items):\n"
+        "        enqueue_all(q, x)\n"
+    )
+    findings = lint_paths([tmp_path], FLOW_RULES)
+    assert [(f.rule, f.path.rsplit("/", 1)[-1]) for f in findings] == [
+        ("R8", "caller.py"),
+    ]
+
+
+def test_r8_entropy_sources_fire():
+    src = (
+        "import os\n"
+        "import uuid\n"
+        "def token():\n"
+        "    return uuid.uuid4().hex + os.urandom(4).hex()\n"
+    )
+    assert _rules(
+        lint_source(src, "models/x.py", FLOW_RULES)
+    ) == ["R8", "R8"]
+
+
+def test_r8_unstable_keys_fire_and_digest_is_clean():
+    bad = (
+        "def shard_key(node):\n"
+        "    return hash(node) % 8\n"
+        "def stash(cache, obj):\n"
+        "    cache[id(obj)] = obj\n"
+    )
+    assert _rules(
+        lint_source(bad, "serve/x.py", FLOW_RULES)
+    ) == ["R8", "R8"]
+    clean = (
+        "import zlib\n"
+        "def shard_key(node):\n"
+        "    return zlib.crc32(repr(node).encode()) % 8\n"
+    )
+    assert lint_source(clean, "serve/x.py", FLOW_RULES) == []
+
+
+def test_r8_exempts_bench_modules():
+    src = (
+        "def drain(frontier, items):\n"
+        "    for node in set(items):\n"
+        "        frontier.append(node)\n"
+    )
+    assert lint_source(src, "bench/x.py", FLOW_RULES) == []
+
+
+# -- R9: cross-process submission safety ------------------------------------
+
+def test_r9_lambda_submission_fires():
+    src = (
+        "def run(pool):\n"
+        "    return pool.submit(lambda: 1)\n"
+    )
+    assert _rules(lint_source(src, "models/x.py", FLOW_RULES)) == ["R9"]
+
+
+def test_r9_local_def_submission_fires():
+    src = (
+        "def run(pool):\n"
+        "    def work():\n"
+        "        return 1\n"
+        "    return pool.submit(work)\n"
+    )
+    assert _rules(lint_source(src, "models/x.py", FLOW_RULES)) == ["R9"]
+
+
+def test_r9_module_level_callable_is_clean():
+    src = (
+        "def work(chunk):\n"
+        "    return chunk\n"
+        "def run(pool, chunk):\n"
+        "    return pool.submit(work, chunk)\n"
+    )
+    assert lint_source(src, "models/x.py", FLOW_RULES) == []
+
+
+def test_r9_post_submit_mutation_fires():
+    src = (
+        "def work(chunk):\n"
+        "    return chunk\n"
+        "def run(pool, chunk):\n"
+        "    fut = pool.submit(work, chunk)\n"
+        "    chunk.append(1)\n"
+        "    return fut\n"
+    )
+    findings = lint_source(src, "models/x.py", FLOW_RULES)
+    assert _rules(findings) == ["R9"]
+    assert "'chunk'" in findings[0].message
+    assert findings[0].line == 5
+
+
+def test_r9_mutation_before_submit_is_clean():
+    src = (
+        "def work(chunk):\n"
+        "    return chunk\n"
+        "def run(pool, chunk):\n"
+        "    chunk.append(1)\n"
+        "    return pool.submit(work, chunk)\n"
+    )
+    assert lint_source(src, "models/x.py", FLOW_RULES) == []
+
+
+def test_r9_rebinding_frees_the_capture():
+    src = (
+        "def work(chunk):\n"
+        "    return chunk\n"
+        "def run(pool, chunk):\n"
+        "    fut = pool.submit(work, chunk)\n"
+        "    chunk = []\n"
+        "    chunk.append(1)\n"
+        "    return fut\n"
+    )
+    assert lint_source(src, "models/x.py", FLOW_RULES) == []
+
+
+def test_r9_self_attribute_mutation_after_submit_fires():
+    src = (
+        "def work(x):\n"
+        "    return x\n"
+        "class Runner:\n"
+        "    def kick(self, pool):\n"
+        "        fut = pool.submit(work, self.payload)\n"
+        "        self.payload.update(done=True)\n"
+        "        return fut\n"
+    )
+    findings = lint_source(src, "models/x.py", FLOW_RULES)
+    assert _rules(findings) == ["R9"]
+    assert "'self.payload'" in findings[0].message
+
+
+def test_r9_executor_map_counts_plain_map_does_not():
+    bad = (
+        "def work(x):\n"
+        "    return x\n"
+        "def run(executor, chunk):\n"
+        "    out = list(executor.map(work, chunk))\n"
+        "    chunk.append(1)\n"
+        "    return out\n"
+    )
+    assert _rules(lint_source(bad, "models/x.py", FLOW_RULES)) == ["R9"]
+    clean = (
+        "def run(chunk):\n"
+        "    out = list(map(str, chunk))\n"
+        "    chunk.append(1)\n"
+        "    return out\n"
+    )
+    assert lint_source(clean, "models/x.py", FLOW_RULES) == []
+
+
+# -- R10: recorder hot-path discipline --------------------------------------
+
+def test_r10_unguarded_recorder_call_in_loop_fires():
+    src = (
+        "def run(rec, items):\n"
+        "    for x in items:\n"
+        "        rec.observe('x', x)\n"
+    )
+    assert _rules(lint_source(src, "core/x.py", FLOW_RULES)) == ["R10"]
+
+
+def test_r10_none_guard_is_clean():
+    src = (
+        "def run(rec, items):\n"
+        "    for x in items:\n"
+        "        if rec is not None:\n"
+        "            rec.observe('x', x)\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r10_assert_narrowing_is_clean():
+    # The accepted idiom when liveness rides a derived flag.
+    src = (
+        "def run(rec, items, timed):\n"
+        "    for x in items:\n"
+        "        if timed:\n"
+        "            assert rec is not None\n"
+        "            rec.observe('x', x)\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r10_guard_outside_the_loop_is_clean():
+    src = (
+        "def run(rec, items):\n"
+        "    if rec is not None:\n"
+        "        for x in items:\n"
+        "            rec.count('steps')\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r10_call_outside_any_loop_is_clean():
+    src = (
+        "def run(rec):\n"
+        "    rec.event('start')\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r10_raw_store_fires_live_is_clean():
+    bad = (
+        "class Engine:\n"
+        "    def __init__(self, recorder):\n"
+        "        self._rec = recorder\n"
+    )
+    assert _rules(lint_source(bad, "core/x.py", FLOW_RULES)) == ["R10"]
+    clean = (
+        "from ..telemetry import live\n"
+        "class Engine:\n"
+        "    def __init__(self, recorder):\n"
+        "        self._rec = live(recorder)\n"
+    )
+    assert lint_source(clean, "core/x.py", FLOW_RULES) == []
+
+
+def test_r10_handoff_to_another_object_is_clean():
+    # Storing onto another object's declared slot is plumbing; the
+    # consumer normalises at bind time.
+    src = (
+        "def solve(tree, recorder):\n"
+        "    policy = make_policy()\n"
+        "    policy.recorder = recorder\n"
+        "    return policy\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_r10_exempts_telemetry_modules():
+    src = (
+        "def run(rec, items):\n"
+        "    for x in items:\n"
+        "        rec.observe('x', x)\n"
+    )
+    assert lint_source(src, "telemetry/x.py", FLOW_RULES) == []
+
+
+# -- R11: serve-path blocking hygiene ---------------------------------------
+
+def test_r11_blocking_calls_in_handler_fire():
+    src = (
+        "import time\n"
+        "def handle_request(req):\n"
+        "    time.sleep(0.1)\n"
+        "    with open('log.txt') as fh:\n"
+        "        fh.read()\n"
+        "    return req\n"
+    )
+    findings = lint_source(src, "serve/handler.py", FLOW_RULES)
+    assert _rules(findings) == ["R11", "R11"]
+
+
+def test_r11_reaches_helpers_through_the_call_graph():
+    src = (
+        "def handle_request(req):\n"
+        "    return _render(req)\n"
+        "def _render(req):\n"
+        "    return req.path.read_text()\n"
+    )
+    findings = lint_source(src, "serve/handler.py", FLOW_RULES)
+    assert _rules(findings) == ["R11"]
+    assert "_render" in findings[0].message
+
+
+def test_r11_unbounded_queue_get_fires_timeout_is_clean():
+    bad = (
+        "def handle(queue):\n"
+        "    return queue.get()\n"
+    )
+    assert _rules(
+        lint_source(bad, "serve/x.py", FLOW_RULES)
+    ) == ["R11"]
+    clean = (
+        "def handle(queue):\n"
+        "    return queue.get(timeout=1.0)\n"
+    )
+    assert lint_source(clean, "serve/x.py", FLOW_RULES) == []
+
+
+def test_r11_only_applies_to_serve_request_paths():
+    src = (
+        "import time\n"
+        "def handle_request(req):\n"
+        "    time.sleep(0.1)\n"
+    )
+    # Same code outside serve/ is not in scope.
+    assert lint_source(src, "models/x.py", FLOW_RULES) == []
+    # And serve/ code not reachable from a handler is not in scope.
+    cli = (
+        "import time\n"
+        "def main(argv):\n"
+        "    time.sleep(0.1)\n"
+    )
+    assert lint_source(cli, "serve/cli.py", FLOW_RULES) == []
+
+
+def test_r11_cross_module_serve_scope(tmp_path):
+    serve = tmp_path / "serve"
+    serve.mkdir()
+    (serve / "service.py").write_text(
+        "from .store import load_page\n"
+        "def handle_request(req):\n"
+        "    return load_page(req)\n"
+    )
+    (serve / "store.py").write_text(
+        "def load_page(req):\n"
+        "    return open(req).read()\n"
+    )
+    findings = lint_paths([tmp_path], FLOW_RULES)
+    assert [(f.rule, f.path.rsplit("/", 1)[-1]) for f in findings] == [
+        ("R11", "store.py"),
+    ]
+
+
+# -- cross-cutting behaviour ------------------------------------------------
+
+def test_flow_findings_respect_line_suppressions():
+    src = (
+        "def drain(frontier, items):\n"
+        "    for node in set(items):  # lint: disable=R8\n"
+        "        frontier.append(node)\n"
+    )
+    assert lint_source(src, "core/x.py", FLOW_RULES) == []
+
+
+def test_flow_findings_respect_file_disable():
+    src = (
+        "# lint: file-disable=R9\n"
+        "def run(pool):\n"
+        "    return pool.submit(lambda: 1)\n"
+    )
+    assert lint_source(src, "models/x.py", FLOW_RULES) == []
+
+
+@pytest.mark.parametrize("rule", FLOW_RULES)
+def test_flow_rules_run_under_the_default_rule_set(rule):
+    # No --rules filter: project rules are part of the default run.
+    by_rule = {
+        "R8": "def f(q, xs):\n"
+              "    for x in set(xs):\n"
+              "        q.put(x)\n",
+        "R9": "def f(pool):\n"
+              "    return pool.submit(lambda: 1)\n",
+        "R10": "def f(rec, xs):\n"
+               "    for x in xs:\n"
+               "        rec.event('x')\n",
+        "R11": "import time\n"
+               "def handle(req):\n"
+               "    time.sleep(1)\n",
+    }
+    path = "serve/x.py" if rule == "R11" else "other/x.py"
+    findings = lint_source(by_rule[rule], path)
+    assert rule in {f.rule for f in findings}

@@ -63,6 +63,22 @@ def test_syntax_error_reported_as_r0(tmp_path):
     assert "syntax error" in findings[0].message
 
 
+def test_non_utf8_file_reported_as_r0_not_crash(tmp_path):
+    bad = tmp_path / "latin1.py"
+    bad.write_bytes(b"# caf\xe9\nVALUE = 1\n")
+    findings = lint_paths([tmp_path])
+    assert [f.rule for f in findings] == ["R0"]
+    assert "not valid UTF-8" in findings[0].message
+    assert findings[0].path.endswith("latin1.py")
+
+
+def test_non_utf8_file_does_not_poison_the_rest_of_the_run(tmp_path):
+    (tmp_path / "bad.py").write_bytes(b"\xff\xfe\x00garbage")
+    _write_fixture_tree(tmp_path)
+    findings = lint_paths([tmp_path])
+    assert sorted(f.rule for f in findings) == ["R0", "R1", "R4"]
+
+
 def test_rule_subset_filter(tmp_path):
     _write_fixture_tree(tmp_path)
     findings = lint_paths([tmp_path], rule_names=["R4"])
@@ -134,5 +150,16 @@ def test_parse_suppressions_table():
 # -- the self-clean property ------------------------------------------------
 
 def test_repo_source_tree_is_lint_clean():
+    # The default rule set now includes the project-wide rules
+    # R8-R11, so this gate covers them too.
     findings = lint_paths([SRC_REPRO])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_repo_source_tree_is_clean_under_flow_rules_alone():
+    # The acceptance gate for the dataflow rules, run in isolation so
+    # a regression cannot hide behind an unrelated R1-R7 failure.
+    findings = lint_paths(
+        [SRC_REPRO], rule_names=["R8", "R9", "R10", "R11"]
+    )
     assert findings == [], "\n".join(f.render() for f in findings)
