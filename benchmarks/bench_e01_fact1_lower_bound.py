@@ -26,3 +26,20 @@ def test_fact1_bound_tight_and_respected(table, benchmark):
     tree = forced_value_instance(2, 14, 0)
     benchmark(lambda: sequential_solve(tree).total_work)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e01")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e01")
+    metrics = metrics_from_table("e01", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

@@ -31,3 +31,20 @@ def test_team_speedup_tracks_sqrt_p(table, benchmark):
     tree = all_ones(2, 16)
     benchmark(lambda: team_solve(tree, 64).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e02")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e02")
+    metrics = metrics_from_table("e02", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

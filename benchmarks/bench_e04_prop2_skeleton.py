@@ -21,3 +21,20 @@ def test_prop2_no_violations(table, benchmark):
     tree = iid_boolean(2, 12, level_invariant_bias(2), seed=3)
     benchmark(lambda: skeleton_of(tree).num_nodes())
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e04")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e04")
+    metrics = metrics_from_table("e04", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

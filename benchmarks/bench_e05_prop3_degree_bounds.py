@@ -27,3 +27,20 @@ def test_prop3_histogram_within_bound(table, benchmark):
     skel = skeleton_of(tree)
     benchmark(lambda: len(trace_codes(skel, 1)))
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e05")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e05")
+    metrics = metrics_from_table("e05", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

@@ -25,3 +25,20 @@ def test_lemma_constants_linear(table, benchmark):
 
     benchmark(lambda: (lemma1_k1(320, 2), lemma2_k2(320, 2)))
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e06")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e06")
+    metrics = metrics_from_table("e06", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

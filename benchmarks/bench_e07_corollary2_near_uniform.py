@@ -23,3 +23,20 @@ def test_corollary2_speedup_grows(table, benchmark):
     tree = near_uniform_boolean(4, 12, 0.5, 0.6, p=0.3, seed=9)
     benchmark(lambda: parallel_solve(tree, 1).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e07")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e07")
+    metrics = metrics_from_table("e07", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

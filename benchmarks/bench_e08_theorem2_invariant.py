@@ -20,3 +20,20 @@ def test_theorem2_invariant_exact(table, benchmark):
     tree = iid_minmax(2, 12, seed=4)
     benchmark(lambda: sequential_alpha_beta(tree).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e08")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e08")
+    metrics = metrics_from_table("e08", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

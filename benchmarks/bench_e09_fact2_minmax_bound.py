@@ -25,3 +25,20 @@ def test_fact2_bound_respected(table, benchmark):
     tree = iid_minmax(2, 10, seed=6)
     benchmark(lambda: fact2_certificate_size(tree))
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e09")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e09")
+    metrics = metrics_from_table("e09", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

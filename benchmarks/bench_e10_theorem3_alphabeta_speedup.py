@@ -32,3 +32,20 @@ def test_theorem3_shape(table, benchmark):
     tree = iid_minmax(2, 11, seed=8)
     benchmark(lambda: parallel_alpha_beta(tree, 1).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e10")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e10")
+    metrics = metrics_from_table("e10", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

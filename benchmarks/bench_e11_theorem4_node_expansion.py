@@ -25,3 +25,20 @@ def test_theorem4_shape(table, benchmark):
     tree = iid_boolean(2, 13, level_invariant_bias(2), seed=2)
     benchmark(lambda: n_parallel_solve(tree, 1).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e11")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e11")
+    metrics = metrics_from_table("e11", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

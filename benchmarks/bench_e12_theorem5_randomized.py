@@ -24,3 +24,20 @@ def test_theorem5_expected_speedup(table, benchmark):
     tree = sequential_worst_case(2, 10)
     benchmark(lambda: r_parallel_solve(tree, 1, seed=0).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e12")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e12")
+    metrics = metrics_from_table("e12", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

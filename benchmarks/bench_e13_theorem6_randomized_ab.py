@@ -22,3 +22,20 @@ def test_theorem6_expected_speedup(table, benchmark):
     tree = iid_minmax(2, 9, seed=12)
     benchmark(lambda: r_parallel_alpha_beta(tree, 1, seed=0).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e13")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e13")
+    metrics = metrics_from_table("e13", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

@@ -28,3 +28,20 @@ def test_althofer_proportional_speedup(table, benchmark):
     tree = golden_ratio_instance(13, seed=21)
     benchmark(lambda: parallel_solve(tree, 2).num_steps)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e14")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e14")
+    metrics = metrics_from_table("e14", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

@@ -29,3 +29,20 @@ def test_implementation_preserves_speedup(table, benchmark):
     tree = iid_boolean(2, 11, level_invariant_bias(2), seed=30)
     benchmark(lambda: simulate(tree).ticks)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e15")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e15")
+    metrics = metrics_from_table("e15", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

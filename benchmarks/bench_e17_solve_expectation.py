@@ -23,3 +23,20 @@ def test_measured_matches_expectation(table, benchmark):
         .expected_cost
     )
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e17")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e17")
+    metrics = metrics_from_table("e17", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

@@ -24,3 +24,20 @@ def test_growth_between_sqrt_d_and_d(table, benchmark):
     tree = iid_minmax(2, 12, seed=0)
     benchmark(lambda: alpha_beta(tree).total_work)
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e18")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e18")
+    metrics = metrics_from_table("e18", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

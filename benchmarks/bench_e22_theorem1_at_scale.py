@@ -28,3 +28,20 @@ def test_constant_holds_at_scale(table, benchmark):
     tree = iid_boolean(2, 20, level_invariant_bias(2), seed=5)
     benchmark(lambda: uniform_sequential_cost(tree)[1])
     print("\n" + table.render())
+
+
+@pytest.mark.experiment("e22")
+def test_registry_gate_parity(table):
+    """Gate parity: the registry spec's verdicts on this very table."""
+    from repro.bench.registry import get_spec
+    from repro.bench.specs import metrics_from_table
+
+    spec = get_spec("e22")
+    metrics = metrics_from_table("e22", table)
+    assert spec.gates, "spec declares at least one gate"
+    for gate in spec.gates:
+        if gate.wallclock:
+            continue
+        assert gate.holds(metrics[gate.metric]), (
+            gate.name, metrics[gate.metric], gate.op, gate.bound
+        )

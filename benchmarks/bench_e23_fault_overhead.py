@@ -12,6 +12,7 @@ from statistics import median
 
 import pytest
 
+from repro.bench.specs import gate_bound
 from repro.faults import ALL_FAULT_KINDS, FaultPlan
 from repro.simulator import simulate
 from repro.trees.generators import iid_boolean
@@ -53,7 +54,8 @@ def test_low_rate_overhead_is_bounded(instances):
         print(f"e23: {kind:>9} @0.01  median_ticks_x={med:.2f} "
               f"worst={max(ratios):.2f}")
         # The acceptance bar: rare faults must not degrade the run.
-        assert med <= 2.0, (kind, med)
+        # The bound is owned by the registry spec (gate parity).
+        assert med <= gate_bound("e23", f"overhead_{kind}"), (kind, med)
 
 
 @pytest.mark.experiment("e23")

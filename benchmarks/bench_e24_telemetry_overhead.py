@@ -15,11 +15,10 @@ both directions are checked for step-identity first so a timing win
 can never hide a semantic regression.
 """
 
-import time
-from statistics import median
-
 import pytest
 
+from repro.bench.specs import gate_bound
+from repro.bench.wallclock import median_seconds
 from repro.core import parallel_solve
 from repro.telemetry import InMemoryRecorder, NullRecorder
 from repro.trees.generators import iid_boolean
@@ -40,13 +39,10 @@ def tree():
 
 def _median_step_seconds(tree, recorder, repeats=REPEATS):
     """Median over repeats of per-step wall time for one solve run."""
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = parallel_solve(tree, WIDTH, recorder=recorder)
-        elapsed = time.perf_counter() - t0
-        samples.append(elapsed / result.num_steps)
-    return median(samples), result
+    med, result = median_seconds(
+        lambda: parallel_solve(tree, WIDTH, recorder=recorder), repeats
+    )
+    return med / result.num_steps, result
 
 
 @pytest.mark.experiment("e24")
@@ -70,7 +66,7 @@ def test_null_recorder_overhead_gate(tree):
           f"(base {t_base * 1e6:.1f}us/step, null {t_null * 1e6:.1f}us)")
     # Generous slack over the measured ~1.00x: the guard is a single
     # `is not None` per step, so anything near the gate is a bug.
-    assert ratio <= 1.05
+    assert ratio <= gate_bound("e24", "null_overhead")
 
 
 @pytest.mark.experiment("e24")
@@ -80,7 +76,7 @@ def test_inmemory_recorder_overhead_gate(tree, benchmark):
     ratio = t_mem / t_base
     print(f"\nInMemoryRecorder overhead: {ratio:.3f}x "
           f"(base {t_base * 1e6:.1f}us/step, mem {t_mem * 1e6:.1f}us)")
-    assert ratio <= 1.5
+    assert ratio <= gate_bound("e24", "inmemory_overhead")
     assert run.num_steps > 0
 
     benchmark(lambda: parallel_solve(

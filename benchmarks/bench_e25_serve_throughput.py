@@ -13,11 +13,10 @@ serving core is wall-clock-free by lint rule R2, and benchmarks are
 the one place timing is allowed.
 """
 
-import time
-from statistics import median
-
 import pytest
 
+from repro.bench.specs import gate_bound
+from repro.bench.wallclock import median_seconds
 from repro.serve import ShardedBatchService, response_log, synthetic_stream
 
 NUM_REQUESTS = 300
@@ -25,7 +24,7 @@ NUM_TREES = 10
 HEIGHT = 6
 ZIPF_S = 1.2
 REPEATS = 3
-GATE = 3.0
+GATE = gate_bound("e25", "warm_speedup")
 
 
 @pytest.fixture(scope="module")
@@ -38,12 +37,10 @@ def stream():
 
 def _serve_seconds(service, stream, repeats=REPEATS):
     """Median wall time to serve the stream (and the last log)."""
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        responses = service.serve(stream)
-        samples.append(time.perf_counter() - t0)
-    return median(samples), response_log(responses)
+    med, responses = median_seconds(
+        lambda: service.serve(stream), repeats
+    )
+    return med, response_log(responses)
 
 
 @pytest.mark.experiment("e25")
@@ -75,7 +72,7 @@ def test_zipf_skew_drives_the_hit_rate(stream):
     with ShardedBatchService(1, cache_size=None) as service:
         service.serve(stream)
         unique = service.stats.evaluated
-    assert unique < NUM_REQUESTS / 3
+    assert unique / NUM_REQUESTS <= gate_bound("e25", "zipf_dedup")
 
 
 @pytest.mark.experiment("e25")

@@ -1,10 +1,17 @@
 """Shared fixtures for the benchmark suite.
 
 Each ``bench_eXX`` file regenerates one experiment table from
-DESIGN.md's index (saved under ``benchmarks/results/``), asserts the
-paper-claim's shape on its rows, and times a representative kernel
-with pytest-benchmark.
+DESIGN.md's index, asserts the paper-claim's shape on its rows, checks
+gate parity against the declarative spec registry
+(:mod:`repro.bench.specs`), and times a representative kernel with
+pytest-benchmark.  Saved tables funnel through the single store at
+``benchmarks/results/tables.json`` (see
+:func:`repro.bench.snapshot.save_table_entry`); ``EXPERIMENTS.md`` is
+regenerated from that store, and the registry runner's
+``BENCH_<date>.json`` snapshots under ``benchmarks/history/`` are the
+perf trajectory of record.
 """
+
 
 def pytest_configure(config):
     config.addinivalue_line(

@@ -151,8 +151,55 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.diff:
+        from .bench.diff import diff_snapshots, render_report
+        from .bench.snapshot import load_snapshot
+
+        report = diff_snapshots(
+            load_snapshot(args.diff[0]),
+            load_snapshot(args.diff[1]),
+            allow_removed=args.allow_removed,
+        )
+        print(render_report(report))
+        return report.exit_code
+    if args.list:
+        from .bench.registry import get_spec, list_specs
+
+        for name in list_specs():
+            spec = get_spec(name)
+            gates = ", ".join(g.name for g in spec.gates) or "-"
+            print(f"{name:6} {spec.suite:13} gates: {gates}")
+        return 0
+    if args.all or args.spec or args.suite:
+        from .bench.runner import failed_gates, run_benchmarks
+        from .bench.snapshot import snapshot_path, write_snapshot
+        from .errors import WorkloadError
+
+        profile = "quick" if args.quick else "full"
+        try:
+            doc = run_benchmarks(
+                names=args.spec or None,
+                suites=args.suite or None,
+                profile=profile,
+                wallclock=args.wallclock,
+                date=args.date,
+            )
+        except WorkloadError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        out = args.out or snapshot_path(doc["date"])
+        write_snapshot(doc, out)
+        print(f"wrote {out} ({len(doc['specs'])} specs, "
+              f"profile {profile})")
+        failures = failed_gates(doc)
+        if failures:
+            print("FAILED gates: " + ", ".join(failures),
+                  file=sys.stderr)
+            return 1
+        return 0
     if not args.wallclock:
-        print("nothing to do: pass --wallclock", file=sys.stderr)
+        print("nothing to do: pass --all, --spec, --suite, --diff, "
+              "--list or --wallclock", file=sys.stderr)
         return 2
     from .bench.wallclock import run_wallclock
 
@@ -238,11 +285,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     verify.set_defaults(fn=_cmd_verify)
 
     bench = sub.add_parser(
-        "bench", help="wall-clock measurements (outside the cost model)"
+        "bench",
+        help="benchmark registry: run specs, snapshot, diff",
+    )
+    bench.add_argument(
+        "--all", action="store_true",
+        help="run every registered benchmark spec",
+    )
+    bench.add_argument(
+        "--spec", action="append", metavar="NAME",
+        help="run one spec (repeatable)",
+    )
+    bench.add_argument(
+        "--suite", action="append", metavar="SUITE",
+        help="restrict to one suite (repeatable)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="quick profile: reduced parameters for CI smoke runs",
+    )
+    bench.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="snapshot output path (default benchmarks/history/)",
+    )
+    bench.add_argument(
+        "--date", type=str, default=None, metavar="YYYY-MM-DD",
+        help="snapshot date stamp (default today)",
+    )
+    bench.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two BENCH_*.json snapshots and exit",
+    )
+    bench.add_argument(
+        "--allow-removed", action="store_true",
+        help="removed specs/metrics are notes, not regressions",
+    )
+    bench.add_argument(
+        "--list", action="store_true",
+        help="list registered specs with suites and gates",
     )
     bench.add_argument(
         "--wallclock", action="store_true",
-        help="time the frontier backends (and oracle pool with --workers)",
+        help="also measure wall-clock (with --all/--spec/--suite); "
+        "alone: the legacy frontier-backend timing table",
     )
     bench.add_argument("--branching", type=int, default=4)
     bench.add_argument("--height", type=int, default=8)

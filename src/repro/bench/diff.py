@@ -1,0 +1,204 @@
+"""Snapshot diff engine (``repro bench --diff OLD NEW``).
+
+Compares two ``BENCH_<date>.json`` documents metric by metric, using
+the per-metric tolerance bands the snapshot embeds (the new
+snapshot's bands win, so tightening a band takes effect on the next
+diff).  Failure classes:
+
+* a metric drifted beyond its band in the bad direction;
+* a determinism digest changed;
+* a gate that passed in OLD is evaluated and failing in NEW;
+* a metric or spec disappeared (unless ``allow_removed``).
+
+Wall-clock metrics are reported but never fail a diff — machine
+variance is normalised out by construction, because the primary
+metrics are step counts and ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from .registry import Band
+
+__all__ = ["DiffReport", "diff_snapshots", "render_report"]
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one snapshot comparison."""
+
+    fatal: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    additions: List[str] = field(default_factory=list)
+    removals: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    compared_metrics: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.fatal and not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        if self.fatal:
+            return 2
+        return 0 if not self.regressions else 1
+
+
+def _band_for(entry: Dict[str, Any], metric: str) -> Band:
+    bands = entry.get("bands") or {}
+    data = bands.get(metric)
+    if isinstance(data, dict):
+        return Band.from_dict(data)
+    return Band()
+
+
+def diff_snapshots(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    allow_removed: bool = False,
+) -> DiffReport:
+    """Compare two parsed snapshot documents."""
+    report = DiffReport()
+    if old.get("schema") != new.get("schema"):
+        report.fatal.append(
+            f"schema mismatch: {old.get('schema')!r} vs "
+            f"{new.get('schema')!r}"
+        )
+        return report
+    if old.get("profile") != new.get("profile"):
+        report.fatal.append(
+            f"profile mismatch: OLD is {old.get('profile')!r}, NEW is "
+            f"{new.get('profile')!r} — profiles measure different "
+            "workload scales and cannot be compared"
+        )
+        return report
+    old_specs: Dict[str, Any] = old.get("specs", {})
+    new_specs: Dict[str, Any] = new.get("specs", {})
+    for name in sorted(set(old_specs) - set(new_specs)):
+        line = f"spec {name} removed"
+        (report.notes if allow_removed else report.removals).append(line)
+    for name in sorted(set(new_specs) - set(old_specs)):
+        report.additions.append(f"spec {name} added")
+    for name in sorted(set(old_specs) & set(new_specs)):
+        _diff_spec(
+            report, name, old_specs[name], new_specs[name],
+            allow_removed,
+        )
+    if not allow_removed:
+        report.regressions.extend(report.removals)
+    return report
+
+
+def _diff_spec(
+    report: DiffReport,
+    name: str,
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    allow_removed: bool,
+) -> None:
+    old_metrics: Dict[str, Any] = old.get("metrics", {})
+    new_metrics: Dict[str, Any] = new.get("metrics", {})
+    if old.get("params") != new.get("params"):
+        report.notes.append(
+            f"{name}: params changed — drift may be intentional"
+        )
+    for metric in sorted(set(old_metrics) - set(new_metrics)):
+        line = f"{name}.{metric} removed (was {old_metrics[metric]})"
+        (report.notes if allow_removed else report.removals).append(line)
+    for metric in sorted(set(new_metrics) - set(old_metrics)):
+        report.additions.append(
+            f"{name}.{metric} added ({new_metrics[metric]})"
+        )
+    for metric in sorted(set(old_metrics) & set(new_metrics)):
+        old_value = float(old_metrics[metric])
+        new_value = float(new_metrics[metric])
+        band = _band_for(new, metric)
+        verdict = band.classify(old_value, new_value)
+        report.compared_metrics += 1
+        if verdict == "ok":
+            continue
+        line = (
+            f"{name}.{metric}: {old_value:g} -> {new_value:g} "
+            f"(band rel={band.rel:g} abs={band.abs_tol:g} "
+            f"{band.direction})"
+        )
+        if verdict == "regression":
+            report.regressions.append(line)
+        else:
+            report.improvements.append(line)
+    _diff_digests(report, name, old, new)
+    _diff_gates(report, name, old, new)
+
+
+def _diff_digests(
+    report: DiffReport,
+    name: str,
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+) -> None:
+    old_digests: Dict[str, Any] = old.get("digests", {})
+    new_digests: Dict[str, Any] = new.get("digests", {})
+    for key in sorted(set(old_digests) & set(new_digests)):
+        if old_digests[key] != new_digests[key]:
+            report.regressions.append(
+                f"{name}.digest[{key}] changed: "
+                f"{old_digests[key][:12]}... -> "
+                f"{new_digests[key][:12]}... (determinism artifact)"
+            )
+
+
+def _diff_gates(
+    report: DiffReport,
+    name: str,
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+) -> None:
+    old_gates: Dict[str, Any] = old.get("gates", {})
+    new_gates: Dict[str, Any] = new.get("gates", {})
+    for gate_name in sorted(new_gates):
+        gate = new_gates[gate_name]
+        if gate.get("skipped"):
+            continue
+        if not gate.get("passed"):
+            was = old_gates.get(gate_name, {})
+            previously = (
+                "passed" if was.get("passed")
+                else "failed" if was.get("skipped") is False
+                else "unmeasured"
+            )
+            report.regressions.append(
+                f"{name}.gate[{gate_name}]: FAILED "
+                f"({gate.get('value')!r} {gate.get('op')} "
+                f"{gate.get('bound')!r} wanted; previously "
+                f"{previously})"
+            )
+        elif old_gates.get(gate_name, {}).get("passed") is False:
+            report.improvements.append(
+                f"{name}.gate[{gate_name}]: now passing"
+            )
+
+
+def render_report(report: DiffReport) -> str:
+    """The human-readable diff summary."""
+    lines: List[str] = []
+    for label, items in (
+        ("FATAL", report.fatal),
+        ("REGRESSION", report.regressions),
+        ("improvement", report.improvements),
+        ("added", report.additions),
+        ("note", report.notes),
+    ):
+        for item in items:
+            lines.append(f"{label}: {item}")
+    lines.append(
+        f"compared {report.compared_metrics} metrics: "
+        f"{len(report.regressions)} regression(s), "
+        f"{len(report.improvements)} improvement(s), "
+        f"{len(report.additions)} addition(s)"
+    )
+    lines.append("diff: " + ("OK" if report.ok else "FAILED"))
+    return "\n".join(lines)

@@ -38,7 +38,10 @@ BASE_SEED = 20260705
 
 
 @experiment("e01")
-def e01_fact1_lower_bound() -> ExperimentTable:
+def e01_fact1_lower_bound(
+    configs=((2, (6, 8, 10, 12, 14)), (3, (4, 6, 8))),
+    iid_trials: int = 8,
+) -> ExperimentTable:
     """Fact 1: total work >= d**(n//2); tight on minimal instances."""
     table = ExperimentTable(
         "e01",
@@ -46,7 +49,7 @@ def e01_fact1_lower_bound() -> ExperimentTable:
         ["d", "n", "bound d^(n/2)", "S forced-0", "S forced-1",
          "min S iid", "proof leaves"],
     )
-    for d, heights in ((2, (6, 8, 10, 12, 14)), (3, (4, 6, 8))):
+    for d, heights in configs:
         bias = level_invariant_bias(d)
         for n in heights:
             bound = fact1_lower_bound(d, n)
@@ -56,7 +59,7 @@ def e01_fact1_lower_bound() -> ExperimentTable:
                 sequential_solve(
                     iid_boolean(d, n, bias, seed=BASE_SEED + t)
                 ).total_work
-                for t in range(8)
+                for t in range(iid_trials)
             )
             proof = proof_tree_leaf_count(d, n, 0)
             table.add_row(d, n, bound, s0, s1, iid_s, proof)
@@ -68,24 +71,25 @@ def e01_fact1_lower_bound() -> ExperimentTable:
 
 
 @experiment("e02")
-def e02_team_solve_sqrt() -> ExperimentTable:
+def e02_team_solve_sqrt(
+    n: int = 16, trials: int = 5, max_log2_p: int = 8
+) -> ExperimentTable:
     """Proposition 1: Team SOLVE speed-up is Theta(sqrt(p))."""
-    d, n = 2, 16
+    d = 2
     hard = all_ones(d, n)
     s_hard = sequential_solve(hard).num_steps
     bias = level_invariant_bias(d)
-    trials = 5
     iid_trees = [
         iid_boolean(d, n, bias, seed=BASE_SEED + t) for t in range(trials)
     ]
     s_iid = [sequential_solve(t).num_steps for t in iid_trees]
     table = ExperimentTable(
         "e02",
-        "Proposition 1 - Team SOLVE speed-up vs sqrt(p), B(2, 16)",
+        f"Proposition 1 - Team SOLVE speed-up vs sqrt(p), B(2, {n})",
         ["p", "sqrt(p)", "hard steps", "hard speed-up",
          "hard ratio/sqrt(p)", "iid speed-up"],
     )
-    for k in range(0, 9):
+    for k in range(0, max_log2_p + 1):
         p = 2 ** k
         t_hard = team_solve(hard, p).num_steps
         sp_hard = s_hard / t_hard
@@ -109,7 +113,10 @@ def e02_team_solve_sqrt() -> ExperimentTable:
 
 
 @experiment("e03")
-def e03_theorem1_linear_speedup() -> ExperimentTable:
+def e03_theorem1_linear_speedup(
+    configs=((2, (8, 10, 12, 14, 16)), (3, (4, 6, 8, 10))),
+    trials: int = 8,
+) -> ExperimentTable:
     """Theorem 1 + Corollary 1: width-1 speed-up ~ c(n+1), work ~ c'S."""
     table = ExperimentTable(
         "e03",
@@ -117,8 +124,7 @@ def e03_theorem1_linear_speedup() -> ExperimentTable:
         ["d", "n", "trials", "mean S", "mean P", "speed-up", "procs",
          "c = sp/(n+1)", "work/S (c')"],
     )
-    trials = 8
-    for d, heights in ((2, (8, 10, 12, 14, 16)), (3, (4, 6, 8, 10))):
+    for d, heights in configs:
         bias = level_invariant_bias(d)
         for n in heights:
             S, P, W, procs = [], [], [], 0
@@ -145,14 +151,13 @@ def e03_theorem1_linear_speedup() -> ExperimentTable:
 
 
 @experiment("e04")
-def e04_prop2_skeleton_monotonicity() -> ExperimentTable:
+def e04_prop2_skeleton_monotonicity(trials: int = 40) -> ExperimentTable:
     """Proposition 2: P_w(T) <= P_w(H_T) for every width."""
     table = ExperimentTable(
         "e04",
         "Proposition 2 - parallel steps on T vs on the skeleton H_T",
         ["w", "trials", "violations", "mean P(T)/P(H)", "max P(T)/P(H)"],
     )
-    trials = 40
     rng = np.random.default_rng(BASE_SEED)
     cases = []
     for t in range(trials):
@@ -179,7 +184,9 @@ def e04_prop2_skeleton_monotonicity() -> ExperimentTable:
 
 
 @experiment("e05")
-def e05_prop3_degree_bounds() -> ExperimentTable:
+def e05_prop3_degree_bounds(
+    configs=((2, 12), (3, 7)), trials: int = 10
+) -> ExperimentTable:
     """Proposition 3: t_{k+1}(H_T) <= C(n,k)(d-1)^k; code properties."""
     table = ExperimentTable(
         "e05",
@@ -187,9 +194,8 @@ def e05_prop3_degree_bounds() -> ExperimentTable:
         ["d", "n", "k", "bound", "max t_{k+1}", "mean t_{k+1}",
          "utilisation"],
     )
-    trials = 10
     all_lex = all_deg = True
-    for d, n in ((2, 12), (3, 7)):
+    for d, n in configs:
         bias = level_invariant_bias(d)
         hists = []
         for t in range(trials):
@@ -234,7 +240,9 @@ def e06_lemma_constants() -> ExperimentTable:
 
 
 @experiment("e07")
-def e07_corollary2_near_uniform() -> ExperimentTable:
+def e07_corollary2_near_uniform(
+    heights=(8, 10, 12, 14, 16), trials: int = 8
+) -> ExperimentTable:
     """Corollary 2: near-uniform trees keep the linear speed-up."""
     table = ExperimentTable(
         "e07",
@@ -242,9 +250,8 @@ def e07_corollary2_near_uniform() -> ExperimentTable:
         ["n", "alpha", "beta", "trials", "mean S", "mean P", "speed-up",
          "max procs"],
     )
-    trials = 8
     alpha, beta = 0.5, 0.6
-    for n in (8, 10, 12, 14, 16):
+    for n in heights:
         S, P, procs = [], [], 0
         for t in range(trials):
             tree = near_uniform_boolean(
@@ -268,14 +275,16 @@ def e07_corollary2_near_uniform() -> ExperimentTable:
 
 
 @experiment("e03b")
-def e03b_worst_case_family() -> ExperimentTable:
+def e03b_worst_case_family(
+    configs=((2, (8, 10, 12, 14)), (3, (5, 7, 9))),
+) -> ExperimentTable:
     """Theorem 1 on the deterministic worst-case family (S = d**n)."""
     table = ExperimentTable(
         "e03b",
         "Theorem 1 on sequential-worst-case instances (S(T) = d^n)",
         ["d", "n", "S", "P", "speed-up", "procs", "c = sp/(n+1)"],
     )
-    for d, heights in ((2, (8, 10, 12, 14)), (3, (5, 7, 9))):
+    for d, heights in configs:
         for n in heights:
             tree = sequential_worst_case(d, n)
             seq = sequential_solve(tree)

@@ -32,7 +32,9 @@ BASE_SEED = 20260705
 
 
 @experiment("e17")
-def e17_solve_expectation() -> ExperimentTable:
+def e17_solve_expectation(
+    configs=((2, (8, 10, 12)), (3, (5, 7))), trials: int = 30
+) -> ExperimentTable:
     """Tarsi's model: measured SOLVE cost vs the exact recurrence."""
     table = ExperimentTable(
         "e17",
@@ -40,8 +42,7 @@ def e17_solve_expectation() -> ExperimentTable:
         ["d", "n", "p", "trials", "E[S] theory", "mean S measured",
          "ratio"],
     )
-    trials = 30
-    for d, heights in ((2, (8, 10, 12)), (3, (5, 7))):
+    for d, heights in configs:
         p = level_invariant_bias(d)
         for n in heights:
             theory = solve_expected_cost(d, n, p).expected_cost
@@ -64,7 +65,9 @@ def e17_solve_expectation() -> ExperimentTable:
 
 
 @experiment("e18")
-def e18_pearl_branching_factor() -> ExperimentTable:
+def e18_pearl_branching_factor(
+    configs=((2, (6, 8, 10, 12)), (3, (4, 6, 8))), trials: int = 12
+) -> ExperimentTable:
     """Pearl (1982): alpha-beta growth factor on continuous i.i.d."""
     table = ExperimentTable(
         "e18",
@@ -72,8 +75,7 @@ def e18_pearl_branching_factor() -> ExperimentTable:
         ["d", "heights", "measured ab growth", "pearl xi/(1-xi)",
          "minimax growth d", "floor sqrt(d)"],
     )
-    trials = 12
-    for d, heights in ((2, (6, 8, 10, 12)), (3, (4, 6, 8))):
+    for d, heights in configs:
         costs = []
         for n in heights:
             mean_cost = float(np.mean([
@@ -95,7 +97,9 @@ def e18_pearl_branching_factor() -> ExperimentTable:
 
 
 @experiment("e19")
-def e19_sequential_baselines() -> ExperimentTable:
+def e19_sequential_baselines(
+    heights=(6, 8, 10), trials: int = 8
+) -> ExperimentTable:
     """Minimax vs alpha-beta vs SCOUT vs SSS* leaf counts."""
     table = ExperimentTable(
         "e19",
@@ -103,8 +107,7 @@ def e19_sequential_baselines() -> ExperimentTable:
         ["n", "trials", "minimax", "alpha-beta", "scout events",
          "scout distinct", "sss*", "sss* <= ab"],
     )
-    trials = 8
-    for n in (6, 8, 10):
+    for n in heights:
         mm, ab, sc_e, sc_d, ss = [], [], [], [], []
         dominance = True
         for t in range(trials):
@@ -131,7 +134,12 @@ def e19_sequential_baselines() -> ExperimentTable:
 
 
 @experiment("e20")
-def e20_ablations() -> ExperimentTable:
+def e20_ablations(
+    heights=(10, 12, 14),
+    trials: int = 6,
+    machine_heights=(10, 12),
+    budgets=(2, 4, 8),
+) -> ExperimentTable:
     """Design-choice ablations: matched processors; machine scheduling."""
     table = ExperimentTable(
         "e20",
@@ -141,10 +149,10 @@ def e20_ablations() -> ExperimentTable:
     )
     bias = level_invariant_bias(2)
     # (a) Team SOLVE given exactly the processors Parallel SOLVE uses.
-    for n in (10, 12, 14):
+    for n in heights:
         trees = [
             iid_boolean(2, n, bias, seed=BASE_SEED + 7 * t)
-            for t in range(6)
+            for t in range(trials)
         ]
         seq = [sequential_solve(t).num_steps for t in trees]
         par = [parallel_solve(t, 1) for t in trees]
@@ -161,7 +169,7 @@ def e20_ablations() -> ExperimentTable:
             float(np.sum(seq) / np.sum(par_steps)),
         )
     # (b) Machine scheduling: critical-cascade-first vs sibling-first.
-    for n in (10, 12):
+    for n in machine_heights:
         tree = iid_boolean(2, n, bias, seed=BASE_SEED + n)
         seq_steps = sequential_solve(tree).num_steps
         for priority in ("p_first", "s_first"):
@@ -172,10 +180,10 @@ def e20_ablations() -> ExperimentTable:
             )
     # (c) Fixed-p: idealized bounded-processor model (perfect central
     # scheduler) vs the message-passing machine's zone multiplexing.
-    n = 12
+    n = max(machine_heights)
     tree = iid_boolean(2, n, bias, seed=BASE_SEED + n)
     seq_steps = sequential_solve(tree).num_steps
-    for p in (2, 4, 8):
+    for p in budgets:
         ideal = parallel_solve(tree, 1, max_processors=p)
         machine = simulate(tree, physical_processors=p)
         table.add_row(

@@ -43,7 +43,9 @@ BASE_SEED = 20260705
 
 
 @experiment("e08")
-def e08_theorem2_invariant() -> ExperimentTable:
+def e08_theorem2_invariant(
+    cases=((2, 6, 12), (2, 8, 8), (3, 5, 8), (4, 4, 8)),
+) -> ExperimentTable:
     """Theorem 2: the pruning rule preserves the root value stepwise."""
     table = ExperimentTable(
         "e08",
@@ -51,7 +53,7 @@ def e08_theorem2_invariant() -> ExperimentTable:
         ["d", "n", "trials", "steps checked", "violations",
          "mean pruned nodes"],
     )
-    for d, n, trials in ((2, 6, 12), (2, 8, 8), (3, 5, 8), (4, 4, 8)):
+    for d, n, trials in cases:
         checked = violations = 0
         pruned_counts = []
         for t in range(trials):
@@ -82,15 +84,16 @@ def e08_theorem2_invariant() -> ExperimentTable:
 
 
 @experiment("e09")
-def e09_fact2_minmax_bound() -> ExperimentTable:
+def e09_fact2_minmax_bound(
+    configs=((2, (6, 8, 10, 12)), (3, (4, 6, 8))), trials: int = 8
+) -> ExperimentTable:
     """Fact 2: total work >= d^(n/2) + d^ceil(n/2) - 1 on M(d, n)."""
     table = ExperimentTable(
         "e09",
         "Fact 2 - MIN/MAX inherent lower bound",
         ["d", "n", "bound", "min S~ (iid)", "mean S~", "mean certificate"],
     )
-    trials = 8
-    for d, heights in ((2, (6, 8, 10, 12)), (3, (4, 6, 8))):
+    for d, heights in configs:
         for n in heights:
             bound = fact2_lower_bound(d, n)
             works, certs = [], []
@@ -110,7 +113,15 @@ def e09_fact2_minmax_bound() -> ExperimentTable:
 
 
 @experiment("e10")
-def e10_theorem3_alphabeta_speedup() -> ExperimentTable:
+def e10_theorem3_alphabeta_speedup(
+    configs=(
+        (2, (6, 8, 10, 12), "cont"),
+        (2, (6, 8, 10), "int"),
+        (3, (4, 6, 8), "cont"),
+    ),
+    trials: int = 6,
+    worst_cases=((2, 8), (2, 10), (3, 6)),
+) -> ExperimentTable:
     """Theorem 3 + Prop 5: width-1 Parallel alpha-beta speed-up."""
     table = ExperimentTable(
         "e10",
@@ -118,12 +129,7 @@ def e10_theorem3_alphabeta_speedup() -> ExperimentTable:
         ["d", "n", "leaves", "trials", "mean S~", "mean P~", "speed-up",
          "procs", "c = sp/(n+1)", "prop5 viol", "prop5 max ratio"],
     )
-    trials = 6
-    for d, heights, kinds in (
-        (2, (6, 8, 10, 12), "cont"),
-        (2, (6, 8, 10), "int"),
-        (3, (4, 6, 8), "cont"),
-    ):
+    for d, heights, kinds in configs:
         for n in heights:
             S, P, procs = [], [], 0
             viol = 0
@@ -155,7 +161,7 @@ def e10_theorem3_alphabeta_speedup() -> ExperimentTable:
             )
     # Every-instance check: the alpha-beta worst case (no cutoffs at
     # all, S~ = d^n) still gets the width-1 speed-up.
-    for d, n in ((2, 8), (2, 10), (3, 6)):
+    for d, n in worst_cases:
         tree = alpha_beta_worst_case(d, n)
         seq = sequential_alpha_beta(tree)
         par = parallel_alpha_beta(tree, 1)
@@ -184,7 +190,9 @@ def e10_theorem3_alphabeta_speedup() -> ExperimentTable:
 
 
 @experiment("e11")
-def e11_theorem4_node_expansion() -> ExperimentTable:
+def e11_theorem4_node_expansion(
+    configs=((2, (8, 10, 12, 14)), (3, (5, 7, 9))), trials: int = 6
+) -> ExperimentTable:
     """Theorem 4 + Prop 6: node-expansion model speed-up and bounds."""
     table = ExperimentTable(
         "e11",
@@ -192,8 +200,7 @@ def e11_theorem4_node_expansion() -> ExperimentTable:
         ["d", "n", "trials", "mean S*", "mean P*", "speed-up", "procs",
          "c = sp/(n+1)", "prop6 ok"],
     )
-    trials = 6
-    for d, heights in ((2, (8, 10, 12, 14)), (3, (5, 7, 9))):
+    for d, heights in configs:
         bias = level_invariant_bias(d)
         for n in heights:
             S, P, procs = [], [], 0
@@ -222,7 +229,9 @@ def e11_theorem4_node_expansion() -> ExperimentTable:
 
 
 @experiment("e12")
-def e12_theorem5_randomized_solve() -> ExperimentTable:
+def e12_theorem5_randomized_solve(
+    heights=(8, 10, 12), num_seeds: int = 12
+) -> ExperimentTable:
     """Theorem 5: expected speed-up of R-Parallel over R-Sequential."""
     table = ExperimentTable(
         "e12",
@@ -230,8 +239,8 @@ def e12_theorem5_randomized_solve() -> ExperimentTable:
         ["n", "seeds", "det S*", "E(S*_R)", "E(P*_R)", "ratio",
          "ratio/(n+1)"],
     )
-    seeds = list(range(12))
-    for n in (8, 10, 12):
+    seeds = list(range(num_seeds))
+    for n in heights:
         tree = sequential_worst_case(2, n)
         det = n_sequential_solve(tree).num_steps
         est_s = estimate_expectation(r_sequential_solve, tree, seeds)
@@ -250,15 +259,17 @@ def e12_theorem5_randomized_solve() -> ExperimentTable:
 
 
 @experiment("e13")
-def e13_theorem6_randomized_alphabeta() -> ExperimentTable:
+def e13_theorem6_randomized_alphabeta(
+    configs=((2, (6, 8, 10)), (3, (4, 6))), num_seeds: int = 10
+) -> ExperimentTable:
     """Theorem 6: R-Parallel alpha-beta linear expected speed-up."""
     table = ExperimentTable(
         "e13",
         "Theorem 6 - randomized alpha-beta (node expansion)",
         ["d", "n", "seeds", "E(S~_R)", "E(P~_R)", "ratio", "ratio/(n+1)"],
     )
-    seeds = list(range(10))
-    for d, heights in ((2, (6, 8, 10)), (3, (4, 6))):
+    seeds = list(range(num_seeds))
+    for d, heights in configs:
         for n in heights:
             tree = iid_minmax(d, n, seed=BASE_SEED + n)
             est_s = estimate_expectation(

@@ -39,7 +39,9 @@ def _candidate_bound(n: int, k: int, d: int, w: int) -> int:
 
 
 @experiment("e21")
-def e21_width_open_problem() -> ExperimentTable:
+def e21_width_open_problem(
+    iid_heights=(12, 14), worst_height: int = 12, widths=(1, 2, 3)
+) -> ExperimentTable:
     """Evidence table for the fixed-width linear speed-up conjecture."""
     table = ExperimentTable(
         "e21",
@@ -50,16 +52,16 @@ def e21_width_open_problem() -> ExperimentTable:
     )
     bias = level_invariant_bias(2)
     cases = [
-        ("iid p*", iid_boolean(2, 12, bias, seed=BASE_SEED)),
-        ("iid p*", iid_boolean(2, 14, bias, seed=BASE_SEED + 1)),
-        ("worst", sequential_worst_case(2, 12)),
+        ("iid p*", iid_boolean(2, n, bias, seed=BASE_SEED + i))
+        for i, n in enumerate(iid_heights)
     ]
+    cases.append(("worst", sequential_worst_case(2, worst_height)))
     for family, tree in cases:
         n = tree.height()
         d = tree.branching
         skel = skeleton_of(tree)
         seq_steps = sequential_solve(tree).num_steps
-        for w in (1, 2, 3):
+        for w in widths:
             par = parallel_solve(tree, w)
             par_skel = parallel_solve(skel, w)
             hist = Counter(par_skel.trace.degrees)

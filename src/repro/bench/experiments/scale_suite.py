@@ -20,7 +20,10 @@ BASE_SEED = 20260705
 
 
 @experiment("e22")
-def e22_theorem1_at_scale() -> ExperimentTable:
+def e22_theorem1_at_scale(
+    height_trials=((12, 3), (14, 3), (16, 3), (18, 2), (20, 2),
+                   (22, 1)),
+) -> ExperimentTable:
     """Width-1 speed-up over heights 12..22 (up to 4M leaves)."""
     table = ExperimentTable(
         "e22",
@@ -29,8 +32,7 @@ def e22_theorem1_at_scale() -> ExperimentTable:
          "procs", "c = sp/(n+1)"],
     )
     bias = level_invariant_bias(2)
-    for n, trials in ((12, 3), (14, 3), (16, 3), (18, 2), (20, 2),
-                      (22, 1)):
+    for n, trials in height_trials:
         S, P, procs = [], [], 0
         for t in range(trials):
             tree = iid_boolean(2, n, bias, seed=BASE_SEED + 97 * t)

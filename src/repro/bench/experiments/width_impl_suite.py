@@ -32,7 +32,9 @@ BASE_SEED = 20260705
 
 
 @experiment("e14")
-def e14_althofer_iid() -> ExperimentTable:
+def e14_althofer_iid(
+    heights=(10, 12, 14), trials: int = 6, widths=(0, 1, 2, 3)
+) -> ExperimentTable:
     """Speed-up vs processors in the golden-ratio i.i.d. setting."""
     table = ExperimentTable(
         "e14",
@@ -40,14 +42,13 @@ def e14_althofer_iid() -> ExperimentTable:
         ["n", "w", "trials", "mean S", "mean P_w", "speed-up", "procs",
          "speed-up/procs"],
     )
-    trials = 6
-    for n in (10, 12, 14):
+    for n in heights:
         trees = [
             golden_ratio_instance(n, seed=BASE_SEED + 5 * t)
             for t in range(trials)
         ]
         seqs = [sequential_solve(t).num_steps for t in trees]
-        for w in (0, 1, 2, 3):
+        for w in widths:
             steps, procs = [], 0
             for tree in trees:
                 par = parallel_solve(tree, w)
@@ -66,7 +67,9 @@ def e14_althofer_iid() -> ExperimentTable:
 
 
 @experiment("e15")
-def e15_implementation_sim() -> ExperimentTable:
+def e15_implementation_sim(
+    heights=(8, 10, 12, 14), budgets=(2, 4, 8)
+) -> ExperimentTable:
     """Section 7: the message-passing machine versus the ideal model."""
     table = ExperimentTable(
         "e15",
@@ -75,7 +78,7 @@ def e15_implementation_sim() -> ExperimentTable:
          "speed-up S*/ticks", "expansions", "messages"],
     )
     bias = level_invariant_bias(2)
-    for n in (8, 10, 12, 14):
+    for n in heights:
         tree = iid_boolean(2, n, bias, seed=BASE_SEED + n)
         seq = n_sequential_solve(tree)
         par = n_parallel_solve(tree, 1)
@@ -88,11 +91,11 @@ def e15_implementation_sim() -> ExperimentTable:
             full.messages,
         )
     # Fixed processor budgets on the largest instance.
-    n = 14
+    n = max(heights)
     tree = iid_boolean(2, n, bias, seed=BASE_SEED + n)
     seq_steps = n_sequential_solve(tree).num_steps
     par_steps = n_parallel_solve(tree, 1).num_steps
-    for p in (2, 4, 8):
+    for p in budgets:
         res = simulate(tree, physical_processors=p)
         table.add_row(
             n, p, seq_steps, par_steps, res.ticks,
@@ -108,7 +111,9 @@ def e15_implementation_sim() -> ExperimentTable:
 
 
 @experiment("e16")
-def e16_width_sweep_constant() -> ExperimentTable:
+def e16_width_sweep_constant(
+    n: int = 12, widths=(0, 1, 2, 3)
+) -> ExperimentTable:
     """Section 8 remarks: higher widths and the empirical constant c."""
     table = ExperimentTable(
         "e16",
@@ -116,7 +121,6 @@ def e16_width_sweep_constant() -> ExperimentTable:
         ["family", "n", "w", "S", "P_w", "speed-up", "procs",
          "c = sp/(n+1)"],
     )
-    n = 12
     bias = level_invariant_bias(2)
     families = [
         ("iid p*", iid_boolean(2, n, bias, seed=BASE_SEED)),
@@ -125,7 +129,7 @@ def e16_width_sweep_constant() -> ExperimentTable:
     ]
     for name, tree in families:
         seq = sequential_solve(tree)
-        for w in (0, 1, 2, 3):
+        for w in widths:
             par = parallel_solve(tree, w)
             assert par.value == seq.value
             sp = seq.num_steps / par.num_steps

@@ -82,17 +82,19 @@ class ExperimentTable:
         return buf.getvalue()
 
     def save(self, directory: Optional[str] = None) -> str:
-        """Write the table to ``results/<experiment>.txt`` (+ ``.csv``)."""
-        if directory is None:
-            directory = default_results_dir()
-        os.makedirs(directory, exist_ok=True)
-        path = os.path.join(directory, f"{self.experiment}.txt")
-        with open(path, "w") as fh:
-            fh.write(self.render() + "\n")
-        with open(os.path.join(
-                directory, f"{self.experiment}.csv"), "w") as fh:
-            fh.write(self.to_csv())
-        return path
+        """Persist render + CSV into the single table store.
+
+        Every save funnels through
+        :func:`repro.bench.snapshot.save_table_entry` — one
+        ``tables.json`` per results directory instead of the historical
+        per-experiment ``.txt``/``.csv`` pairs.
+        """
+        from .snapshot import save_table_entry
+
+        return save_table_entry(
+            self.experiment, self.render(), self.to_csv(),
+            directory=directory,
+        )
 
 
 def default_results_dir() -> str:
@@ -115,8 +117,15 @@ def experiment(name: str):
     return register
 
 
-def run_experiment(name: str, save: bool = True) -> ExperimentTable:
-    """Run a registered experiment; optionally persist its table."""
+def run_experiment(
+    name: str, save: bool = True, **params
+) -> ExperimentTable:
+    """Run a registered experiment; optionally persist its table.
+
+    ``params`` override the experiment function's keyword defaults —
+    this is how the registry's quick profile shrinks workloads without
+    duplicating measurement code.
+    """
     # Import populates the registry on first use.
     from . import experiments  # noqa: F401
 
@@ -124,7 +133,7 @@ def run_experiment(name: str, save: bool = True) -> ExperimentTable:
         raise WorkloadError(
             f"unknown experiment {name!r}; known: {sorted(_REGISTRY)}"
         )
-    table = _REGISTRY[name]()
+    table = _REGISTRY[name](**params)
     if save:
         table.save()
     return table

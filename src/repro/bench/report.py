@@ -242,13 +242,14 @@ EXPECTATIONS: List[Expectation] = [
 def load_table_text(experiment: str,
                     directory: Optional[str] = None) -> str:
     """The saved rendered table for one experiment, if present."""
+    from .snapshot import load_table_entry
+
     if directory is None:
         directory = default_results_dir()
-    path = os.path.join(directory, f"{experiment}.txt")
-    if not os.path.exists(path):
-        return f"(no saved results — run `pytest benchmarks/` first)"
-    with open(path) as fh:
-        return fh.read().rstrip()
+    entry = load_table_entry(experiment, directory)
+    if entry is None:
+        return "(no saved results — run `pytest benchmarks/` first)"
+    return entry["render"].rstrip()
 
 
 HEADER = """# EXPERIMENTS — paper vs. measured

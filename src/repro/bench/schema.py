@@ -1,0 +1,176 @@
+"""Structural validation of benchmark snapshots.
+
+``validate_snapshot`` returns a list of human-readable problems (empty
+means valid), in the style of ``repro.telemetry.validate_chrome_trace``
+and ``repro.lint.flow.validate_sarif``: pure functions over parsed
+JSON, no exceptions for invalid *content* (only for unusable input
+types).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, List
+
+from .snapshot import SNAPSHOT_SCHEMA
+
+__all__ = ["validate_snapshot", "REQUIRED_TOP_KEYS", "REQUIRED_SPEC_KEYS"]
+
+REQUIRED_TOP_KEYS = ("date", "profile", "schema", "specs", "wallclock")
+
+REQUIRED_SPEC_KEYS = (
+    "bands", "gates", "metrics", "params", "seed", "suite",
+)
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+_PROFILES = ("full", "quick")
+
+_GATE_KEYS = ("bound", "metric", "op", "passed", "skipped", "value")
+
+_BAND_KEYS = ("abs", "direction", "rel")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    )
+
+
+def _is_finite_number(value: Any) -> bool:
+    return _is_number(value) and math.isfinite(value)
+
+
+def validate_snapshot(doc: Any) -> List[str]:
+    """Every structural problem in a parsed snapshot document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot root is not an object"]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    if doc.get("schema") != SNAPSHOT_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected "
+            f"{SNAPSHOT_SCHEMA!r}"
+        )
+    date = doc.get("date")
+    if not isinstance(date, str) or not _DATE_RE.match(date):
+        problems.append(f"date {date!r} is not YYYY-MM-DD")
+    if doc.get("profile") not in _PROFILES:
+        problems.append(
+            f"profile {doc.get('profile')!r} not in {_PROFILES}"
+        )
+    if not isinstance(doc.get("wallclock"), bool):
+        problems.append("wallclock flag is not a boolean")
+    specs = doc.get("specs")
+    if not isinstance(specs, dict) or not specs:
+        problems.append("specs is not a non-empty object")
+        return problems
+    for name in specs:
+        problems.extend(_validate_spec(name, specs[name]))
+    return problems
+
+
+def _validate_spec(name: str, entry: Any) -> List[str]:
+    problems: List[str] = []
+    where = f"specs[{name!r}]"
+    if not isinstance(entry, dict):
+        return [f"{where} is not an object"]
+    for key in REQUIRED_SPEC_KEYS:
+        if key not in entry:
+            problems.append(f"{where} missing key {key!r}")
+    if "suite" in entry and not isinstance(entry["suite"], str):
+        problems.append(f"{where}.suite is not a string")
+    if "seed" in entry and not isinstance(entry["seed"], int):
+        problems.append(f"{where}.seed is not an integer")
+    metrics = entry.get("metrics")
+    if isinstance(metrics, dict):
+        if not metrics:
+            problems.append(f"{where}.metrics is empty")
+        for metric, value in metrics.items():
+            if not _is_finite_number(value):
+                problems.append(
+                    f"{where}.metrics[{metric!r}] is {value!r}, "
+                    "expected a finite number"
+                )
+    elif "metrics" in entry:
+        problems.append(f"{where}.metrics is not an object")
+    problems.extend(_validate_gates(where, entry.get("gates")))
+    problems.extend(_validate_bands(where, entry.get("bands")))
+    digests = entry.get("digests", {})
+    if not isinstance(digests, dict) or any(
+        not isinstance(v, str) for v in digests.values()
+    ):
+        problems.append(f"{where}.digests is not a string mapping")
+    wc = entry.get("wallclock_metrics", {})
+    if isinstance(wc, dict):
+        for metric, value in wc.items():
+            if not _is_finite_number(value):
+                problems.append(
+                    f"{where}.wallclock_metrics[{metric!r}] is "
+                    f"{value!r}, expected a finite number"
+                )
+    else:
+        problems.append(f"{where}.wallclock_metrics is not an object")
+    return problems
+
+
+def _validate_gates(where: str, gates: Any) -> List[str]:
+    problems: List[str] = []
+    if gates is None:
+        return problems
+    if not isinstance(gates, dict):
+        return [f"{where}.gates is not an object"]
+    for gate_name, gate in gates.items():
+        at = f"{where}.gates[{gate_name!r}]"
+        if not isinstance(gate, dict):
+            problems.append(f"{at} is not an object")
+            continue
+        for key in _GATE_KEYS:
+            if key not in gate:
+                problems.append(f"{at} missing key {key!r}")
+        if gate.get("op") not in (">=", "<="):
+            problems.append(f"{at}.op {gate.get('op')!r} is invalid")
+        if not _is_finite_number(gate.get("bound")):
+            problems.append(f"{at}.bound is not a finite number")
+        skipped = gate.get("skipped")
+        if not isinstance(skipped, bool):
+            problems.append(f"{at}.skipped is not a boolean")
+        value = gate.get("value")
+        if skipped is True:
+            if value is not None:
+                problems.append(f"{at}.value set on a skipped gate")
+        elif not _is_finite_number(value):
+            problems.append(f"{at}.value is not a finite number")
+        if not skipped and not isinstance(gate.get("passed"), bool):
+            problems.append(f"{at}.passed is not a boolean")
+    return problems
+
+
+def _validate_bands(where: str, bands: Any) -> List[str]:
+    problems: List[str] = []
+    if bands is None:
+        return problems
+    if not isinstance(bands, dict):
+        return [f"{where}.bands is not an object"]
+    for metric, band in bands.items():
+        at = f"{where}.bands[{metric!r}]"
+        if not isinstance(band, dict):
+            problems.append(f"{at} is not an object")
+            continue
+        for key in _BAND_KEYS:
+            if key not in band:
+                problems.append(f"{at} missing key {key!r}")
+        for key in ("abs", "rel"):
+            value = band.get(key)
+            if value is not None and (
+                not _is_finite_number(value) or value < 0
+            ):
+                problems.append(f"{at}.{key} is not a number >= 0")
+        if band.get("direction") not in ("any", "up_bad", "down_bad"):
+            problems.append(
+                f"{at}.direction {band.get('direction')!r} is invalid"
+            )
+    return problems

@@ -1,0 +1,45 @@
+"""The declarative benchmark spec registry (e01-e25).
+
+Importing this package registers every spec:
+
+* :mod:`repro.bench.specs.experiments` — the 22 paper-experiment
+  specs, wrapping the experiment functions via declarative table
+  metric extractors;
+* :mod:`repro.bench.specs.infra` — the 4 infrastructure specs
+  (frontier backends, fault overhead, telemetry overhead, serving
+  throughput) with custom runners.
+
+:func:`gate_bound` is the single source of truth the standalone
+benchmark files under ``benchmarks/`` import their acceptance bounds
+from, so the registry and the pytest suite can never disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..harness import ExperimentTable
+from ..registry import get_spec
+from . import experiments, infra  # noqa: F401  (registration imports)
+from .experiments import TABLE_EXTRACTORS
+from .tables import extract_metrics
+
+__all__ = ["gate_bound", "metrics_from_table", "TABLE_EXTRACTORS"]
+
+
+def gate_bound(spec_name: str, gate_name: str) -> float:
+    """The registered bound of one gate (e.g. ``("e23", "overhead_drop")``)."""
+    return get_spec(spec_name).gate_bound(gate_name)
+
+
+def metrics_from_table(
+    name: str, table: ExperimentTable
+) -> Dict[str, float]:
+    """Registry metrics recomputed from a standalone experiment table.
+
+    Gate-parity helper: the benchmark files run their experiment once,
+    then feed the same table through the same extractors the registry
+    spec declares — identical metrics (and gate verdicts) by
+    construction.
+    """
+    return extract_metrics(table, TABLE_EXTRACTORS[name])

@@ -1,0 +1,399 @@
+"""Benchmark specs for the paper experiments (e01-e22).
+
+Each spec wraps one registered experiment function with declarative
+metric extractors (:mod:`repro.bench.specs.tables`), per-metric
+tolerance bands for snapshot diffs, deterministic paper-invariant
+gates, and a quick-profile parameter overlay small enough for CI.
+
+Gate policy: only claims that are theorem-exact (Fact 1/2, Prop 2/3,
+Theorem 2 invariants, SSS* dominance) or empirically stable across
+profiles (speed-up >= 1, bounded ratios with generous slack) are
+gated here; everything else is band-tracked between snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..registry import Band, BenchSpec, Gate, register_spec
+from .tables import Extractor, table_runner
+
+#: Seed every experiment ensemble derives from (see experiments/*.py).
+BASE_SEED = 20260705
+
+#: Band for stable floating aggregates (means, constants).
+FLOAT = Band(rel=0.02)
+
+#: Speed-ups may improve freely; shrinking beyond 5% is a regression.
+SPEEDUP = Band(rel=0.05, direction="down_bad")
+
+#: Overheads may shrink freely; growing beyond 5% is a regression.
+OVERHEAD = Band(rel=0.05, direction="up_bad")
+
+#: Extractors per spec name — also used by the gate-parity tests to
+#: recompute registry metrics from a standalone experiment table.
+TABLE_EXTRACTORS: Dict[str, Mapping[str, Extractor]] = {
+    "e01": {
+        "rows": ("count",),
+        "min_iid_over_bound": ("ratio_min", "min S iid",
+                               "bound d^(n/2)"),
+        "min_forced0_over_bound": ("ratio_min", "S forced-0",
+                                   "bound d^(n/2)"),
+        "max_forced0_over_bound": ("ratio_max", "S forced-0",
+                                   "bound d^(n/2)"),
+        "total_proof_leaves": ("sum", "proof leaves"),
+    },
+    "e02": {
+        "rows": ("count",),
+        "min_ratio_sqrtp": ("min", "hard ratio/sqrt(p)"),
+        "max_ratio_sqrtp": ("max", "hard ratio/sqrt(p)"),
+        "last_iid_speedup": ("last", "iid speed-up"),
+    },
+    "e03": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "last_c": ("last", "c = sp/(n+1)"),
+        "max_work_ratio": ("max", "work/S (c')"),
+        "max_procs": ("max", "procs"),
+    },
+    "e03b": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "last_c": ("last", "c = sp/(n+1)"),
+        "max_procs": ("max", "procs"),
+    },
+    "e04": {
+        "rows": ("count",),
+        "total_violations": ("sum", "violations"),
+        "max_ratio": ("max", "max P(T)/P(H)"),
+    },
+    "e05": {
+        "rows": ("count",),
+        "max_utilisation": ("max", "utilisation"),
+    },
+    "e06": {
+        "rows": ("count",),
+        "min_k1_over_n": ("min", "k1/n"),
+        "min_k2_over_n": ("min", "k2/n"),
+    },
+    "e07": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "last_speedup": ("last", "speed-up"),
+        "max_procs": ("max", "max procs"),
+    },
+    "e08": {
+        "rows": ("count",),
+        "total_checked": ("sum", "steps checked"),
+        "total_violations": ("sum", "violations"),
+    },
+    "e09": {
+        "rows": ("count",),
+        "min_work_over_bound": ("ratio_min", "min S~ (iid)", "bound"),
+        "min_cert_over_bound": ("ratio_min", "mean certificate",
+                                "bound"),
+    },
+    "e10": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "total_prop5_violations": ("sum", "prop5 viol"),
+        "max_prop5_ratio": ("max", "prop5 max ratio"),
+    },
+    "e11": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "min_prop6_ok": ("min", "prop6 ok"),
+    },
+    "e12": {
+        "rows": ("count",),
+        "min_ratio": ("min", "ratio"),
+        "last_ratio_per_n": ("last", "ratio/(n+1)"),
+    },
+    "e13": {
+        "rows": ("count",),
+        "min_ratio": ("min", "ratio"),
+        "last_ratio_per_n": ("last", "ratio/(n+1)"),
+    },
+    "e14": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "max_speedup": ("max", "speed-up"),
+        "min_efficiency": ("min", "speed-up/procs"),
+    },
+    "e15": {
+        "rows": ("count",),
+        "min_ticks_over_pstar": ("min", "ticks/P*"),
+        "max_ticks_over_pstar": ("max", "ticks/P*"),
+        "max_machine_speedup": ("max", "speed-up S*/ticks"),
+        "total_messages": ("sum", "messages"),
+    },
+    "e16": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "max_speedup": ("max", "speed-up"),
+    },
+    "e17": {
+        "rows": ("count",),
+        "min_ratio": ("min", "ratio"),
+        "max_ratio": ("max", "ratio"),
+    },
+    "e18": {
+        "rows": ("count",),
+        "min_growth_over_floor": ("ratio_min", "measured ab growth",
+                                  "floor sqrt(d)"),
+        "max_growth_over_d": ("ratio_max", "measured ab growth",
+                              "minimax growth d"),
+    },
+    "e19": {
+        "rows": ("count",),
+        "min_sss_le_ab": ("min", "sss* <= ab"),
+        "total_ab_leaves": ("sum", "alpha-beta"),
+        "total_minimax_leaves": ("sum", "minimax"),
+    },
+    "e20": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "max_speedup": ("max", "speed-up"),
+    },
+    "e21": {
+        "rows": ("count",),
+        "min_speedup": ("min", "speed-up"),
+        "min_efficiency": ("min", "sp/procs"),
+        "min_hist_within_candidate": ("min", "hist<=cand"),
+    },
+    "e22": {
+        "rows": ("count",),
+        "min_c": ("min", "c = sp/(n+1)"),
+        "max_c": ("max", "c = sp/(n+1)"),
+        "max_procs": ("max", "procs"),
+    },
+}
+
+
+def _spec(
+    name: str,
+    suite: str,
+    title: str,
+    quick: Dict,
+    gates=(),
+    bands: Dict[str, Band] = None,
+) -> None:
+    register_spec(BenchSpec(
+        name=name,
+        suite=suite,
+        title=title,
+        seed=BASE_SEED,
+        runner=table_runner(name, TABLE_EXTRACTORS[name]),
+        quick_params=quick,
+        gates=tuple(gates),
+        bands=bands or {},
+    ))
+
+
+_spec(
+    "e01", "boolean", "Fact 1 - inherent lower bound on total work",
+    quick={"configs": ((2, (6, 8, 10)), (3, (4, 6))), "iid_trials": 3},
+    gates=[
+        Gate("fact1_iid_above_bound", "min_iid_over_bound", ">=", 1.0),
+        Gate("fact1_tight_lower", "min_forced0_over_bound", ">=", 1.0),
+        Gate("fact1_tight_upper", "max_forced0_over_bound", "<=", 1.0),
+    ],
+    bands={"m*_over_bound": FLOAT},
+)
+
+_spec(
+    "e02", "boolean", "Proposition 1 - Team SOLVE tracks sqrt(p)",
+    quick={"n": 12, "trials": 2, "max_log2_p": 6},
+    gates=[
+        Gate("sqrt_tracking_low", "min_ratio_sqrtp", ">=", 0.3),
+        Gate("sqrt_tracking_high", "max_ratio_sqrtp", "<=", 2.0),
+    ],
+    bands={"*_ratio_sqrtp": FLOAT, "last_iid_speedup": SPEEDUP},
+)
+
+_spec(
+    "e03", "boolean", "Theorem 1 - width-1 linear speed-up",
+    quick={"configs": ((2, (8, 10)), (3, (4, 6))), "trials": 3},
+    gates=[
+        Gate("speedup_ge_1", "min_speedup", ">=", 1.0),
+        Gate("work_ratio_bounded", "max_work_ratio", "<=", 3.0),
+    ],
+    bands={"min_speedup": SPEEDUP, "last_c": FLOAT,
+           "max_work_ratio": OVERHEAD},
+)
+
+_spec(
+    "e03b", "boolean", "Theorem 1 on the worst-case family",
+    quick={"configs": ((2, (8, 10)), (3, (5,)))},
+    gates=[Gate("speedup_ge_1", "min_speedup", ">=", 1.0)],
+    bands={"min_speedup": SPEEDUP, "last_c": FLOAT},
+)
+
+_spec(
+    "e04", "boolean", "Proposition 2 - skeleton monotonicity",
+    quick={"trials": 10},
+    gates=[
+        Gate("prop2_no_violations", "total_violations", "<=", 0.0),
+        Gate("prop2_ratio_le_1", "max_ratio", "<=", 1.0),
+    ],
+    bands={"max_ratio": FLOAT},
+)
+
+_spec(
+    "e05", "boolean", "Proposition 3 - degree histogram bound",
+    quick={"configs": ((2, 10), (3, 6)), "trials": 4},
+    gates=[Gate("prop3_within_bound", "max_utilisation", "<=", 1.0)],
+    bands={"max_utilisation": OVERHEAD},
+)
+
+_spec(
+    "e06", "boolean", "Lemmas 1 & 2 - linear thresholds",
+    quick={},
+    gates=[
+        Gate("k1_linear", "min_k1_over_n", ">=", 0.05),
+        Gate("k2_linear", "min_k2_over_n", ">=", 0.05),
+    ],
+    bands={"min_k*": FLOAT},
+)
+
+_spec(
+    "e07", "boolean", "Corollary 2 - near-uniform trees",
+    quick={"heights": (8, 10), "trials": 2},
+    gates=[Gate("speedup_ge_1", "min_speedup", ">=", 1.0)],
+    bands={"*_speedup": SPEEDUP},
+)
+
+_spec(
+    "e08", "minmax", "Theorem 2 - pruning preserves the root value",
+    quick={"cases": ((2, 6, 6), (3, 4, 4))},
+    gates=[
+        Gate("theorem2_no_violations", "total_violations", "<=", 0.0),
+        Gate("steps_checked", "total_checked", ">=", 1.0),
+    ],
+)
+
+_spec(
+    "e09", "minmax", "Fact 2 - MIN/MAX inherent lower bound",
+    quick={"configs": ((2, (6, 8)), (3, (4, 6))), "trials": 3},
+    gates=[
+        Gate("fact2_work_above_bound", "min_work_over_bound", ">=",
+             1.0),
+        Gate("fact2_certificate", "min_cert_over_bound", ">=", 1.0),
+    ],
+    bands={"min_*_over_bound": FLOAT},
+)
+
+_spec(
+    "e10", "minmax", "Theorem 3 - parallel alpha-beta speed-up",
+    quick={
+        "configs": ((2, (6, 8), "cont"), (3, (4, 6), "cont")),
+        "trials": 3,
+        "worst_cases": ((2, 8),),
+    },
+    gates=[
+        Gate("speedup_ge_1", "min_speedup", ">=", 1.0),
+        Gate("prop5_violation_bounded", "max_prop5_ratio", "<=", 2.0),
+    ],
+    bands={"min_speedup": SPEEDUP, "max_prop5_ratio": OVERHEAD},
+)
+
+_spec(
+    "e11", "minmax", "Theorem 4 - node-expansion speed-up",
+    quick={"configs": ((2, (8, 10)), (3, (5,))), "trials": 3},
+    gates=[
+        Gate("speedup_ge_1", "min_speedup", ">=", 1.0),
+        Gate("prop6_within_bound", "min_prop6_ok", ">=", 1.0),
+    ],
+    bands={"min_speedup": SPEEDUP},
+)
+
+_spec(
+    "e12", "minmax", "Theorem 5 - randomized SOLVE speed-up",
+    quick={"heights": (8, 10), "num_seeds": 6},
+    gates=[Gate("expected_speedup_ge_1", "min_ratio", ">=", 1.0)],
+    bands={"min_ratio": SPEEDUP, "last_ratio_per_n": FLOAT},
+)
+
+_spec(
+    "e13", "minmax", "Theorem 6 - randomized alpha-beta speed-up",
+    quick={"configs": ((2, (6, 8)), (3, (4,))), "num_seeds": 5},
+    gates=[Gate("expected_speedup_ge_1", "min_ratio", ">=", 1.0)],
+    bands={"min_ratio": SPEEDUP, "last_ratio_per_n": FLOAT},
+)
+
+_spec(
+    "e14", "width_impl", "Althofer setting - width sweep",
+    quick={"heights": (10, 12), "trials": 2},
+    gates=[Gate("speedups_near_1_or_more", "min_speedup", ">=", 0.9)],
+    bands={"*_speedup": SPEEDUP, "min_efficiency": FLOAT},
+)
+
+_spec(
+    "e15", "width_impl", "Section 7 machine vs ideal model",
+    quick={"heights": (8, 10), "budgets": (2, 4)},
+    gates=[
+        Gate("machine_never_beats_ideal", "min_ticks_over_pstar",
+             ">=", 1.0),
+        Gate("machine_overhead_bounded", "max_ticks_over_pstar",
+             "<=", 8.0),
+    ],
+    bands={"*_ticks_over_pstar": OVERHEAD,
+           "max_machine_speedup": SPEEDUP},
+)
+
+_spec(
+    "e16", "width_impl", "Section 8 - width sweep constant",
+    quick={"n": 10, "widths": (0, 1, 2)},
+    gates=[Gate("speedups_near_1_or_more", "min_speedup", ">=", 0.9)],
+    bands={"*_speedup": SPEEDUP},
+)
+
+_spec(
+    "e17", "extension", "Tarsi - SOLVE cost vs exact expectation",
+    quick={"configs": ((2, (8, 10)), (3, (5,))), "trials": 10},
+    gates=[
+        Gate("matches_theory_low", "min_ratio", ">=", 0.8),
+        Gate("matches_theory_high", "max_ratio", "<=", 1.25),
+    ],
+    bands={"*_ratio": FLOAT},
+)
+
+_spec(
+    "e18", "extension", "Pearl - alpha-beta branching factor",
+    quick={"configs": ((2, (6, 8, 10)), (3, (4, 6))), "trials": 6},
+    gates=[
+        Gate("growth_above_sqrt_d", "min_growth_over_floor", ">=",
+             1.0),
+        Gate("growth_below_d", "max_growth_over_d", "<=", 1.0),
+    ],
+    bands={"m*_growth_*": FLOAT},
+)
+
+_spec(
+    "e19", "extension", "Sequential baselines - SSS* dominance",
+    quick={"heights": (6, 8), "trials": 4},
+    gates=[Gate("sss_dominance", "min_sss_le_ab", ">=", 1.0)],
+)
+
+_spec(
+    "e20", "extension", "Ablations - matched procs; scheduling",
+    quick={"heights": (10,), "trials": 3, "machine_heights": (10,),
+           "budgets": (2, 4)},
+    gates=[Gate("speedups_positive", "min_speedup", ">=", 0.1)],
+    bands={"*_speedup": SPEEDUP},
+)
+
+_spec(
+    "e21", "open_problem", "Section 8 open problem - higher widths",
+    quick={"iid_heights": (12,), "worst_height": 10,
+           "widths": (1, 2)},
+    gates=[Gate("speedup_ge_1", "min_speedup", ">=", 1.0)],
+    bands={"min_speedup": SPEEDUP, "min_efficiency": FLOAT},
+)
+
+_spec(
+    "e22", "scale", "Theorem 1 at scale - constant c holds",
+    quick={"height_trials": ((12, 2), (14, 2), (16, 1))},
+    gates=[Gate("c_stays_positive", "min_c", ">=", 0.25)],
+    bands={"m*_c": FLOAT},
+)

@@ -1,0 +1,296 @@
+"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25).
+
+These wrap the gated benchmarks under ``benchmarks/`` — frontier
+backends, fault-injection overhead, telemetry overhead and serving
+throughput — as registry specs.  The standalone bench files import
+their gate bounds from here (via
+:func:`repro.bench.specs.gate_bound`), so the two paths can never
+disagree about what passes.
+
+Deterministic metrics (step identity, tick ratios, cache hit
+structure, response-log digests) are always produced; wall-clock
+numbers and their gates only exist when the runner was invoked with
+``--wallclock`` in the full profile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from statistics import median
+from typing import Any, Dict
+
+from ...core import parallel_solve
+from ...faults import ALL_FAULT_KINDS, FaultPlan
+from ...serve import ShardedBatchService, response_log, synthetic_stream
+from ...simulator import simulate
+from ...telemetry import InMemoryRecorder, NullRecorder
+from ...trees.generators import iid_boolean
+from ...trees.generators.iid import level_invariant_bias
+from ..registry import Band, BenchSpec, Gate, SpecResult, register_spec
+from ..wallclock import best_of, median_seconds
+
+#: Band for wall-clock-free ratio metrics of the infra suite.
+FLOAT = Band(rel=0.02)
+
+#: Tick-overhead ratios: growth beyond 10% is a regression.
+TICKS = Band(rel=0.10, direction="up_bad")
+
+
+def _signature(result) -> Any:
+    return (result.value, result.trace.degrees, result.trace.batches)
+
+
+def _run_e21b(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+    branching, height = params["branching"], params["height"]
+    tree = iid_boolean(
+        branching, height, level_invariant_bias(branching),
+        seed=params["seed"],
+    )
+    identical = 1.0
+    for width in params["widths"]:
+        rescan = parallel_solve(
+            tree, width, keep_batches=True, backend="rescan"
+        )
+        incremental = parallel_solve(
+            tree, width, keep_batches=True, backend="incremental"
+        )
+        if _signature(rescan) != _signature(incremental):
+            identical = 0.0
+    gate_width, gate_procs = params["gate_case"]
+    bounded = parallel_solve(
+        tree, gate_width, max_processors=gate_procs,
+        backend="incremental",
+    )
+    metrics = {
+        "backends_identical": identical,
+        "bounded_steps": float(bounded.num_steps),
+    }
+    wc: Dict[str, float] = {}
+    if wallclock:
+        repeats = params["repeats"]
+        t_rescan = best_of(
+            lambda: parallel_solve(
+                tree, gate_width, max_processors=gate_procs,
+                backend="rescan",
+            ),
+            repeats,
+        )
+        t_incremental = best_of(
+            lambda: parallel_solve(
+                tree, gate_width, max_processors=gate_procs,
+                backend="incremental",
+            ),
+            repeats,
+        )
+        wc = {
+            "rescan_s": t_rescan,
+            "incremental_s": t_incremental,
+            "speedup": t_rescan / t_incremental,
+        }
+    return SpecResult(metrics=metrics, wallclock_metrics=wc)
+
+
+register_spec(BenchSpec(
+    name="e21b",
+    suite="infra",
+    title="Frontier backends - incremental vs per-step rescan",
+    seed=2026,
+    runner=_run_e21b,
+    params={
+        "branching": 4, "height": 8, "seed": 2026,
+        "widths": (0, 1, 2, 4), "gate_case": (4, 2), "repeats": 2,
+    },
+    quick_params={"height": 6},
+    gates=(
+        Gate("step_identity", "backends_identical", ">=", 1.0),
+        Gate("incremental_speedup", "speedup", ">=", 5.0,
+             wallclock=True),
+    ),
+))
+
+
+def _run_e23(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+    height = params["height"]
+    trees = [
+        iid_boolean(2, height, 0.45, seed=s)
+        for s in range(params["tree_seeds"])
+    ]
+    instances = [(t, simulate(t)) for t in trees]
+    metrics: Dict[str, float] = {"converged": 1.0}
+    for kind in ALL_FAULT_KINDS:
+        ratios = []
+        for tree, baseline in instances:
+            for plan_seed in range(params["plan_seeds"]):
+                plan = FaultPlan.with_rate(
+                    plan_seed, kind, params["rate"],
+                    max_faults=params["max_faults"],
+                )
+                res = simulate(tree, fault_plan=plan)
+                if res.value != baseline.value:
+                    metrics["converged"] = 0.0
+                ratios.append(res.ticks / baseline.ticks)
+        metrics[f"tick_ratio_{kind}"] = float(median(ratios))
+    return SpecResult(metrics=metrics)
+
+
+register_spec(BenchSpec(
+    name="e23",
+    suite="infra",
+    title="Fault-injection overhead on the Section 7 machine",
+    seed=0,
+    runner=_run_e23,
+    params={
+        "height": 6, "tree_seeds": 5, "plan_seeds": 3,
+        "rate": 0.01, "max_faults": 32,
+    },
+    quick_params={"tree_seeds": 3, "plan_seeds": 2},
+    gates=(
+        (Gate("converges", "converged", ">=", 1.0),)
+        + tuple(
+            Gate(f"overhead_{kind}", f"tick_ratio_{kind}", "<=", 2.0)
+            for kind in ALL_FAULT_KINDS
+        )
+    ),
+    bands={"tick_ratio_*": TICKS},
+))
+
+
+def _run_e24(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+    branching, height = params["branching"], params["height"]
+    width = params["width"]
+    tree = iid_boolean(
+        branching, height, level_invariant_bias(branching),
+        seed=params["seed"],
+    )
+    baseline = parallel_solve(tree, width, keep_batches=True)
+    identical = 1.0
+    for recorder in (None, NullRecorder(), InMemoryRecorder()):
+        run = parallel_solve(
+            tree, width, keep_batches=True, recorder=recorder
+        )
+        if _signature(run) != _signature(baseline):
+            identical = 0.0
+    metrics = {
+        "recorders_identical": identical,
+        "steps": float(baseline.num_steps),
+    }
+    wc: Dict[str, float] = {}
+    if wallclock:
+        repeats = params["repeats"]
+        t_base, _ = median_seconds(
+            lambda: parallel_solve(tree, width), repeats
+        )
+        t_null, _ = median_seconds(
+            lambda: parallel_solve(
+                tree, width, recorder=NullRecorder()
+            ),
+            repeats,
+        )
+        t_mem, _ = median_seconds(
+            lambda: parallel_solve(
+                tree, width, recorder=InMemoryRecorder()
+            ),
+            repeats,
+        )
+        wc = {
+            "base_s": t_base,
+            "null_overhead_x": t_null / t_base,
+            "inmemory_overhead_x": t_mem / t_base,
+        }
+    return SpecResult(metrics=metrics, wallclock_metrics=wc)
+
+
+register_spec(BenchSpec(
+    name="e24",
+    suite="infra",
+    title="Telemetry recorder overhead on the solve hot loop",
+    seed=2026,
+    runner=_run_e24,
+    params={
+        "branching": 4, "height": 8, "width": 4, "seed": 2026,
+        "repeats": 5,
+    },
+    quick_params={"height": 6, "repeats": 3},
+    gates=(
+        Gate("step_identity", "recorders_identical", ">=", 1.0),
+        Gate("null_overhead", "null_overhead_x", "<=", 1.05,
+             wallclock=True),
+        Gate("inmemory_overhead", "inmemory_overhead_x", "<=", 1.5,
+             wallclock=True),
+    ),
+))
+
+
+def _run_e25(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+    num_requests = params["num_requests"]
+    stream = synthetic_stream(
+        num_requests, seed=params["seed"],
+        num_trees=params["num_trees"], height=params["height"],
+        zipf_s=params["zipf_s"],
+    )
+    with ShardedBatchService(2, cache_size=0) as cold_service:
+        cold_responses = cold_service.serve(stream)
+    cold_log = response_log(cold_responses)
+    with ShardedBatchService(2, cache_size=None) as warm_service:
+        warm_service.serve(stream)
+        warm_responses = warm_service.serve(stream)
+        unique = warm_service.stats.evaluated
+    warm_log = response_log(warm_responses)
+    steps = sorted(r.steps for r in cold_responses)
+    p99 = steps[min(len(steps) - 1, int(0.99 * len(steps)))]
+    metrics = {
+        "logs_identical": 1.0 if warm_log == cold_log else 0.0,
+        "unique_evaluated": float(unique),
+        "unique_frac": unique / num_requests,
+        "steps_p99": float(p99),
+        "total_steps": float(sum(steps)),
+    }
+    digests = {
+        "response_log": hashlib.sha256(
+            cold_log.encode("utf-8")
+        ).hexdigest(),
+    }
+    wc: Dict[str, float] = {}
+    if wallclock:
+        repeats = params["repeats"]
+        with ShardedBatchService(2, cache_size=0) as cold:
+            t_cold, _ = median_seconds(
+                lambda: cold.serve(stream), repeats
+            )
+        with ShardedBatchService(2, cache_size=None) as warm:
+            warm.serve(stream)
+            t_warm, _ = median_seconds(
+                lambda: warm.serve(stream), repeats
+            )
+        wc = {
+            "cold_s": t_cold,
+            "warm_s": t_warm,
+            "warm_speedup": t_cold / t_warm,
+        }
+    return SpecResult(
+        metrics=metrics, digests=digests, wallclock_metrics=wc
+    )
+
+
+register_spec(BenchSpec(
+    name="e25",
+    suite="infra",
+    title="Serving throughput - warm canonical cache vs cold",
+    seed=2025,
+    runner=_run_e25,
+    params={
+        "num_requests": 300, "num_trees": 10, "height": 6,
+        "zipf_s": 1.2, "seed": 2025, "repeats": 3,
+    },
+    # The zipf-dedup premise needs the full stream length; only the
+    # wall-clock repeat count shrinks in the quick profile.
+    quick_params={"repeats": 2},
+    gates=(
+        Gate("deterministic_answers", "logs_identical", ">=", 1.0),
+        Gate("zipf_dedup", "unique_frac", "<=", 1.0 / 3.0),
+        Gate("warm_speedup", "warm_speedup", ">=", 3.0,
+             wallclock=True),
+    ),
+    bands={"unique_frac": Band(rel=0.02), "steps_p99": FLOAT,
+           "total_steps": FLOAT},
+))

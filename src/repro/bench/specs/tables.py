@@ -1,0 +1,97 @@
+"""Declarative metric extraction from experiment tables.
+
+Table-backed benchmark specs describe their metrics as data: a
+mapping of metric name to an *extractor* tuple applied to the
+:class:`~repro.bench.harness.ExperimentTable` the experiment function
+returns.  Supported forms::
+
+    ("count",)                      # number of table rows
+    (agg, column)                   # aggregate of one column
+    ("ratio_" + agg, num, den)      # aggregate of num[i] / den[i]
+
+with ``agg`` one of ``min`` / ``max`` / ``mean`` / ``sum`` /
+``first`` / ``last``.  Boolean cells coerce to 0/1 so dominance
+columns (e.g. ``"sss* <= ab"``) gate cleanly via ``min >= 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ...errors import WorkloadError
+from ..harness import ExperimentTable
+from ..registry import SpecResult, SpecRunner
+
+__all__ = ["extract_metrics", "table_runner"]
+
+Extractor = Tuple[str, ...]
+
+
+def _aggregate(agg: str, values: List[float]) -> float:
+    if not values:
+        raise WorkloadError("metric extractor saw an empty column")
+    if agg == "min":
+        return float(min(values))
+    if agg == "max":
+        return float(max(values))
+    if agg == "mean":
+        return float(sum(values) / len(values))
+    if agg == "sum":
+        return float(sum(values))
+    if agg == "first":
+        return float(values[0])
+    if agg == "last":
+        return float(values[-1])
+    raise WorkloadError(f"unknown extractor aggregate {agg!r}")
+
+
+def _column(table: ExperimentTable, name: str) -> List[float]:
+    try:
+        return [float(v) for v in table.column(name)]
+    except ValueError as exc:
+        raise WorkloadError(
+            f"[{table.experiment}] column {name!r} is not numeric: "
+            f"{exc}"
+        ) from exc
+
+
+def extract_metrics(
+    table: ExperimentTable,
+    extractors: Mapping[str, Extractor],
+) -> Dict[str, float]:
+    """Apply every extractor to ``table``; returns metric mapping."""
+    metrics: Dict[str, float] = {}
+    for name, how in extractors.items():
+        kind = how[0]
+        if kind == "count":
+            metrics[name] = float(len(table.rows))
+        elif kind.startswith("ratio_"):
+            num = _column(table, how[1])
+            den = _column(table, how[2])
+            metrics[name] = _aggregate(
+                kind[len("ratio_"):],
+                [a / b for a, b in zip(num, den)],
+            )
+        else:
+            metrics[name] = _aggregate(kind, _column(table, how[1]))
+    return metrics
+
+
+def table_runner(
+    experiment: str,
+    extractors: Mapping[str, Extractor],
+) -> SpecRunner:
+    """A SpecRunner re-running one registered experiment function.
+
+    ``params`` are forwarded as keyword overrides (this is how the
+    quick profile shrinks the workload); the table is *not* saved —
+    the snapshot is the artifact of record for registry runs.
+    """
+
+    def run(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+        from ..harness import run_experiment
+
+        table = run_experiment(experiment, save=False, **params)
+        return SpecResult(metrics=extract_metrics(table, extractors))
+
+    return run

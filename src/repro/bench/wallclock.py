@@ -17,7 +17,8 @@ module is where real elapsed time is allowed (R2 exempts ``bench/``).
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Sequence
+from statistics import median
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 from ..core import parallel_solve
 from ..core.policies import WidthPolicy
@@ -28,13 +29,35 @@ from ..trees.generators.iid import level_invariant_bias
 from .harness import ExperimentTable
 
 
-def _best_of(fn: Callable[[], object], repeats: int) -> float:
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Fastest elapsed seconds for ``fn`` across ``repeats`` runs.
+
+    The shared timing primitive for every wall-clock benchmark in the
+    repository (benchmarks import it from here so raw clock reads stay
+    inside this R7-exempt module).
+    """
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def median_seconds(
+    fn: Callable[[], Any], repeats: int = 3
+) -> Tuple[float, Any]:
+    """Median elapsed seconds across ``repeats`` runs + last result."""
+    samples = []
+    result: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    return median(samples), result
+
+
+_best_of = best_of
 
 
 def backend_wallclock_table(

@@ -40,6 +40,52 @@ class TestCli:
             main([])
 
 
+class TestBenchCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e21b" in out and "e25" in out
+        assert "infra" in out
+
+    def test_bench_run_write_and_diff(self, tmp_path, capsys):
+        first = str(tmp_path / "BENCH_2026-01-01.json")
+        second = str(tmp_path / "BENCH_2026-01-02.json")
+        assert main([
+            "bench", "--spec", "e06", "--spec", "e04", "--quick",
+            "--out", first, "--date", "2026-01-01",
+        ]) == 0
+        assert main([
+            "bench", "--spec", "e06", "--spec", "e04", "--quick",
+            "--out", second, "--date", "2026-01-02",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--diff", first, second]) == 0
+        assert "diff: OK" in capsys.readouterr().out
+
+    def test_bench_diff_catches_doctored_regression(
+        self, tmp_path, capsys
+    ):
+        from repro.bench.snapshot import load_snapshot, write_snapshot
+
+        good = str(tmp_path / "BENCH_2026-01-01.json")
+        assert main([
+            "bench", "--spec", "e06", "--quick",
+            "--out", good, "--date", "2026-01-01",
+        ]) == 0
+        doc = load_snapshot(good)
+        entry = doc["specs"]["e06"]
+        metric = next(iter(entry["metrics"]))
+        entry["metrics"][metric] += 1000.0
+        bad = str(tmp_path / "BENCH_2026-01-02.json")
+        write_snapshot(doc, bad)
+        capsys.readouterr()
+        assert main(["bench", "--diff", good, bad]) == 1
+        assert "diff: FAILED" in capsys.readouterr().out
+
+    def test_bench_unknown_spec_fails(self, capsys):
+        assert main(["bench", "--spec", "e99"]) != 0
+
+
 class TestReport:
     def test_expectations_cover_all_experiments(self):
         names = {e.experiment for e in EXPECTATIONS}
@@ -51,9 +97,14 @@ class TestReport:
         assert "no saved results" in text
 
     def test_generate_report(self, tmp_path):
+        from repro.bench.snapshot import save_table_entry
+
         results = tmp_path / "results"
         results.mkdir()
-        (results / "e01.txt").write_text("[e01] demo table\n1 2 3\n")
+        save_table_entry(
+            "e01", "[e01] demo table\n1 2 3", "a,b\n1,2\n",
+            directory=str(results),
+        )
         out = tmp_path / "EXPERIMENTS.md"
         text = generate_experiments_md(
             results_dir=str(results), out_path=str(out)

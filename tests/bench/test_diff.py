@@ -1,0 +1,151 @@
+"""Unit tests for the snapshot diff engine."""
+
+import copy
+
+from repro.bench.diff import diff_snapshots, render_report
+from repro.bench.snapshot import SNAPSHOT_SCHEMA
+
+
+def _snapshot():
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "date": "2026-01-01",
+        "profile": "quick",
+        "wallclock": False,
+        "specs": {
+            "demo": {
+                "suite": "s",
+                "title": "demo",
+                "seed": 1,
+                "params": {"n": 10},
+                "metrics": {"rows": 3.0, "speedup": 4.0,
+                            "overhead": 1.1},
+                "digests": {"log": "abc"},
+                "gates": {
+                    "g": {"metric": "speedup", "op": ">=",
+                          "bound": 2.0, "wallclock": False,
+                          "skipped": False, "value": 4.0,
+                          "passed": True},
+                },
+                "bands": {
+                    "rows": {"rel": 0.0, "abs": 0.0,
+                             "direction": "any"},
+                    "speedup": {"rel": 0.05, "abs": 0.0,
+                                "direction": "down_bad"},
+                    "overhead": {"rel": 0.05, "abs": 0.0,
+                                 "direction": "up_bad"},
+                },
+                "wallclock_metrics": {},
+            },
+        },
+    }
+
+
+class TestDiff:
+    def test_identical_snapshots_are_clean(self):
+        report = diff_snapshots(_snapshot(), _snapshot())
+        assert report.ok and report.exit_code == 0
+        assert report.compared_metrics == 3
+        assert "diff: OK" in render_report(report)
+
+    def test_regression_beyond_band_fails(self):
+        new = _snapshot()
+        new["specs"]["demo"]["metrics"]["speedup"] = 3.0
+        report = diff_snapshots(_snapshot(), new)
+        assert not report.ok and report.exit_code == 1
+        assert any("speedup" in r for r in report.regressions)
+        assert "diff: FAILED" in render_report(report)
+
+    def test_drift_within_band_passes(self):
+        new = _snapshot()
+        new["specs"]["demo"]["metrics"]["speedup"] = 3.9
+        report = diff_snapshots(_snapshot(), new)
+        assert report.ok
+
+    def test_improvement_in_good_direction(self):
+        new = _snapshot()
+        new["specs"]["demo"]["metrics"]["speedup"] = 8.0
+        report = diff_snapshots(_snapshot(), new)
+        assert report.ok
+        assert any("speedup" in i for i in report.improvements)
+
+    def test_count_drift_is_always_a_regression(self):
+        new = _snapshot()
+        new["specs"]["demo"]["metrics"]["rows"] = 4.0
+        report = diff_snapshots(_snapshot(), new)
+        assert not report.ok
+
+    def test_new_metric_is_an_addition(self):
+        new = _snapshot()
+        new["specs"]["demo"]["metrics"]["fresh"] = 1.0
+        report = diff_snapshots(_snapshot(), new)
+        assert report.ok
+        assert any("fresh" in a for a in report.additions)
+
+    def test_removed_metric_fails_unless_allowed(self):
+        new = _snapshot()
+        del new["specs"]["demo"]["metrics"]["overhead"]
+        assert not diff_snapshots(_snapshot(), new).ok
+        allowed = diff_snapshots(_snapshot(), new, allow_removed=True)
+        assert allowed.ok
+        assert any("overhead" in n for n in allowed.notes)
+
+    def test_removed_spec_fails_unless_allowed(self):
+        new = _snapshot()
+        new["specs"] = {}
+        assert diff_snapshots(_snapshot(), new).exit_code == 1
+        assert diff_snapshots(
+            _snapshot(), new, allow_removed=True
+        ).ok
+
+    def test_digest_change_is_a_regression(self):
+        new = _snapshot()
+        new["specs"]["demo"]["digests"]["log"] = "zzz999"
+        report = diff_snapshots(_snapshot(), new)
+        assert not report.ok
+        assert any("determinism" in r for r in report.regressions)
+
+    def test_newly_failing_gate_is_a_regression(self):
+        new = _snapshot()
+        gate = new["specs"]["demo"]["gates"]["g"]
+        gate.update(value=1.0, passed=False)
+        report = diff_snapshots(_snapshot(), new)
+        assert not report.ok
+        assert any("previously passed" in r for r in report.regressions)
+
+    def test_skipped_gates_never_fail_the_diff(self):
+        old = _snapshot()
+        new = _snapshot()
+        for doc in (old, new):
+            doc["specs"]["demo"]["gates"]["g"].update(
+                skipped=True, value=None, passed=None
+            )
+        assert diff_snapshots(old, new).ok
+
+    def test_profile_mismatch_is_fatal(self):
+        new = _snapshot()
+        new["profile"] = "full"
+        report = diff_snapshots(_snapshot(), new)
+        assert report.exit_code == 2
+        assert any("profile mismatch" in f for f in report.fatal)
+
+    def test_schema_mismatch_is_fatal(self):
+        new = _snapshot()
+        new["schema"] = "repro-bench/v999"
+        assert diff_snapshots(_snapshot(), new).exit_code == 2
+
+    def test_new_snapshots_bands_win(self):
+        # Tightening a band in NEW takes effect on this very diff.
+        old = _snapshot()
+        old["specs"]["demo"]["metrics"]["speedup"] = 4.0
+        new = copy.deepcopy(old)
+        new["specs"]["demo"]["metrics"]["speedup"] = 3.9
+        new["specs"]["demo"]["bands"]["speedup"]["rel"] = 0.001
+        assert not diff_snapshots(old, new).ok
+
+    def test_param_change_is_a_note(self):
+        new = _snapshot()
+        new["specs"]["demo"]["params"] = {"n": 99}
+        report = diff_snapshots(_snapshot(), new)
+        assert report.ok
+        assert any("params changed" in n for n in report.notes)

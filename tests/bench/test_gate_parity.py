@@ -1,0 +1,125 @@
+"""Gate parity: registry specs and standalone benchmarks agree.
+
+The standalone suite under ``benchmarks/`` imports every acceptance
+bound from the registry (:func:`repro.bench.specs.gate_bound`), so
+disagreement is impossible by construction; these tests pin the
+contract — the bounds carry their historical values, the deterministic
+gated workloads produce the same verdict through both paths, and
+wall-clock gates are structurally confined to full-profile
+``--wallclock`` runs.
+"""
+
+import pytest
+
+from repro.bench.registry import get_spec
+from repro.bench.specs import gate_bound, metrics_from_table
+from repro.bench.harness import run_experiment
+
+
+class TestBoundsAreTheHistoricalBars:
+    """The bars the gated bench files asserted before the registry."""
+
+    def test_e21b_frontier_speedup(self):
+        assert gate_bound("e21b", "incremental_speedup") == 5.0
+
+    def test_e23_fault_overhead(self):
+        for kind in ("drop", "duplicate", "delay", "reorder", "crash",
+                     "stall"):
+            assert gate_bound("e23", f"overhead_{kind}") == 2.0
+
+    def test_e24_telemetry_overhead(self):
+        assert gate_bound("e24", "null_overhead") == 1.05
+        assert gate_bound("e24", "inmemory_overhead") == 1.5
+
+    def test_e25_serve(self):
+        assert gate_bound("e25", "warm_speedup") == 3.0
+        assert gate_bound("e25", "zipf_dedup") == pytest.approx(1 / 3)
+
+    def test_unknown_gate_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            gate_bound("e23", "nope")
+
+
+class TestDeterministicGatedSpecsPassBothWays:
+    """Run the registry path; its verdicts must be the standalone ones."""
+
+    def test_e23_registry_run_matches_standalone_verdict(self):
+        spec = get_spec("e23")
+        result = spec.run(profile="quick")
+        for gate in spec.gates:
+            value = result.metrics[gate.metric]
+            # the standalone file asserts `med <= gate_bound(...)`;
+            # the registry asserts Gate.holds — same comparison.
+            standalone = (
+                value >= gate.bound if gate.op == ">="
+                else value <= gate.bound
+            )
+            assert gate.holds(value) == standalone
+            assert gate.holds(value), (gate.name, value)
+
+    def test_e21b_step_identity_via_registry(self):
+        spec = get_spec("e21b")
+        result = spec.run(profile="quick")
+        assert result.metrics["backends_identical"] == 1.0
+        # no wall-clock requested -> no wall-clock metrics at all
+        assert result.wallclock_metrics == {}
+
+    def test_e24_step_identity_via_registry(self):
+        spec = get_spec("e24")
+        result = spec.run(profile="quick")
+        assert result.metrics["recorders_identical"] == 1.0
+
+    def test_e25_determinism_and_dedup_via_registry(self):
+        spec = get_spec("e25")
+        result = spec.run(profile="quick")
+        assert result.metrics["logs_identical"] == 1.0
+        assert result.metrics["unique_frac"] <= gate_bound(
+            "e25", "zipf_dedup"
+        )
+        assert "response_log" in result.digests
+
+    def test_flipping_a_value_flips_both_verdicts(self):
+        spec = get_spec("e23")
+        gate = next(g for g in spec.gates if g.name == "overhead_drop")
+        eps = 1e-9
+        assert gate.holds(gate.bound - eps)
+        assert not gate.holds(gate.bound + eps)
+
+
+class TestTableSpecParity:
+    """A table spec's metrics from run_experiment == from the registry."""
+
+    def test_e06_same_metrics_both_paths(self):
+        spec = get_spec("e06")
+        via_registry = spec.run(profile="full").metrics
+        table = run_experiment("e06", save=False)
+        via_table = metrics_from_table("e06", table)
+        assert via_registry == via_table
+
+    def test_e04_quick_same_metrics_both_paths(self):
+        spec = get_spec("e04")
+        via_registry = spec.run(profile="quick").metrics
+        table = run_experiment(
+            "e04", save=False, **spec.effective_params("quick")
+        )
+        assert metrics_from_table("e04", table) == via_registry
+
+
+class TestWallclockGateDiscipline:
+    def test_every_wallclock_gate_is_marked(self):
+        # Wall-clock gates exist only on the infra specs, and every
+        # wall-clock metric gate is flagged so the runner can skip it.
+        for name in ("e21b", "e24", "e25"):
+            spec = get_spec(name)
+            assert any(g.wallclock for g in spec.gates), name
+
+    def test_paper_specs_have_no_wallclock_gates(self):
+        from repro.bench.registry import list_specs
+
+        for name in list_specs():
+            spec = get_spec(name)
+            if spec.suite == "infra":
+                continue
+            assert all(not g.wallclock for g in spec.gates), name

@@ -30,14 +30,23 @@ class TestExperimentTable:
         assert "42" in out
         assert "note: a note" in out
 
-    def test_save_writes_file(self, tmp_path):
+    def test_save_funnels_into_table_store(self, tmp_path):
+        from repro.bench.snapshot import load_table_entry, table_store_path
+
         t = ExperimentTable("xsave", "demo", ["col"])
         t.add_row(7)
         path = t.save(directory=str(tmp_path))
+        assert path == table_store_path(str(tmp_path))
         assert os.path.exists(path)
-        assert "7" in open(path).read()
-        csv_path = os.path.join(str(tmp_path), "xsave.csv")
-        assert os.path.exists(csv_path)
+        entry = load_table_entry("xsave", str(tmp_path))
+        assert "7" in entry["render"]
+        assert entry["csv"].splitlines()[0] == "col"
+        # A second table lands in the same store file.
+        t2 = ExperimentTable("other", "demo2", ["col"])
+        t2.add_row(9)
+        assert t2.save(directory=str(tmp_path)) == path
+        assert load_table_entry("xsave", str(tmp_path)) == entry
+        assert "9" in load_table_entry("other", str(tmp_path))["render"]
 
     def test_to_csv(self):
         t = ExperimentTable("x", "demo", ["a", "b"])
@@ -63,3 +72,9 @@ class TestRegistry:
     def test_run_small_experiment(self):
         table = run_experiment("e06", save=False)
         assert table.rows
+
+    def test_param_overrides_shrink_the_workload(self):
+        full = run_experiment("e04", save=False, trials=6)
+        quick = run_experiment("e04", save=False, trials=3)
+        assert full.column("trials") == [6, 6, 6]
+        assert quick.column("trials") == [3, 3, 3]

@@ -1,0 +1,168 @@
+"""Unit tests for the declarative benchmark spec registry."""
+
+import pytest
+
+from repro.bench.registry import (
+    Band,
+    BenchSpec,
+    Gate,
+    SpecResult,
+    get_spec,
+    list_specs,
+    list_suites,
+    register_spec,
+    select_specs,
+    temporary_registry,
+)
+from repro.errors import WorkloadError
+
+
+def _spec(name="demo", suite="s", gates=(), bands=None, **kw):
+    def runner(params, wallclock):
+        return SpecResult(metrics={"m": float(params.get("m", 1))})
+
+    return BenchSpec(
+        name=name, suite=suite, title=name, seed=7, runner=runner,
+        gates=tuple(gates), bands=bands or {}, **kw,
+    )
+
+
+class TestBand:
+    def test_exact_by_default(self):
+        band = Band()
+        assert band.classify(10.0, 10.0) == "ok"
+        assert band.classify(10.0, 10.0001) == "regression"
+
+    def test_relative_tolerance(self):
+        band = Band(rel=0.1)
+        assert band.classify(100.0, 109.0) == "ok"
+        assert band.classify(100.0, 111.0) == "regression"
+
+    def test_absolute_tolerance_wins_near_zero(self):
+        band = Band(rel=0.1, abs_tol=0.5)
+        assert band.classify(0.0, 0.4) == "ok"
+        assert band.classify(0.0, 0.6) == "regression"
+
+    def test_direction_up_bad(self):
+        band = Band(rel=0.05, direction="up_bad")
+        assert band.classify(1.0, 1.2) == "regression"
+        assert band.classify(1.0, 0.5) == "improvement"
+
+    def test_direction_down_bad(self):
+        band = Band(rel=0.05, direction="down_bad")
+        assert band.classify(4.0, 3.0) == "regression"
+        assert band.classify(4.0, 5.0) == "improvement"
+
+    def test_round_trip(self):
+        band = Band(rel=0.02, abs_tol=1.0, direction="up_bad")
+        assert Band.from_dict(band.to_dict()) == band
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            Band(rel=-1.0)
+        with pytest.raises(WorkloadError):
+            Band(direction="sideways")
+
+
+class TestGate:
+    def test_holds(self):
+        assert Gate("g", "m", ">=", 2.0).holds(2.0)
+        assert not Gate("g", "m", ">=", 2.0).holds(1.99)
+        assert Gate("g", "m", "<=", 2.0).holds(2.0)
+        assert not Gate("g", "m", "<=", 2.0).holds(2.01)
+
+    def test_invalid_op(self):
+        with pytest.raises(WorkloadError):
+            Gate("g", "m", "==", 1.0)
+
+
+class TestBenchSpec:
+    def test_registration_uniqueness(self):
+        with temporary_registry():
+            register_spec(_spec())
+            with pytest.raises(WorkloadError):
+                register_spec(_spec())
+
+    def test_quick_profile_overlays_params(self):
+        spec = _spec(params={"a": 1, "b": 2}, quick_params={"b": 9})
+        assert spec.effective_params("full") == {"a": 1, "b": 2}
+        assert spec.effective_params("quick") == {"a": 1, "b": 9}
+        with pytest.raises(WorkloadError):
+            spec.effective_params("medium")
+
+    def test_band_pattern_first_match_wins(self):
+        up = Band(rel=0.1, direction="up_bad")
+        spec = _spec(bands={"tick_*": up}, default_band=Band())
+        assert spec.band_for("tick_ratio_drop") == up
+        assert spec.band_for("rows") == Band()
+
+    def test_gate_bound_lookup(self):
+        spec = _spec(gates=[Gate("g", "m", ">=", 3.5)])
+        assert spec.gate_bound("g") == 3.5
+        with pytest.raises(WorkloadError):
+            spec.gate_bound("nope")
+
+    def test_run_rejects_non_finite_metrics(self):
+        def bad_runner(params, wallclock):
+            return SpecResult(metrics={"m": float("nan")})
+
+        spec = _spec()
+        spec.runner = bad_runner
+        with pytest.raises(WorkloadError):
+            spec.run()
+
+    def test_run_rejects_bool_metrics(self):
+        def bad_runner(params, wallclock):
+            return SpecResult(metrics={"m": True})
+
+        spec = _spec()
+        spec.runner = bad_runner
+        with pytest.raises(WorkloadError):
+            spec.run()
+
+
+class TestSelection:
+    def test_select_by_suite_and_name(self):
+        with temporary_registry():
+            register_spec(_spec("a1", suite="x"))
+            register_spec(_spec("a2", suite="y"))
+            register_spec(_spec("a3", suite="x"))
+            assert [s.name for s in select_specs()] == ["a1", "a2", "a3"]
+            assert [s.name for s in select_specs(suites=["x"])] == [
+                "a1", "a3",
+            ]
+            assert [s.name for s in select_specs(names=["a2"])] == ["a2"]
+            with pytest.raises(WorkloadError):
+                select_specs(suites=["z"])
+            with pytest.raises(WorkloadError):
+                select_specs(names=["missing"])
+
+
+class TestRealRegistry:
+    def test_all_paper_and_infra_specs_registered(self):
+        names = list_specs()
+        for i in range(1, 26):
+            assert f"e{i:02d}" in names, f"e{i:02d} missing"
+        assert "e03b" in names and "e21b" in names
+        assert len(names) == 27
+
+    def test_suites(self):
+        assert list_suites() == [
+            "boolean", "extension", "infra", "minmax", "open_problem",
+            "scale", "width_impl",
+        ]
+
+    def test_every_spec_has_a_quick_story_and_gates(self):
+        for name in list_specs():
+            spec = get_spec(name)
+            assert spec.gates, name
+            # quick params only override declared/defaulted keys
+            quick = spec.effective_params("quick")
+            assert isinstance(quick, dict)
+
+    def test_seed_determinism_same_spec_twice(self):
+        spec = get_spec("e06")
+        first = spec.run(profile="quick")
+        second = spec.run(profile="quick")
+        assert first.metrics == second.metrics
+        assert first.digests == second.digests

@@ -1,0 +1,140 @@
+"""Unit tests for the registry runner and snapshot documents."""
+
+import io
+
+import pytest
+
+from repro.bench.registry import (
+    Band,
+    BenchSpec,
+    Gate,
+    SpecResult,
+    register_spec,
+    temporary_registry,
+)
+from repro.bench.runner import failed_gates, run_benchmarks
+from repro.bench.schema import validate_snapshot
+from repro.bench.snapshot import dumps_snapshot
+from repro.errors import WorkloadError
+
+
+def _register_demo(metric_value=4.0, wallclock_value=9.0):
+    def runner(params, wallclock):
+        wc = {"speed": wallclock_value} if wallclock else {}
+        return SpecResult(
+            metrics={"m": metric_value, "rows": 3.0},
+            digests={"log": "abc123"},
+            wallclock_metrics=wc,
+        )
+
+    register_spec(BenchSpec(
+        name="demo", suite="s", title="demo spec", seed=1,
+        runner=runner,
+        params={"n": 10}, quick_params={"n": 4},
+        gates=(
+            Gate("m_ok", "m", ">=", 2.0),
+            Gate("fast", "speed", ">=", 5.0, wallclock=True),
+        ),
+        bands={"m": Band(rel=0.05)},
+    ))
+
+
+class TestRunner:
+    def test_snapshot_is_valid_and_complete(self):
+        with temporary_registry():
+            _register_demo()
+            doc = run_benchmarks(
+                date="2026-01-01", progress=io.StringIO()
+            )
+        assert validate_snapshot(doc) == []
+        entry = doc["specs"]["demo"]
+        assert entry["params"] == {"n": 10}
+        assert entry["metrics"] == {"m": 4.0, "rows": 3.0}
+        assert entry["digests"] == {"log": "abc123"}
+        assert entry["bands"]["m"] == {
+            "rel": 0.05, "abs": 0.0, "direction": "any",
+        }
+
+    def test_quick_profile_params_recorded(self):
+        with temporary_registry():
+            _register_demo()
+            doc = run_benchmarks(
+                profile="quick", date="2026-01-01",
+                progress=io.StringIO(),
+            )
+        assert doc["profile"] == "quick"
+        assert doc["specs"]["demo"]["params"] == {"n": 4}
+
+    def test_wallclock_gate_skipped_without_wallclock(self):
+        with temporary_registry():
+            _register_demo()
+            doc = run_benchmarks(
+                date="2026-01-01", progress=io.StringIO()
+            )
+        gate = doc["specs"]["demo"]["gates"]["fast"]
+        assert gate["skipped"] is True
+        assert gate["value"] is None and gate["passed"] is None
+        assert failed_gates(doc) == []
+
+    def test_wallclock_gate_skipped_in_quick_profile(self):
+        with temporary_registry():
+            _register_demo()
+            doc = run_benchmarks(
+                profile="quick", wallclock=True, date="2026-01-01",
+                progress=io.StringIO(),
+            )
+        assert doc["specs"]["demo"]["gates"]["fast"]["skipped"] is True
+        # but the wallclock metrics themselves are recorded
+        assert doc["specs"]["demo"]["wallclock_metrics"] == {
+            "speed": 9.0,
+        }
+
+    def test_wallclock_gate_evaluated_in_full_profile(self):
+        with temporary_registry():
+            _register_demo(wallclock_value=4.0)
+            doc = run_benchmarks(
+                wallclock=True, date="2026-01-01",
+                progress=io.StringIO(),
+            )
+        gate = doc["specs"]["demo"]["gates"]["fast"]
+        assert gate["skipped"] is False and gate["passed"] is False
+        assert failed_gates(doc) == ["demo:fast"]
+
+    def test_failed_deterministic_gate_reported(self):
+        with temporary_registry():
+            _register_demo(metric_value=1.0)
+            doc = run_benchmarks(
+                date="2026-01-01", progress=io.StringIO()
+            )
+        assert failed_gates(doc) == ["demo:m_ok"]
+
+    def test_gate_on_missing_metric_is_an_error(self):
+        with temporary_registry():
+            def runner(params, wallclock):
+                return SpecResult(metrics={"other": 1.0})
+
+            register_spec(BenchSpec(
+                name="demo", suite="s", title="t", seed=1,
+                runner=runner,
+                gates=(Gate("g", "missing", ">=", 1.0),),
+            ))
+            with pytest.raises(WorkloadError):
+                run_benchmarks(
+                    date="2026-01-01", progress=io.StringIO()
+                )
+
+    def test_empty_selection_is_an_error(self):
+        with temporary_registry():
+            with pytest.raises(WorkloadError):
+                run_benchmarks(date="2026-01-01")
+
+    def test_same_seed_runs_serialize_byte_identically(self):
+        with temporary_registry():
+            _register_demo()
+            doc1 = run_benchmarks(
+                date="2026-01-01", progress=io.StringIO()
+            )
+            doc2 = run_benchmarks(
+                date="2026-01-01", progress=io.StringIO()
+            )
+        assert dumps_snapshot(doc1) == dumps_snapshot(doc2)

@@ -1,0 +1,130 @@
+"""The committed BENCH trajectory stays schema-valid and canonical."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.registry import list_specs
+from repro.bench.schema import validate_snapshot
+from repro.bench.snapshot import (
+    SNAPSHOT_SCHEMA,
+    dumps_snapshot,
+    latest_snapshot_path,
+    list_snapshots,
+    load_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(scope="module")
+def committed():
+    path = latest_snapshot_path()
+    assert path is not None, "no committed BENCH_*.json snapshot"
+    return load_snapshot(path)
+
+
+class TestCommittedSnapshot:
+    def test_history_is_nonempty_and_sorted(self):
+        paths = list_snapshots()
+        assert paths
+        assert paths == sorted(paths)
+
+    def test_schema_version(self, committed):
+        assert committed["schema"] == SNAPSHOT_SCHEMA
+
+    def test_structurally_valid(self, committed):
+        assert validate_snapshot(committed) == []
+
+    def test_covers_every_registered_spec(self, committed):
+        assert sorted(committed["specs"]) == list_specs()
+
+    def test_canonical_bytes(self, committed):
+        # The file on disk is exactly the canonical serialization:
+        # sorted keys, two-space indent, trailing newline.
+        path = latest_snapshot_path()
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == dumps_snapshot(committed)
+
+    def test_no_nan_or_inf_anywhere(self, committed):
+        def walk(value):
+            if isinstance(value, dict):
+                for v in value.values():
+                    walk(v)
+            elif isinstance(value, list):
+                for v in value:
+                    walk(v)
+            elif isinstance(value, float):
+                assert math.isfinite(value)
+
+        walk(committed)
+
+    def test_every_deterministic_gate_passed(self, committed):
+        for name, entry in committed["specs"].items():
+            for gate_name, gate in entry["gates"].items():
+                if gate["skipped"]:
+                    continue
+                assert gate["passed"] is True, (name, gate_name)
+
+
+class TestSchemaValidator:
+    def test_rejects_non_object(self):
+        assert validate_snapshot([]) == ["snapshot root is not an object"]
+
+    def test_reports_missing_keys(self):
+        problems = validate_snapshot({})
+        assert any("'specs'" in p for p in problems)
+        assert any("'date'" in p for p in problems)
+
+    def test_rejects_bad_date_profile_and_metrics(self, committed):
+        doc = json.loads(json.dumps(committed))
+        doc["date"] = "August 8"
+        doc["profile"] = "leisurely"
+        first = next(iter(doc["specs"]))
+        doc["specs"][first]["metrics"]["bad"] = None
+        problems = validate_snapshot(doc)
+        assert any("YYYY-MM-DD" in p for p in problems)
+        assert any("leisurely" in p for p in problems)
+        assert any("'bad'" in p for p in problems)
+
+    def test_rejects_value_on_skipped_gate(self, committed):
+        doc = json.loads(json.dumps(committed))
+        name = next(iter(doc["specs"]))
+        gates = doc["specs"][name]["gates"]
+        gate = gates[next(iter(gates))]
+        gate.update(skipped=True, value=1.0, passed=None)
+        assert any(
+            "value set on a skipped gate" in p
+            for p in validate_snapshot(doc)
+        )
+
+
+class TestSnapshotIo:
+    def test_path_validates_date(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            snapshot_path("not-a-date", directory=str(tmp_path))
+        path = snapshot_path("2026-08-08", directory=str(tmp_path))
+        assert path.endswith("BENCH_2026-08-08.json")
+
+    def test_write_then_load_round_trip(self, tmp_path, committed):
+        path = snapshot_path("2026-08-08", directory=str(tmp_path))
+        write_snapshot(committed, path)
+        assert load_snapshot(path) == committed
+
+    def test_load_rejects_nan_tokens(self, tmp_path):
+        path = tmp_path / "BENCH_2026-01-01.json"
+        path.write_text('{"schema": "repro-bench/v1", "x": NaN}')
+        with pytest.raises(WorkloadError):
+            load_snapshot(str(path))
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_2026-01-01.json"
+        path.write_text("{nope")
+        with pytest.raises(WorkloadError):
+            load_snapshot(str(path))
+
+    def test_dumps_rejects_nan_documents(self):
+        with pytest.raises(ValueError):
+            dumps_snapshot({"x": float("nan")})
