@@ -26,6 +26,11 @@ serve
     Batch-evaluation service: canonical-tree result cache in front of
     hash-sharded oracle-runtime pools, with deterministic response
     logs and an optional chaos (crashing-shard) mode.
+gateway
+    Overload-safe request gateway in front of the sharded service:
+    bounded admission queues, priority classes, deadlines, a retry
+    budget and shard self-healing, driven by a deterministic
+    logical-clock loop (asyncio wall-clock mode opt-in).
 """
 
 from __future__ import annotations
@@ -248,6 +253,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_serve(args)
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    from .gateway.cli import run_gateway
+
+    return run_gateway(args)
+
+
 def _tw(res: EvalResult) -> Tuple[int, int, int]:
     return res.num_steps, res.total_work, res.processors
 
@@ -399,6 +410,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     add_serve_arguments(serve)
     serve.set_defaults(fn=_cmd_serve)
+
+    from .gateway.cli import add_gateway_arguments
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="overload-safe request gateway (admission, deadlines, "
+        "retry budget, shard self-healing)",
+    )
+    add_gateway_arguments(gateway)
+    gateway.set_defaults(fn=_cmd_gateway)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

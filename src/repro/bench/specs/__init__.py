@@ -1,4 +1,4 @@
-"""The declarative benchmark spec registry (e01-e25).
+"""The declarative benchmark spec registry (e01-e26).
 
 Importing this package registers every spec:
 
@@ -7,7 +7,10 @@ Importing this package registers every spec:
   metric extractors;
 * :mod:`repro.bench.specs.infra` — the 4 infrastructure specs
   (frontier backends, fault overhead, telemetry overhead, serving
-  throughput) with custom runners.
+  throughput) with custom runners;
+* :mod:`repro.bench.specs.gateway` — the gateway overload soak
+  (e26): 2x-capacity chaos run gated on determinism, zero wrong
+  answers and shard self-healing.
 
 :func:`gate_bound` is the single source of truth the standalone
 benchmark files under ``benchmarks/`` import their acceptance bounds
@@ -20,7 +23,11 @@ from typing import Dict
 
 from ..harness import ExperimentTable
 from ..registry import get_spec
-from . import experiments, infra  # noqa: F401  (registration imports)
+from . import (  # noqa: F401  (registration imports)
+    experiments,
+    gateway,
+    infra,
+)
 from .experiments import TABLE_EXTRACTORS
 from .tables import extract_metrics
 

@@ -1,4 +1,5 @@
-"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25).
+"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25; the
+e26 gateway overload soak lives in :mod:`repro.bench.specs.gateway`).
 
 These wrap the gated benchmarks under ``benchmarks/`` — frontier
 backends, fault-injection overhead, telemetry overhead and serving

@@ -53,6 +53,19 @@ class WorkerCrashError(ReproError):
     """
 
 
+class FaultPlanError(ReproError, ValueError):
+    """A fault plan or schedule entry is mis-specified.
+
+    Raised at *construction* time — negative ticks or sequence
+    numbers, unknown fault kinds, non-positive durations, duplicate
+    schedule entries — so a bad plan can never fail halfway through a
+    chaos run.  The message always names the offending entry.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that predate the typed hierarchy.
+    """
+
+
 class DegradedRunError(ReproError):
     """The oracle runtime's circuit breaker tripped.
 
@@ -88,3 +101,27 @@ class DegradedRunError(ReproError):
         self.completed = completed
         self.pending = pending
         self.steps_completed: "int | None" = None
+
+
+class AllShardsDegradedError(DegradedRunError):
+    """Every shard of a :class:`~repro.serve.service.ShardedBatchService`
+    has degraded: there is nowhere left to fail work over to.
+
+    Subclasses :class:`DegradedRunError` (the terminal-failure shape
+    callers already handle) and additionally carries the service's
+    :class:`~repro.serve.service.ServeStats` at the moment of
+    collapse, so operators see how far the service got — requests
+    served, failovers absorbed, which shards died in what order —
+    without a traceback spelunk.  ``repro serve`` turns it into a
+    clean non-zero exit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stats: "object | None" = None,
+        pending: int = 0,
+    ) -> None:
+        super().__init__(message, pending=pending)
+        self.stats = stats

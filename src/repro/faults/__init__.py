@@ -21,6 +21,7 @@ bit-identically from its seed:
 prints a convergence/overhead table; see ``docs/fault_injection.md``.
 """
 
+from ..errors import FaultPlanError
 from .chaos import run_chaos
 from .oracle import FaultyOracle, InjectedFaultError, OracleFaultSpec
 from .plan import (
@@ -37,6 +38,7 @@ __all__ = [
     "MESSAGE_FAULTS",
     "PROCESSOR_FAULTS",
     "FaultPlan",
+    "FaultPlanError",
     "FaultyExecutor",
     "FaultyOracle",
     "InjectedFaultError",

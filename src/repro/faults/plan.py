@@ -26,9 +26,11 @@ reference, so the dependency points one way.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..errors import FaultPlanError
 
 #: Message-level fault kinds a plan may inject at dispatch time.
 MESSAGE_FAULTS = ("drop", "duplicate", "delay")
@@ -59,14 +61,31 @@ class ScheduleEntry:
 
     def __post_init__(self) -> None:
         if self.kind not in MESSAGE_FAULTS + PROCESSOR_FAULTS:
-            raise ValueError(f"unknown scheduled fault kind {self.kind!r}")
-        if self.kind in MESSAGE_FAULTS and self.seq is None:
-            raise ValueError(f"{self.kind!r} schedule entries need seq=")
-        if self.kind in PROCESSOR_FAULTS and (
-            self.tick is None or self.level is None
-        ):
-            raise ValueError(
-                f"{self.kind!r} schedule entries need tick= and level="
+            raise FaultPlanError(
+                f"unknown scheduled fault kind {self.kind!r} in {self}"
+            )
+        if self.kind in MESSAGE_FAULTS:
+            if self.seq is None:
+                raise FaultPlanError(
+                    f"{self.kind!r} schedule entries need seq=: {self}"
+                )
+            if self.seq < 0:
+                raise FaultPlanError(
+                    f"negative message sequence number in {self}"
+                )
+        if self.kind in PROCESSOR_FAULTS:
+            if self.tick is None or self.level is None:
+                raise FaultPlanError(
+                    f"{self.kind!r} schedule entries need tick= and "
+                    f"level=: {self}"
+                )
+            if self.tick < 0:
+                raise FaultPlanError(f"negative tick in {self}")
+            if self.level < 0:
+                raise FaultPlanError(f"negative level in {self}")
+        if self.duration < 1:
+            raise FaultPlanError(
+                f"duration must be >= 1 tick in {self}"
             )
 
 
@@ -138,14 +157,31 @@ class FaultPlan:
         self.restart_ticks = restart_ticks
         self.schedule = tuple(schedule)
         self.max_faults = max_faults
-        self._message_schedule = {
-            entry.seq: entry for entry in self.schedule
-            if entry.kind in MESSAGE_FAULTS
-        }
-        self._proc_schedule = {
-            (entry.tick, entry.level): entry for entry in self.schedule
-            if entry.kind in PROCESSOR_FAULTS
-        }
+        # Validate at construction: duplicate targets would silently
+        # shadow one another mid-run, so they are rejected up front
+        # with the offending entry named.
+        self._message_schedule: Dict[Optional[int], ScheduleEntry] = {}
+        self._proc_schedule: Dict[
+            Tuple[Optional[int], Optional[int]], ScheduleEntry
+        ] = {}
+        for entry in self.schedule:
+            if entry.kind in MESSAGE_FAULTS:
+                if entry.seq in self._message_schedule:
+                    raise FaultPlanError(
+                        f"duplicate schedule entry for message "
+                        f"seq={entry.seq}: {entry} collides with "
+                        f"{self._message_schedule[entry.seq]}"
+                    )
+                self._message_schedule[entry.seq] = entry
+            else:
+                slot = (entry.tick, entry.level)
+                if slot in self._proc_schedule:
+                    raise FaultPlanError(
+                        f"duplicate schedule entry for (tick={entry.tick}, "
+                        f"level={entry.level}): {entry} collides with "
+                        f"{self._proc_schedule[slot]}"
+                    )
+                self._proc_schedule[slot] = entry
         self.begin_run()
 
     # -- lifecycle ---------------------------------------------------------
@@ -235,7 +271,7 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Plan injecting a single fault ``kind`` at ``rate``."""
         if kind not in ALL_FAULT_KINDS:
-            raise ValueError(
+            raise FaultPlanError(
                 f"unknown fault kind {kind!r} "
                 f"(known: {', '.join(ALL_FAULT_KINDS)})"
             )

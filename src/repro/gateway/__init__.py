@@ -1,0 +1,65 @@
+"""Deterministic overload-safe request gateway (``repro.gateway``).
+
+The coordination layer in front of
+:class:`~repro.serve.service.ShardedBatchService`: bounded
+multi-class admission queues with typed load shedding
+(:mod:`~repro.gateway.admission`), per-request deadlines, a global
+retry token bucket (:mod:`~repro.gateway.retry`), fault-plan-driven
+shard outages (:mod:`~repro.gateway.chaos`) and probe-based shard
+re-admission (:mod:`~repro.gateway.health`).  The default driver is a
+logical-clock event loop — same seed + same fault plan ⇒
+byte-identical outcome logs — with an opt-in asyncio wall-clock pacer
+(:mod:`~repro.gateway.aio`).  ``python -m repro gateway`` drives it
+from the command line; benchmark e26 gates the overload behaviour.
+See ``docs/serving.md``.
+"""
+
+from .admission import AdmissionQueue
+from .chaos import ShardOutageController
+from .gateway import Gateway, GatewayConfig, GatewayReport, GatewayStats
+from .health import DEGRADED, HEALTHY, PROBING, HealthSupervisor
+from .loadgen import (
+    DEFAULT_DEADLINES,
+    DEFAULT_PRIORITY_WEIGHTS,
+    LoadReport,
+    open_loop_arrivals,
+    percentile,
+    render_report,
+    summarize,
+)
+from .retry import RetryBudget
+from .types import (
+    PRIORITIES,
+    REJECT_REASONS,
+    GatewayOutcome,
+    GatewayRequest,
+    gateway_response_log,
+    gateway_response_record,
+)
+
+__all__ = [
+    "PRIORITIES",
+    "REJECT_REASONS",
+    "HEALTHY",
+    "DEGRADED",
+    "PROBING",
+    "DEFAULT_DEADLINES",
+    "DEFAULT_PRIORITY_WEIGHTS",
+    "AdmissionQueue",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayOutcome",
+    "GatewayReport",
+    "GatewayRequest",
+    "GatewayStats",
+    "HealthSupervisor",
+    "LoadReport",
+    "RetryBudget",
+    "ShardOutageController",
+    "gateway_response_log",
+    "gateway_response_record",
+    "open_loop_arrivals",
+    "percentile",
+    "render_report",
+    "summarize",
+]

@@ -1,0 +1,120 @@
+"""Bounded multi-class admission queues with deterministic shedding.
+
+One :class:`AdmissionQueue` holds a FIFO deque per priority class,
+each with its own hard capacity — the gateway's *only* buffering, so
+queueing is bounded by construction.  ``offer`` either admits a
+request or returns the typed rejection reason, ``expire`` sweeps
+deadline-passed entries, and ``take`` drains up to a batch budget in
+strict priority order (then FIFO within a class).
+
+No clocks, no randomness: every decision is a pure function of the
+call sequence, which is what makes the gateway's outcome log
+byte-replayable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional
+
+from .types import PRIORITIES, GatewayRequest
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Per-priority bounded FIFO queues.
+
+    Parameters
+    ----------
+    capacities:
+        Maximum queued requests per priority class; classes absent
+        from the mapping get ``default_capacity``.
+    default_capacity:
+        Capacity for classes not named in ``capacities``.
+    """
+
+    def __init__(
+        self,
+        capacities: Optional[Mapping[str, int]] = None,
+        *,
+        default_capacity: int = 64,
+    ) -> None:
+        caps = dict(capacities or {})
+        for name in caps:
+            if name not in PRIORITIES:
+                raise ValueError(
+                    f"unknown priority {name!r}; expected one of "
+                    f"{PRIORITIES}"
+                )
+        self.capacities: Dict[str, int] = {
+            name: int(caps.get(name, default_capacity))
+            for name in PRIORITIES
+        }
+        for name, cap in self.capacities.items():
+            if cap < 1:
+                raise ValueError(
+                    f"capacity for {name!r} must be >= 1, got {cap}"
+                )
+        self._queues: Dict[str, Deque[GatewayRequest]] = {
+            name: deque() for name in PRIORITIES
+        }
+
+    # -- admission ---------------------------------------------------------
+    def offer(self, greq: GatewayRequest) -> Optional[str]:
+        """Admit ``greq`` or return the typed rejection reason."""
+        queue = self._queues[greq.priority]
+        if len(queue) >= self.capacities[greq.priority]:
+            return "queue-full"
+        queue.append(greq)
+        return None
+
+    def requeue_front(self, batch: List[GatewayRequest]) -> None:
+        """Put a failed dispatch back at the head of its queues.
+
+        Order within the batch is preserved, so a retried batch drains
+        in the same order it was first taken — a determinism
+        requirement, not an optimisation.  Requeueing is exempt from
+        the capacity check: the entries already held queue slots when
+        they were taken.
+        """
+        for greq in reversed(batch):
+            self._queues[greq.priority].appendleft(greq)
+
+    # -- expiry ------------------------------------------------------------
+    def expire(self, now: int) -> List[GatewayRequest]:
+        """Remove and return every entry whose deadline precedes ``now``."""
+        expired: List[GatewayRequest] = []
+        for name in PRIORITIES:
+            queue = self._queues[name]
+            kept: Deque[GatewayRequest] = deque()
+            while queue:
+                greq = queue.popleft()
+                if greq.deadline < now:
+                    expired.append(greq)
+                else:
+                    kept.append(greq)
+            self._queues[name] = kept
+        return expired
+
+    # -- dispatch ----------------------------------------------------------
+    def take(self, budget: int) -> List[GatewayRequest]:
+        """Drain up to ``budget`` requests, priority then FIFO order."""
+        batch: List[GatewayRequest] = []
+        for name in PRIORITIES:
+            queue = self._queues[name]
+            while queue and len(batch) < budget:
+                batch.append(queue.popleft())
+            if len(batch) >= budget:
+                break
+        return batch
+
+    # -- introspection -----------------------------------------------------
+    def depth(self, priority: Optional[str] = None) -> int:
+        """Queued entries in one class, or in total."""
+        if priority is not None:
+            return len(self._queues[priority])
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> Dict[str, int]:
+        return {name: len(q) for name, q in self._queues.items()}

@@ -1,0 +1,76 @@
+"""Opt-in asyncio wall-clock driver for the gateway.
+
+The deterministic gateway is a tick-driven state machine
+(:meth:`~repro.gateway.gateway.Gateway.step`); this module paces that
+*same* state machine with real time: one tick every ``tick_seconds``,
+arrivals released when their tick comes up.  Because all gateway
+decisions remain functions of the logical tick, the outcome log of a
+wall-clock run is byte-identical to the simulated run of the same
+workload — wall-clock mode adds pacing and an elapsed-seconds
+measurement, never different answers.
+
+Clock discipline (lint rules R2/R7): this is one of the few modules
+allowed to read real time, and every raw clock read below carries an
+explicit ``# lint: disable=R7`` acknowledgment, same as the oracle
+runtime.  Everything else in :mod:`repro.gateway` stays wall-clock
+free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from .gateway import Gateway, GatewayReport
+from .types import GatewayRequest
+
+__all__ = ["run_wallclock", "drive_wallclock"]
+
+
+async def drive_wallclock(
+    gateway: Gateway,
+    arrivals: Sequence[Tuple[int, GatewayRequest]],
+    *,
+    tick_seconds: float = 0.001,
+) -> Tuple[GatewayReport, float]:
+    """Pace ``gateway`` through ``arrivals`` in real time.
+
+    Returns ``(report, elapsed_seconds)``.  The report's outcome log
+    matches :meth:`Gateway.run` on the same inputs byte for byte.
+    """
+    if tick_seconds <= 0:
+        raise ValueError("tick_seconds must be positive")
+    by_tick: Dict[int, List[GatewayRequest]] = {}
+    last_arrival = 0
+    for tick, greq in arrivals:
+        by_tick.setdefault(tick, []).append(greq)
+        last_arrival = max(last_arrival, tick)
+
+    start = time.monotonic()  # lint: disable=R7
+    while gateway.tick <= last_arrival or gateway.pending() > 0:
+        if gateway.tick > last_arrival + gateway.config.max_drain_ticks:
+            raise RuntimeError(
+                f"gateway failed to drain within "
+                f"{gateway.config.max_drain_ticks} ticks of the last "
+                f"arrival ({gateway.pending()} request(s) stuck)"
+            )
+        gateway.step(by_tick.get(gateway.tick, ()))
+        await asyncio.sleep(tick_seconds)
+    elapsed = time.monotonic() - start  # lint: disable=R7
+    report = GatewayReport(
+        outcomes=list(gateway.outcomes), stats=gateway.stats
+    )
+    return report, elapsed
+
+
+def run_wallclock(
+    gateway: Gateway,
+    arrivals: Sequence[Tuple[int, GatewayRequest]],
+    *,
+    tick_seconds: float = 0.001,
+) -> Tuple[GatewayReport, float]:
+    """Synchronous entry point: ``asyncio.run`` the wall-clock driver."""
+    return asyncio.run(drive_wallclock(
+        gateway, arrivals, tick_seconds=tick_seconds
+    ))

@@ -1,0 +1,110 @@
+"""Fault-plan-driven shard outages for the gateway.
+
+Reuses :class:`repro.faults.FaultPlan` — the same seeded decision
+source the Section 7 machine consults — as the gateway's chaos
+driver: each logical tick, :meth:`ShardOutageController.begin_tick`
+asks the plan for a processor fault per shard (``level`` plays the
+shard index) in ascending shard order, so the plan's RNG stream is
+consumed identically on every same-seed run.  A ``crash`` or
+``stall`` verdict takes the shard down for the fault's duration.
+
+While a shard is down, the oracle wrapper
+(:meth:`ShardOutageController.oracle_for_shard`) raises
+:class:`~repro.faults.InjectedFaultError` for every payload — the
+"arbitrary oracle bug" shape the runtime's retry and circuit-breaker
+machinery must absorb — and the shard's runtime degrades exactly as a
+real outage would.  Once the window passes, probes succeed and the
+health supervisor readmits the shard.
+
+The wrappers close over in-process state, so chaos runs require the
+``"serial"`` (or ``"thread"``) pool flavour — which the deterministic
+gateway uses anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..faults import FaultPlan
+from ..faults.oracle import InjectedFaultError
+
+__all__ = ["ShardOutageController"]
+
+Oracle = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+class ShardOutageController:
+    """Tick-synchronised shard up/down state driven by a fault plan."""
+
+    def __init__(self, num_shards: int, plan: FaultPlan) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.plan = plan
+        #: first tick each shard is healthy again (0 = never down).
+        self._down_until = [0] * num_shards
+        #: injected outage windows, for reports.
+        self.outages = 0
+        self._tick = -1
+
+    def begin_run(self) -> None:
+        """Reset plan RNG and outage state for a fresh same-seed run."""
+        self.plan.begin_run()
+        self._down_until = [0] * self.num_shards
+        self.outages = 0
+        self._tick = -1
+
+    def begin_tick(self, tick: int) -> None:
+        """Consult the plan once per shard, in shard order.
+
+        Must be called exactly once per tick — the fixed consult
+        count/order is what keeps the plan's RNG stream aligned
+        across replays.
+        """
+        for shard in range(self.num_shards):
+            fault = self.plan.processor_fault(level=shard, tick=tick)
+            if fault is None:
+                continue
+            _kind, duration = fault
+            self.outages += 1
+            self._down_until[shard] = max(
+                self._down_until[shard], tick + duration
+            )
+        self._tick = tick
+
+    def is_down(self, shard: int) -> bool:
+        if self._tick < 0:
+            return False  # no tick begun yet: nothing is down
+        return self._tick < self._down_until[shard]
+
+    def down_shards(self) -> List[int]:
+        return [s for s in range(self.num_shards) if self.is_down(s)]
+
+    def oracle_for_shard(
+        self, base: Oracle
+    ) -> Callable[[int], Oracle]:
+        """Per-shard oracle factory for ``ShardedBatchService``.
+
+        The wrapper consults the controller's *current tick* state on
+        every call, so a shard that was up at dispatch time and down
+        at retry time behaves exactly like a machine that died
+        mid-request.
+        """
+
+        def for_shard(shard: int) -> Oracle:
+            def oracle(payload: Dict[str, Any]) -> Dict[str, Any]:
+                if self.is_down(shard):
+                    raise InjectedFaultError(
+                        f"shard {shard} is down until tick "
+                        f"{self._down_until[shard]}"
+                    )
+                return base(payload)
+
+            return oracle
+
+        return for_shard
+
+    @property
+    def tick(self) -> Optional[int]:
+        """The last tick passed to :meth:`begin_tick` (None before)."""
+        return self._tick if self._tick >= 0 else None

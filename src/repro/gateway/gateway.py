@@ -1,0 +1,397 @@
+"""The deterministic overload-safe request gateway.
+
+:class:`Gateway` fronts a :class:`~repro.serve.service.ShardedBatchService`
+with the coordination layer the paper's always-available machine model
+omits:
+
+* **admission control** — bounded per-priority queues
+  (:mod:`repro.gateway.admission`); a full queue sheds with a typed
+  ``"queue-full"`` rejection, never unbounded buffering;
+* **deadlines** — every request carries an absolute deadline tick;
+  entries that expire while queued are cancelled with a typed
+  ``"deadline"`` rejection before any work is spent on them;
+* **backpressure** — the service model is a single logical server:
+  dispatch rounds of at most ``batch_size`` requests, each round
+  busying the server for ``base_service_ticks`` plus
+  ``ticks_per_eval`` per unique cache-miss evaluation.  Under
+  overload the queues fill, deadlines fire and the shed rate rises —
+  the gateway degrades, it does not collapse;
+* **retry budget** — a dispatch round that fails terminally
+  (:class:`~repro.errors.AllShardsDegradedError`) is retried only
+  while the global token bucket (:mod:`repro.gateway.retry`) has
+  tokens; otherwise its requests are rejected ``"retry-budget"``, so
+  retries can never amplify an outage;
+* **shard self-healing** — degradations reported by the service feed
+  the :class:`~repro.gateway.health.HealthSupervisor`; after a
+  cooldown the gateway probes the shard
+  (:meth:`ShardedBatchService.probe_shard`) and readmits it
+  (:meth:`ShardedBatchService.readmit`) on success, extending the
+  service's one-way degradation into a full circuit-breaker loop.
+
+Everything runs on a **logical clock**: one ``step()`` call is one
+tick, faults come from a seeded :class:`~repro.faults.FaultPlan` via
+:class:`~repro.gateway.chaos.ShardOutageController`, and the outcome
+log is a pure function of ``(arrivals, config, plan)`` — two
+same-seed runs are byte-identical, which the e26 benchmark and the CI
+``gateway-smoke`` job enforce.  The opt-in asyncio wall-clock driver
+lives in :mod:`repro.gateway.aio` and paces the very same ``step()``
+state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import AllShardsDegradedError
+from ..faults import FaultPlan
+from ..serve.engines import evaluate_payload
+from ..serve.request import EvalRequest, request_to_dict
+from ..serve.service import ShardedBatchService
+from ..telemetry import Recorder, live
+from ..trees.uniform import UniformTree
+from .admission import AdmissionQueue
+from .chaos import ShardOutageController
+from .health import HealthSupervisor
+from .retry import RetryBudget
+from .types import (
+    GatewayOutcome,
+    GatewayRequest,
+    gateway_response_log,
+)
+
+__all__ = ["Gateway", "GatewayConfig", "GatewayStats", "GatewayReport"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs of the gateway's admission/service/recovery model."""
+
+    num_shards: int = 2
+    cache_size: Optional[int] = None
+    #: per-priority admission queue capacities.
+    queue_capacities: Mapping[str, int] = field(
+        default_factory=lambda: {
+            "interactive": 16, "batch": 32, "bulk": 32,
+        }
+    )
+    #: max requests per dispatch round (the service's batch window).
+    batch_size: int = 8
+    #: fixed ticks every dispatch round busies the server.
+    base_service_ticks: int = 1
+    #: extra ticks per unique cache-miss evaluation in a round.
+    ticks_per_eval: int = 1
+    #: retry token bucket.
+    retry_capacity: int = 8
+    retry_refill_per_tick: float = 0.25
+    #: shard health supervision.
+    probe_after: int = 4
+    probe_interval: int = 4
+    #: per-shard runtime retry rounds (inner, not gateway retries).
+    shard_max_retries: int = 1
+    #: safety bound on post-arrival drain ticks (deadlocks surface as
+    #: a hard error instead of an infinite loop).
+    max_drain_ticks: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.base_service_ticks < 1:
+            raise ValueError("base_service_ticks must be >= 1")
+        if self.ticks_per_eval < 0:
+            raise ValueError("ticks_per_eval must be >= 0")
+        if self.max_drain_ticks < 1:
+            raise ValueError("max_drain_ticks must be >= 1")
+
+
+@dataclass
+class GatewayStats:
+    """Aggregate accounting for one gateway run."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    completed: int = 0
+    #: typed rejections by reason.
+    rejected: Dict[str, int] = field(default_factory=dict)
+    dispatch_rounds: int = 0
+    #: dispatch rounds that failed terminally and were requeued.
+    retried_rounds: int = 0
+    #: requests requeued by the retry path.
+    retried_requests: int = 0
+    probes: int = 0
+    readmissions: int = 0
+    outages: int = 0
+    max_queue_depth: int = 0
+    ticks: int = 0
+
+    def reject(self, reason: str, n: int = 1) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + n
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(self.rejected.values())
+
+
+@dataclass
+class GatewayReport:
+    """Everything one gateway run produced."""
+
+    outcomes: List[GatewayOutcome]
+    stats: GatewayStats
+
+    @property
+    def response_log(self) -> str:
+        """The byte-replayable outcome log."""
+        return gateway_response_log(self.outcomes)
+
+    @property
+    def latencies(self) -> List[int]:
+        """Sorted completion latencies (ticks) of ok outcomes."""
+        return sorted(
+            o.latency for o in self.outcomes if o.status == "ok"
+        )
+
+
+def _probe_payload() -> Dict[str, object]:
+    """A minimal, constant evaluation payload for health probes."""
+    req = EvalRequest.make(
+        -1, "sequential", UniformTree(2, 1, [0, 1])
+    )
+    data = request_to_dict(req)
+    del data["id"]
+    return data
+
+
+class Gateway:
+    """Tick-driven front-end over a sharded batch service.
+
+    Drive it either with :meth:`run` (the deterministic event loop)
+    or by calling :meth:`step` once per tick from an external pacer
+    (the asyncio wall-clock driver).  A gateway instance is
+    single-run; build a fresh one per run.
+    """
+
+    def __init__(
+        self,
+        config: GatewayConfig = GatewayConfig(),
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.config = config
+        self._rec = live(recorder)
+        self.chaos: Optional[ShardOutageController] = None
+        oracle_for_shard = None
+        if fault_plan is not None:
+            self.chaos = ShardOutageController(
+                config.num_shards, fault_plan
+            )
+            self.chaos.begin_run()
+            oracle_for_shard = self.chaos.oracle_for_shard(
+                evaluate_payload
+            )
+        self.service = ShardedBatchService(
+            config.num_shards,
+            cache_size=config.cache_size,
+            pool="serial",
+            oracle_for_shard=oracle_for_shard,
+            max_retries=config.shard_max_retries,
+            max_consecutive_rebuilds=1,
+            recorder=recorder,
+        )
+        self.queue = AdmissionQueue(config.queue_capacities)
+        self.budget = RetryBudget(
+            config.retry_capacity, config.retry_refill_per_tick
+        )
+        self.health = HealthSupervisor(
+            config.num_shards,
+            probe_after=config.probe_after,
+            probe_interval=config.probe_interval,
+        )
+        self.stats = GatewayStats()
+        self.outcomes: List[GatewayOutcome] = []
+        self._probe = _probe_payload()
+        self._tick = 0
+        self._busy_until = 0
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self.service.close()
+            self._closed = True
+
+    # -- the state machine -------------------------------------------------
+    @property
+    def tick(self) -> int:
+        return self._tick
+
+    def pending(self) -> int:
+        """Requests admitted but not yet answered."""
+        return self.queue.depth()
+
+    def step(self, arrivals: Sequence[GatewayRequest] = ()) -> None:
+        """Advance one logical tick.
+
+        Order within a tick is fixed (chaos, budget refill, probes,
+        expiry, admission, expiry of new arrivals, dispatch) — the
+        determinism contract depends on it.
+        """
+        now = self._tick
+        rec = self._rec
+        if self.chaos is not None:
+            self.chaos.begin_tick(now)
+            self.stats.outages = self.chaos.outages
+        if now > 0:
+            self.budget.advance(1)
+
+        # Half-open probes for degraded shards whose cooldown passed.
+        for shard in self.health.due_probes(now):
+            self.stats.probes += 1
+            ok = self.service.probe_shard(shard, dict(self._probe))
+            self.health.on_probe_result(shard, ok, now)
+            if ok:
+                self.service.readmit(shard)
+                self.stats.readmissions += 1
+                if rec is not None:
+                    rec.event(
+                        "gateway.readmitted",
+                        track="gateway",
+                        shard=shard,
+                        tick=now,
+                    )
+
+        # Deadline cancellation for queued work, before admission so a
+        # freed slot can be reused by this tick's arrivals.
+        for greq in self.queue.expire(now):
+            self._reject(greq, "deadline", now)
+
+        # Admission: bounded queues, typed shed.
+        for greq in arrivals:
+            self.stats.arrivals += 1
+            reason = self.queue.offer(greq)
+            if reason is not None:
+                self._reject(greq, reason, now)
+            else:
+                self.stats.admitted += 1
+        depth = self.queue.depth()
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, depth
+        )
+        if rec is not None:
+            rec.sample("gateway.queue_depth", depth, track="gateway")
+
+        # Dispatch when the logical server is idle and a shard can
+        # serve.  With every shard degraded the gateway holds work
+        # (deadlines keep shedding it) until a probe readmits one.
+        if (
+            now >= self._busy_until
+            and self.queue.depth() > 0
+            and len(self.service.degraded_shards)
+            < self.config.num_shards
+        ):
+            self._dispatch(now)
+
+        self._tick = now + 1
+        self.stats.ticks = self._tick
+        if rec is not None:
+            rec.advance(self._tick)
+
+    def _dispatch(self, now: int) -> None:
+        batch = self.queue.take(self.config.batch_size)
+        if not batch:
+            return
+        self.stats.dispatch_rounds += 1
+        evaluated_before = self.service.stats.evaluated
+        try:
+            responses = self.service.serve(
+                [g.request for g in batch]
+            )
+        except AllShardsDegradedError:
+            self._sync_health(now)
+            self._busy_until = now + self.config.base_service_ticks
+            if self.budget.try_spend(len(batch)):
+                self.stats.retried_rounds += 1
+                self.stats.retried_requests += len(batch)
+                self.queue.requeue_front(batch)
+                if self._rec is not None:
+                    self._rec.count(
+                        "gateway.retries", len(batch)
+                    )
+            else:
+                for greq in batch:
+                    self._reject(greq, "retry-budget", now)
+            return
+        self._sync_health(now)
+        evaluated = (
+            self.service.stats.evaluated - evaluated_before
+        )
+        cost = (
+            self.config.base_service_ticks
+            + self.config.ticks_per_eval * evaluated
+        )
+        self._busy_until = now + cost
+        finish = self._busy_until
+        for greq, resp in zip(batch, responses):
+            self.stats.completed += 1
+            self.outcomes.append(
+                GatewayOutcome.completed(greq, resp, finish)
+            )
+        if self._rec is not None:
+            self._rec.count("gateway.completed", len(batch))
+
+    def _sync_health(self, now: int) -> None:
+        """Feed service-observed degradations into the supervisor."""
+        for shard in self.service.degraded_shards:
+            self.health.on_degraded(shard, now)
+
+    def _reject(
+        self, greq: GatewayRequest, reason: str, now: int
+    ) -> None:
+        self.stats.reject(reason)
+        self.outcomes.append(
+            GatewayOutcome.rejected(greq, reason, now)
+        )
+        if self._rec is not None:
+            self._rec.count(f"gateway.rejected.{reason}")
+
+    # -- the deterministic event loop --------------------------------------
+    def run(
+        self, arrivals: Sequence[Tuple[int, GatewayRequest]]
+    ) -> GatewayReport:
+        """Run to completion over a logical arrival schedule.
+
+        ``arrivals`` are ``(tick, request)`` pairs, non-decreasing in
+        tick.  The loop steps through every arrival tick and then
+        drains: it keeps ticking until each admitted request has been
+        answered or rejected, bounded by ``max_drain_ticks``.
+        """
+        by_tick: Dict[int, List[GatewayRequest]] = {}
+        last_arrival = 0
+        previous = 0
+        for tick, greq in arrivals:
+            if tick < previous:
+                raise ValueError(
+                    "arrival ticks must be non-decreasing"
+                )
+            previous = tick
+            by_tick.setdefault(tick, []).append(greq)
+            last_arrival = max(last_arrival, tick)
+
+        while self._tick <= last_arrival or self.pending() > 0:
+            if self._tick > last_arrival + self.config.max_drain_ticks:
+                raise RuntimeError(
+                    f"gateway failed to drain within "
+                    f"{self.config.max_drain_ticks} ticks of the last "
+                    f"arrival ({self.pending()} request(s) stuck)"
+                )
+            self.step(by_tick.get(self._tick, ()))
+        return GatewayReport(
+            outcomes=list(self.outcomes), stats=self.stats
+        )

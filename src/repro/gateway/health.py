@@ -1,0 +1,133 @@
+"""Shard health supervision: degraded → half-open probe → readmission.
+
+:class:`~repro.serve.service.ShardedBatchService` marks a failing
+shard degraded and never looks at it again — correct for a single
+batch, wasteful for a long-running gateway where most outages are
+transient.  :class:`HealthSupervisor` closes the loop with the
+standard circuit-breaker shape:
+
+* ``HEALTHY`` — in rotation;
+* ``DEGRADED`` — out of rotation; after ``probe_after`` ticks the
+  shard becomes due for a probe;
+* ``PROBING`` (half-open) — exactly one probe request is sent; on
+  success the shard is readmitted, on failure it returns to
+  ``DEGRADED`` and waits ``probe_interval`` ticks before the next
+  attempt.
+
+The supervisor is pure bookkeeping over the logical clock — the
+gateway performs the actual probe via
+:meth:`ShardedBatchService.probe_shard` and reports the verdict back
+— so the state machine is deterministic and directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["HealthSupervisor", "ShardState", "HEALTHY", "DEGRADED", "PROBING"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+PROBING = "probing"
+
+
+@dataclass
+class ShardState:
+    """Supervision record for one shard."""
+
+    state: str = HEALTHY
+    #: tick of the most recent degradation.
+    degraded_at: int = 0
+    #: earliest tick the next probe may fire.
+    next_probe: int = 0
+    probes: int = 0
+    readmissions: int = 0
+
+
+class HealthSupervisor:
+    """Per-shard circuit-breaker state over the logical clock.
+
+    Parameters
+    ----------
+    num_shards:
+        Shards to supervise (indices ``0..num_shards-1``).
+    probe_after:
+        Ticks a shard stays degraded before its first probe.
+    probe_interval:
+        Ticks between failed probes.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        probe_after: int = 4,
+        probe_interval: int = 4,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if probe_after < 1 or probe_interval < 1:
+            raise ValueError("probe timings must be >= 1 tick")
+        self.probe_after = probe_after
+        self.probe_interval = probe_interval
+        self.shards: Dict[int, ShardState] = {
+            shard: ShardState() for shard in range(num_shards)
+        }
+
+    # -- transitions -------------------------------------------------------
+    def on_degraded(self, shard: int, tick: int) -> None:
+        """Record a degradation (idempotent while already degraded)."""
+        record = self.shards[shard]
+        if record.state == DEGRADED:
+            return
+        record.state = DEGRADED
+        record.degraded_at = tick
+        record.next_probe = tick + self.probe_after
+
+    def due_probes(self, tick: int) -> List[int]:
+        """Shards whose probe window opened; marks them half-open.
+
+        Returned in ascending shard order — the deterministic probe
+        order the gateway relies on.
+        """
+        due = []
+        for shard in sorted(self.shards):
+            record = self.shards[shard]
+            if record.state == DEGRADED and tick >= record.next_probe:
+                record.state = PROBING
+                record.probes += 1
+                due.append(shard)
+        return due
+
+    def on_probe_result(self, shard: int, ok: bool, tick: int) -> None:
+        """Close the half-open state with the probe's verdict."""
+        record = self.shards[shard]
+        if record.state != PROBING:
+            raise ValueError(
+                f"shard {shard} is {record.state!r}, not probing"
+            )
+        if ok:
+            record.state = HEALTHY
+            record.readmissions += 1
+        else:
+            record.state = DEGRADED
+            record.next_probe = tick + self.probe_interval
+
+    # -- introspection -----------------------------------------------------
+    def state(self, shard: int) -> str:
+        return self.shards[shard].state
+
+    def degraded(self) -> List[int]:
+        return [
+            shard for shard in sorted(self.shards)
+            if self.shards[shard].state != HEALTHY
+        ]
+
+    @property
+    def total_probes(self) -> int:
+        return sum(r.probes for r in self.shards.values())
+
+    @property
+    def total_readmissions(self) -> int:
+        return sum(r.readmissions for r in self.shards.values())

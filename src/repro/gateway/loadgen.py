@@ -1,0 +1,190 @@
+"""Seeded open-loop load generation and latency reporting.
+
+*Open loop* means arrivals do not wait for responses — the defining
+property of real overload: traffic keeps coming whether or not the
+service keeps up (a closed-loop generator self-throttles and can
+never overload anything).  Arrivals are Poisson with configurable
+mean rate (requests per tick) over a zipf-skewed
+:func:`~repro.serve.stream.synthetic_stream`, priorities drawn from a
+weighted mix, deadlines assigned per class — all from one seeded
+``numpy`` generator, so a workload is reproducible from
+``(seed, knobs)`` alone.
+
+:func:`summarize` reduces a gateway run to the operator numbers:
+p50/p99/p999 latency over completed requests, goodput, shed rate and
+the recovery counters.  Latency percentiles are logical ticks —
+deterministic, hence benchmarkable with zero tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serve.stream import synthetic_stream
+from .gateway import GatewayReport
+from .types import PRIORITIES, GatewayRequest
+
+__all__ = [
+    "open_loop_arrivals",
+    "percentile",
+    "LoadReport",
+    "summarize",
+    "render_report",
+    "DEFAULT_PRIORITY_WEIGHTS",
+    "DEFAULT_DEADLINES",
+]
+
+#: Default traffic mix: mostly batch, some interactive, some bulk.
+DEFAULT_PRIORITY_WEIGHTS: Mapping[str, float] = {
+    "interactive": 0.2, "batch": 0.5, "bulk": 0.3,
+}
+
+#: Default deadline (ticks from arrival) per priority class.
+DEFAULT_DEADLINES: Mapping[str, int] = {
+    "interactive": 30, "batch": 120, "bulk": 400,
+}
+
+
+def open_loop_arrivals(
+    num_requests: int,
+    *,
+    seed: int,
+    rate: float,
+    zipf_s: float = 1.2,
+    num_trees: int = 12,
+    branching: int = 2,
+    height: int = 4,
+    priority_weights: Optional[Mapping[str, float]] = None,
+    deadlines: Optional[Mapping[str, int]] = None,
+) -> List[Tuple[int, GatewayRequest]]:
+    """A seeded ``(tick, GatewayRequest)`` arrival schedule.
+
+    ``rate`` is the mean arrivals per tick; per-tick counts are
+    Poisson, so bursts above and lulls below the mean both occur —
+    the shape admission control exists for.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    weights = dict(priority_weights or DEFAULT_PRIORITY_WEIGHTS)
+    deadline_for = dict(deadlines or DEFAULT_DEADLINES)
+    for name in PRIORITIES:
+        if name not in weights:
+            raise ValueError(f"priority_weights missing {name!r}")
+        if name not in deadline_for:
+            raise ValueError(f"deadlines missing {name!r}")
+    total = sum(weights[name] for name in PRIORITIES)
+    probs = [weights[name] / total for name in PRIORITIES]
+
+    stream = synthetic_stream(
+        num_requests,
+        seed=seed,
+        num_trees=num_trees,
+        zipf_s=zipf_s,
+        branching=branching,
+        height=height,
+    )
+    # A separate sub-seed stream for arrival times and priorities, so
+    # the request *content* stays comparable across rates.
+    rng = np.random.default_rng(seed + 1_000_003)
+    arrivals: List[Tuple[int, GatewayRequest]] = []
+    tick = 0
+    index = 0
+    while index < num_requests:
+        count = int(rng.poisson(rate))
+        for _ in range(min(count, num_requests - index)):
+            req = stream[index]
+            priority = PRIORITIES[
+                int(rng.choice(len(PRIORITIES), p=probs))
+            ]
+            arrivals.append((tick, GatewayRequest(
+                request=req,
+                priority=priority,
+                arrival=tick,
+                deadline=tick + deadline_for[priority],
+            )))
+            index += 1
+        tick += 1
+    return arrivals
+
+
+def percentile(sorted_values: Sequence[int], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return float(sorted_values[rank])
+
+
+@dataclass
+class LoadReport:
+    """Operator-facing summary of one gateway run."""
+
+    requests: int
+    completed: int
+    rejected: Dict[str, int]
+    p50: float
+    p99: float
+    p999: float
+    goodput: float
+    shed_rate: float
+    dispatch_rounds: int
+    retried_requests: int
+    probes: int
+    readmissions: int
+    outages: int
+    max_queue_depth: int
+    ticks: int
+
+
+def summarize(report: GatewayReport) -> LoadReport:
+    """Reduce a :class:`GatewayReport` to the headline numbers."""
+    stats = report.stats
+    latencies = report.latencies
+    total = stats.completed + stats.total_rejected
+    return LoadReport(
+        requests=stats.arrivals,
+        completed=stats.completed,
+        rejected=dict(sorted(stats.rejected.items())),
+        p50=percentile(latencies, 0.50),
+        p99=percentile(latencies, 0.99),
+        p999=percentile(latencies, 0.999),
+        goodput=stats.completed / total if total else 0.0,
+        shed_rate=stats.total_rejected / total if total else 0.0,
+        dispatch_rounds=stats.dispatch_rounds,
+        retried_requests=stats.retried_requests,
+        probes=stats.probes,
+        readmissions=stats.readmissions,
+        outages=stats.outages,
+        max_queue_depth=stats.max_queue_depth,
+        ticks=stats.ticks,
+    )
+
+
+def render_report(load: LoadReport) -> str:
+    """The ``repro gateway`` stdout report."""
+    rejected = ", ".join(
+        f"{reason}={count}"
+        for reason, count in load.rejected.items()
+    ) or "none"
+    lines = [
+        f"gateway: {load.requests} arrival(s) over {load.ticks} "
+        f"tick(s), {load.dispatch_rounds} dispatch round(s)",
+        f"  completed {load.completed} "
+        f"(goodput {load.goodput:.3f}), rejected "
+        f"{sum(load.rejected.values())} "
+        f"(shed rate {load.shed_rate:.3f}: {rejected})",
+        f"  latency ticks p50 {load.p50:.0f} / p99 {load.p99:.0f} "
+        f"/ p999 {load.p999:.0f}, max queue depth "
+        f"{load.max_queue_depth}",
+        f"  recovery: {load.outages} outage(s), {load.probes} "
+        f"probe(s), {load.readmissions} readmission(s), "
+        f"{load.retried_requests} retried request(s)",
+    ]
+    return "\n".join(lines)

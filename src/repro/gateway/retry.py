@@ -1,0 +1,66 @@
+"""Global retry budget: a token bucket over the logical clock.
+
+Retries are the classic overload amplifier — a service at 2× capacity
+that retries every failure once is suddenly at 4×.  The gateway
+therefore draws every retry from one shared token bucket: ``capacity``
+tokens, refilled at ``refill_per_tick`` as the logical clock advances.
+When the bucket is dry, failed dispatches are *rejected* (typed
+``"retry-budget"``), not retried — the budget converts retry storms
+into visible, bounded shed.
+
+Deterministic by construction: state is a pure function of the
+``advance``/``try_spend`` call sequence.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RetryBudget"]
+
+
+class RetryBudget:
+    """Token bucket; integer spends, fractional refill.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum (and initial) token count.
+    refill_per_tick:
+        Tokens added per logical tick, saturating at ``capacity``.
+    """
+
+    def __init__(self, capacity: int, refill_per_tick: float) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if refill_per_tick < 0:
+            raise ValueError("refill_per_tick must be >= 0")
+        self.capacity = capacity
+        self.refill_per_tick = refill_per_tick
+        self._tokens = float(capacity)
+        #: total tokens ever spent (for reports).
+        self.spent = 0
+        #: spend attempts refused on an empty bucket.
+        self.exhausted = 0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def advance(self, ticks: int = 1) -> None:
+        """Refill for ``ticks`` elapsed logical ticks."""
+        if ticks < 0:
+            raise ValueError("ticks must be >= 0")
+        self._tokens = min(
+            float(self.capacity),
+            self._tokens + ticks * self.refill_per_tick,
+        )
+
+    def try_spend(self, tokens: int = 1) -> bool:
+        """Spend ``tokens`` atomically; False (and no change) if short."""
+        if tokens < 0:
+            raise ValueError("tokens must be >= 0")
+        if self._tokens < tokens:
+            self.exhausted += 1
+            return False
+        self._tokens -= tokens
+        self.spent += tokens
+        return True

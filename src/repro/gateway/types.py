@@ -1,0 +1,160 @@
+"""Gateway request/response types and the deterministic outcome log.
+
+The gateway's unit of work is a :class:`GatewayRequest` — an
+:class:`~repro.serve.request.EvalRequest` wrapped with the admission
+metadata the front-end needs: a priority class, the logical arrival
+tick and the absolute deadline tick.  Every admitted-or-not request
+produces exactly one :class:`GatewayOutcome`, either
+
+* ``status="ok"`` — the evaluation completed before its deadline and
+  carries the deterministic ``(value, steps, work)`` answer plus its
+  queueing/service latency in ticks; or
+* ``status="rejected"`` — a typed refusal (:data:`REJECT_REASONS`),
+  never a silent drop and never an unbounded queue.
+
+The outcome log (:func:`gateway_response_log`) is the gateway's
+determinism artifact: same request stream + same config + same fault
+plan ⇒ byte-identical logs, rejections and latencies included,
+because every field is derived from the logical clock and seeded
+decisions only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..serve.request import EvalRequest, EvalResponse
+
+__all__ = [
+    "PRIORITIES",
+    "REJECT_REASONS",
+    "GatewayRequest",
+    "GatewayOutcome",
+    "gateway_response_record",
+    "gateway_response_log",
+]
+
+#: Priority classes, highest first; dispatch drains them in this order.
+PRIORITIES = ("interactive", "batch", "bulk")
+
+#: Every reason a request can be refused.  Typed — callers switch on
+#: these strings, and the log schema freezes them.
+REJECT_REASONS = (
+    "queue-full",     # admission queue at capacity (load shed)
+    "deadline",       # deadline passed while queued
+    "retry-budget",   # service dispatch failed, no retry tokens left
+)
+
+
+@dataclass(frozen=True)
+class GatewayRequest:
+    """One admitted-or-shed unit of gateway work."""
+
+    request: EvalRequest
+    priority: str
+    #: logical tick the request entered the gateway.
+    arrival: int
+    #: absolute tick after which the request must not be answered.
+    deadline: int
+
+    def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {self.priority!r}; "
+                f"expected one of {PRIORITIES}"
+            )
+        if self.deadline < self.arrival:
+            raise ValueError(
+                f"deadline {self.deadline} precedes arrival "
+                f"{self.arrival}"
+            )
+
+
+@dataclass(frozen=True)
+class GatewayOutcome:
+    """The gateway's answer for one request (completed or rejected)."""
+
+    request_id: int
+    status: str                       # "ok" | "rejected"
+    priority: str
+    arrival: int
+    finish: int                       # completion / rejection tick
+    reason: Optional[str] = None      # rejections only
+    #: completed requests carry the deterministic evaluation result.
+    key: Optional[str] = None
+    algo: Optional[str] = None
+    value: Optional[float] = None
+    steps: Optional[int] = None
+    work: Optional[int] = None
+
+    @property
+    def latency(self) -> int:
+        """Ticks from arrival to completion/rejection."""
+        return self.finish - self.arrival
+
+    @classmethod
+    def completed(
+        cls, greq: GatewayRequest, resp: EvalResponse, finish: int
+    ) -> "GatewayOutcome":
+        return cls(
+            request_id=greq.request.request_id,
+            status="ok",
+            priority=greq.priority,
+            arrival=greq.arrival,
+            finish=finish,
+            key=resp.key,
+            algo=resp.algo,
+            value=resp.value,
+            steps=resp.steps,
+            work=resp.work,
+        )
+
+    @classmethod
+    def rejected(
+        cls, greq: GatewayRequest, reason: str, finish: int
+    ) -> "GatewayOutcome":
+        if reason not in REJECT_REASONS:
+            raise ValueError(
+                f"unknown rejection reason {reason!r}; "
+                f"expected one of {REJECT_REASONS}"
+            )
+        return cls(
+            request_id=greq.request.request_id,
+            status="rejected",
+            priority=greq.priority,
+            arrival=greq.arrival,
+            finish=finish,
+            reason=reason,
+        )
+
+
+def gateway_response_record(outcome: GatewayOutcome) -> str:
+    """One compact, sorted-key JSON line for an outcome."""
+    record = {
+        "id": outcome.request_id,
+        "status": outcome.status,
+        "priority": outcome.priority,
+        "arrival": outcome.arrival,
+        "finish": outcome.finish,
+        "latency": outcome.latency,
+    }
+    if outcome.status == "ok":
+        record.update(
+            key=outcome.key,
+            algo=outcome.algo,
+            value=outcome.value,
+            steps=outcome.steps,
+            work=outcome.work,
+        )
+    else:
+        record["reason"] = outcome.reason
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def gateway_response_log(outcomes: Sequence[GatewayOutcome]) -> str:
+    """The newline-terminated outcome log (the determinism artifact)."""
+    return "".join(
+        gateway_response_record(o) + "\n" for o in outcomes
+    )

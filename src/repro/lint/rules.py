@@ -133,6 +133,7 @@ class DeterminismRule(Rule):
         "models/oracle_runner.py",
         "models/executors.py",
         "faults/oracle.py",
+        "gateway/aio.py",
     )
     ALLOWED_PREFIXES = ("bench/",)
 

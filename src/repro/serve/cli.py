@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import Any, Callable, Dict, List, Optional
 
+from ..errors import AllShardsDegradedError
 from .engines import evaluate_payload
 from .request import EvalRequest, EvalResponse, load_requests
 from .request import response_log as render_response_log
@@ -133,6 +134,20 @@ def _verify_responses(
     return wrong
 
 
+def _report_collapse(exc: AllShardsDegradedError) -> None:
+    """Human-readable summary of a total-degradation failure."""
+    print(f"serve: {exc}", file=sys.stderr)
+    stats = exc.stats
+    if stats is not None:
+        print(
+            f"serve: progress before collapse: {stats.requests} "
+            f"request(s) accepted, {stats.evaluated} evaluated, "
+            f"{stats.failovers} failover(s); degradation order "
+            f"{stats.degraded_shards}",
+            file=sys.stderr,
+        )
+
+
 def run_serve(args: argparse.Namespace) -> int:
     cache_size = _parse_cache_size(args.cache_size)
 
@@ -176,7 +191,11 @@ def run_serve(args: argparse.Namespace) -> int:
         oracle_for_shard=oracle_for_shard,
         recorder=recorder,
     ) as service:
-        responses = service.serve(requests)
+        try:
+            responses = service.serve(requests)
+        except AllShardsDegradedError as exc:
+            _report_collapse(exc)
+            return 3
         stats = service.stats
 
     if args.log_out is not None:

@@ -18,7 +18,15 @@ order.  Internally each batch flows through three stages:
    (:class:`~repro.errors.WorkerCrashError` or
    :class:`~repro.errors.DegradedRunError`) is marked degraded and its
    work is re-dispatched to the surviving shards in deterministic
-   order; only when *every* shard has degraded does the batch fail.
+   order; only when *every* shard has degraded does the batch raise
+   :class:`~repro.errors.AllShardsDegradedError` (carrying the
+   service's stats).
+
+Degradation is no longer one-way: :meth:`ShardedBatchService.probe_shard`
+runs a half-open health check against a degraded shard's runtime and
+:meth:`ShardedBatchService.readmit` returns it to rotation — the
+hooks :class:`repro.gateway.Gateway`'s supervisor drives to self-heal
+recovered shards.
 
 The determinism contract: response content is a pure function of the
 request stream.  Shard count, cache capacity, pool flavour and fault
@@ -34,7 +42,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import DegradedRunError, WorkerCrashError
+from ..errors import (
+    AllShardsDegradedError,
+    DegradedRunError,
+    WorkerCrashError,
+)
 from ..models.executors import OracleRuntime, RuntimeStats
 from ..telemetry import Recorder, live
 from .cache import CacheStats, ResultCache
@@ -95,6 +107,8 @@ class ServeStats:
     deduplicated: int = 0
     #: payload evaluations re-dispatched off a degraded shard.
     failovers: int = 0
+    #: degraded shards returned to rotation after a successful probe.
+    readmissions: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     #: runtime counters per shard, index-aligned with the pools.
     shard_stats: List[RuntimeStats] = field(default_factory=list)
@@ -257,6 +271,56 @@ class ShardedBatchService:
             rec.advance(self.stats.requests)
         return responses
 
+    # -- health ------------------------------------------------------------
+    def is_degraded(self, shard: int) -> bool:
+        """Whether ``shard`` is currently out of rotation."""
+        self._check_shard(shard)
+        return self._degraded[shard]
+
+    def probe_shard(self, shard: int, payload: Dict[str, Any]) -> bool:
+        """Half-open health check: run one payload on ``shard``.
+
+        Bypasses the cache and routing — the payload goes straight to
+        the shard's runtime — and absorbs terminal runtime errors into
+        a ``False`` verdict.  Safe to call on healthy and degraded
+        shards alike; the gateway's supervisor uses it to decide when
+        a degraded shard may rejoin the rotation.
+        """
+        self._check_shard(shard)
+        try:
+            self._runtimes[shard].evaluate([payload])
+        except (WorkerCrashError, DegradedRunError):
+            return False
+        return True
+
+    def readmit(self, shard: int) -> None:
+        """Return a degraded shard to rotation (no-op when healthy).
+
+        The inverse of the one-way degradation ``_mark_degraded``
+        applies: the shard serves its key range again from the next
+        batch on.  Callers are expected to have verified recovery via
+        :meth:`probe_shard` first — readmitting a still-broken shard
+        just means the next batch re-degrades it.
+        """
+        self._check_shard(shard)
+        if not self._degraded[shard]:
+            return
+        self._degraded[shard] = False
+        self.stats.degraded_shards.remove(shard)
+        self.stats.readmissions += 1
+        if self._rec is not None:
+            self._rec.event(
+                "serve.shard_readmitted",
+                track=f"serve-shard-{shard}",
+                shard=shard,
+            )
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+
     # -- internals ---------------------------------------------------------
     def _healthy_shards(self) -> List[int]:
         return [s for s in range(self.num_shards) if not self._degraded[s]]
@@ -298,9 +362,11 @@ class ShardedBatchService:
         """Re-dispatch a degraded shard's work to the next healthy one."""
         healthy = self._healthy_shards()
         if not healthy:
-            raise DegradedRunError(
+            raise AllShardsDegradedError(
                 f"all {self.num_shards} shards degraded; "
-                f"{len(work)} request(s) unserved"
+                f"{len(work)} request(s) unserved",
+                stats=self.stats,
+                pending=len(work),
             )
         # Deterministic choice: first healthy shard after the dead one.
         target = next(

@@ -1,0 +1,95 @@
+"""Unit tests for the bounded multi-class admission queues."""
+
+import pytest
+
+from repro.gateway import AdmissionQueue, GatewayRequest
+from repro.serve import EvalRequest
+from repro.trees import UniformTree
+
+
+def _greq(request_id, priority="batch", arrival=0, deadline=100):
+    req = EvalRequest.make(
+        request_id, "sequential", UniformTree(2, 1, [0, 1])
+    )
+    return GatewayRequest(
+        request=req, priority=priority,
+        arrival=arrival, deadline=deadline,
+    )
+
+
+def test_offer_admits_until_capacity_then_sheds():
+    queue = AdmissionQueue({"batch": 2})
+    assert queue.offer(_greq(0)) is None
+    assert queue.offer(_greq(1)) is None
+    assert queue.offer(_greq(2)) == "queue-full"
+    assert queue.depth("batch") == 2
+
+
+def test_classes_have_independent_capacities():
+    queue = AdmissionQueue({"interactive": 1, "batch": 1, "bulk": 1})
+    assert queue.offer(_greq(0, "interactive")) is None
+    assert queue.offer(_greq(1, "batch")) is None
+    assert queue.offer(_greq(2, "interactive")) == "queue-full"
+    assert queue.offer(_greq(3, "bulk")) is None
+    assert queue.depths() == {
+        "interactive": 1, "batch": 1, "bulk": 1,
+    }
+
+
+def test_take_drains_priority_then_fifo():
+    queue = AdmissionQueue()
+    queue.offer(_greq(0, "bulk"))
+    queue.offer(_greq(1, "batch"))
+    queue.offer(_greq(2, "interactive"))
+    queue.offer(_greq(3, "batch"))
+    batch = queue.take(3)
+    assert [g.request.request_id for g in batch] == [2, 1, 3]
+    assert queue.depth() == 1
+
+
+def test_take_respects_budget():
+    queue = AdmissionQueue()
+    for i in range(5):
+        queue.offer(_greq(i))
+    assert len(queue.take(2)) == 2
+    assert queue.depth() == 3
+
+
+def test_requeue_front_preserves_order_and_skips_capacity():
+    queue = AdmissionQueue({"batch": 2})
+    queue.offer(_greq(0))
+    queue.offer(_greq(1))
+    batch = queue.take(2)
+    queue.offer(_greq(2))
+    queue.offer(_greq(3))  # class at capacity again
+    queue.requeue_front(batch)  # exempt from the capacity check
+    assert queue.depth("batch") == 4
+    assert queue.offer(_greq(4)) == "queue-full"
+    drained = queue.take(4)
+    assert [g.request.request_id for g in drained] == [0, 1, 2, 3]
+
+
+def test_expire_removes_deadline_passed_entries():
+    queue = AdmissionQueue()
+    queue.offer(_greq(0, deadline=5))
+    queue.offer(_greq(1, deadline=10))
+    queue.offer(_greq(2, "interactive", deadline=3))
+    expired = queue.expire(6)
+    assert sorted(g.request.request_id for g in expired) == [0, 2]
+    assert queue.depth() == 1
+    # deadline == now is still servable
+    assert queue.expire(10) == []
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        AdmissionQueue({"nope": 4})
+    with pytest.raises(ValueError):
+        AdmissionQueue({"batch": 0})
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        _greq(0, priority="extreme")
+    with pytest.raises(ValueError):
+        _greq(0, arrival=10, deadline=9)

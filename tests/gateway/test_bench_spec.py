@@ -1,0 +1,34 @@
+"""The e26 gateway overload soak spec: registration and gates."""
+
+import io
+
+from repro.bench.registry import get_spec
+from repro.bench.runner import failed_gates, run_benchmarks
+
+import repro.bench.specs  # noqa: F401  (registration import)
+
+
+def test_e26_is_registered_with_the_overload_gates():
+    spec = get_spec("e26")
+    assert spec.suite == "infra"
+    gate_names = {g.name for g in spec.gates}
+    assert {
+        "deterministic_log", "zero_wrong_answers", "all_resolved",
+        "goodput_floor", "overload_shed", "self_healing",
+    } <= gate_names
+    assert spec.gate_bound("zero_wrong_answers") == 0.0
+
+
+def test_e26_quick_profile_passes_every_gate():
+    doc = run_benchmarks(
+        names=["e26"], profile="quick", progress=io.StringIO()
+    )
+    assert failed_gates(doc) == []
+    record = doc["specs"]["e26"]
+    metrics = record["metrics"]
+    assert metrics["logs_identical"] == 1.0
+    assert metrics["wrong_answers"] == 0.0
+    assert metrics["all_resolved"] == 1.0
+    assert metrics["shed_rate"] > 0.0  # genuinely overloaded
+    assert metrics["readmissions"] >= 1.0  # self-healing ran
+    assert record["digests"]["response_log"]

@@ -1,0 +1,75 @@
+"""Unit tests for the fault-plan-driven shard outage controller."""
+
+import pytest
+
+from repro.faults import FaultPlan, ScheduleEntry
+from repro.faults.oracle import InjectedFaultError
+from repro.gateway import ShardOutageController
+
+
+def _crash_plan(seed=7, tick=3, shard=1, duration=2):
+    return FaultPlan(seed, schedule=[
+        ScheduleEntry("crash", tick=tick, level=shard, duration=duration),
+    ])
+
+
+def test_scheduled_crash_opens_and_closes_the_window():
+    ctrl = ShardOutageController(2, _crash_plan())
+    ctrl.begin_run()
+    for tick in range(6):
+        ctrl.begin_tick(tick)
+        assert ctrl.is_down(0) is False
+        assert ctrl.is_down(1) is (3 <= tick < 5)
+    assert ctrl.outages == 1
+
+
+def test_down_shard_oracle_raises_injected_fault():
+    ctrl = ShardOutageController(2, _crash_plan(tick=0, shard=0))
+    ctrl.begin_run()
+    base_calls = []
+
+    def base(payload):
+        base_calls.append(payload)
+        return {"value": 1.0, "steps": 1, "work": 1}
+
+    factory = ctrl.oracle_for_shard(base)
+    oracle0, oracle1 = factory(0), factory(1)
+    ctrl.begin_tick(0)
+    with pytest.raises(InjectedFaultError):
+        oracle0({"algo": "sequential"})
+    assert oracle1({"algo": "sequential"})["value"] == 1.0
+    ctrl.begin_tick(2)  # window over (duration 2)
+    assert oracle0({"algo": "sequential"})["value"] == 1.0
+    assert len(base_calls) == 2
+
+
+def test_begin_run_resets_state_for_replay():
+    ctrl = ShardOutageController(2, _crash_plan(tick=0, shard=0))
+    ctrl.begin_run()
+    ctrl.begin_tick(0)
+    first = (ctrl.down_shards(), ctrl.outages)
+    ctrl.begin_run()
+    assert ctrl.tick is None
+    assert ctrl.down_shards() == []
+    ctrl.begin_tick(0)
+    assert (ctrl.down_shards(), ctrl.outages) == first
+
+
+def test_rate_driven_plan_consults_rng_identically_across_runs():
+    plan = FaultPlan.with_rate(11, "crash", 0.2, max_faults=4)
+    ctrl = ShardOutageController(3, plan)
+
+    def trajectory():
+        ctrl.begin_run()
+        down = []
+        for tick in range(30):
+            ctrl.begin_tick(tick)
+            down.append(tuple(ctrl.down_shards()))
+        return down, ctrl.outages
+
+    assert trajectory() == trajectory()
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        ShardOutageController(0, _crash_plan())

@@ -1,0 +1,98 @@
+"""``repro gateway`` end-to-end: logs, chaos, verify, wall-clock."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_gateway_runs_verifies_and_writes_log(tmp_path, capsys):
+    log = tmp_path / "outcomes.jsonl"
+    rc = main([
+        "gateway", "--num-requests", "40", "--height", "3",
+        "--chaos", "--verify", "--log-out", str(log),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gateway: 40 arrival(s)" in out
+    assert "readmission(s)" in out
+    assert "verify: all" in out
+
+    lines = log.read_text().splitlines()
+    assert len(lines) == 40
+    for line in lines:
+        record = json.loads(line)
+        assert record["status"] in ("ok", "rejected")
+        if record["status"] == "ok":
+            assert {"key", "algo", "value", "steps", "work"} <= set(record)
+        else:
+            assert record["reason"] in (
+                "queue-full", "deadline", "retry-budget"
+            )
+
+
+def test_gateway_log_identical_across_same_seed_runs(tmp_path):
+    logs = []
+    for name in ("a", "b"):
+        path = tmp_path / f"{name}.jsonl"
+        rc = main([
+            "gateway", "--num-requests", "40", "--height", "3",
+            "--chaos", "--log-out", str(path),
+        ])
+        assert rc == 0
+        logs.append(path.read_bytes())
+    assert logs[0] == logs[1]
+
+
+def test_gateway_overload_sheds_but_stays_up(capsys):
+    rc = main([
+        "gateway", "--num-requests", "120", "--height", "3",
+        "--rate", "40", "--batch-size", "2",
+        "--queue-capacity", "4", "--verify",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "queue-full=" in out
+    assert "verify: all" in out
+
+
+def test_gateway_wallclock_matches_deterministic_log(tmp_path, capsys):
+    paced = tmp_path / "paced.jsonl"
+    simulated = tmp_path / "simulated.jsonl"
+    rc = main([
+        "gateway", "--num-requests", "25", "--height", "3",
+        "--chaos", "--wallclock", "--tick-seconds", "0.0002",
+        "--log-out", str(paced),
+    ])
+    assert rc == 0
+    assert "wall-clock:" in capsys.readouterr().out
+    rc = main([
+        "gateway", "--num-requests", "25", "--height", "3",
+        "--chaos", "--log-out", str(simulated),
+    ])
+    assert rc == 0
+    assert paced.read_bytes() == simulated.read_bytes()
+
+
+def test_gateway_writes_trace(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    rc = main([
+        "gateway", "--num-requests", "20", "--height", "3",
+        "--chaos", "--trace-out", str(trace),
+    ])
+    assert rc == 0
+    lines = [json.loads(l) for l in trace.read_text().splitlines()]
+    assert lines[0]["kind"] == "meta"
+    names = {r.get("name") for r in lines}
+    assert "gateway.queue_depth" in names
+    footer = lines[-1]
+    assert footer["kind"] == "metrics"
+    assert footer["counters"]["gateway.completed"] == 20
+
+
+def test_gateway_rejects_bad_chaos_shard(capsys):
+    rc = main([
+        "gateway", "--num-requests", "5", "--shards", "2",
+        "--chaos", "--chaos-shard", "7",
+    ])
+    assert rc == 2
+    assert "--chaos-shard" in capsys.readouterr().err

@@ -1,0 +1,232 @@
+"""End-to-end gateway tests: determinism, overload, chaos, healing."""
+
+import pytest
+
+from repro.faults import FaultPlan, ScheduleEntry
+from repro.gateway import (
+    Gateway,
+    GatewayConfig,
+    GatewayRequest,
+    open_loop_arrivals,
+    summarize,
+)
+from repro.serve import EvalRequest, run_algorithm
+from repro.telemetry import InMemoryRecorder
+from repro.trees.generators import iid_boolean
+
+
+def _arrivals(n=40, seed=2026, rate=8.0, **kwargs):
+    return open_loop_arrivals(n, seed=seed, rate=rate, **kwargs)
+
+
+def _crash_plan(seed=2026, tick=5, shard=0, duration=12):
+    return FaultPlan(seed, schedule=[
+        ScheduleEntry("crash", tick=tick, level=shard, duration=duration),
+    ])
+
+
+def _run(config=None, plan=None, arrivals=None, recorder=None):
+    with Gateway(
+        config or GatewayConfig(), fault_plan=plan, recorder=recorder
+    ) as gateway:
+        report = gateway.run(arrivals or _arrivals())
+    return report
+
+
+def test_same_seed_runs_are_byte_identical():
+    logs = [
+        _run(plan=_crash_plan(), arrivals=_arrivals()).response_log
+        for _ in range(2)
+    ]
+    assert logs[0] == logs[1]
+    assert logs[0]  # non-empty
+
+
+def test_every_arrival_is_resolved_exactly_once():
+    arrivals = _arrivals(60, rate=20.0)
+    report = _run(
+        config=GatewayConfig(queue_capacities={
+            "interactive": 4, "batch": 6, "bulk": 6,
+        }),
+        arrivals=arrivals,
+    )
+    assert len(report.outcomes) == len(arrivals)
+    assert sorted(o.request_id for o in report.outcomes) == sorted(
+        greq.request.request_id for _t, greq in arrivals
+    )
+    stats = report.stats
+    assert stats.completed + stats.total_rejected == stats.arrivals
+
+
+def test_completed_answers_match_direct_evaluation():
+    arrivals = _arrivals(30)
+    report = _run(plan=_crash_plan(), arrivals=arrivals)
+    by_id = {g.request.request_id: g.request for _t, g in arrivals}
+    checked = 0
+    for outcome in report.outcomes:
+        if outcome.status != "ok":
+            continue
+        req = by_id[outcome.request_id]
+        value, steps, work = run_algorithm(
+            req.algo, req.tree, req.params_dict()
+        )
+        assert (outcome.value, outcome.steps, outcome.work) == (
+            float(value), steps, work
+        )
+        checked += 1
+    assert checked > 0
+
+
+def test_overload_sheds_with_typed_queue_full():
+    report = _run(
+        config=GatewayConfig(
+            queue_capacities={
+                "interactive": 2, "batch": 2, "bulk": 2,
+            },
+            batch_size=2,
+        ),
+        arrivals=_arrivals(80, rate=40.0),
+    )
+    rejected = report.stats.rejected
+    assert rejected.get("queue-full", 0) > 0
+    assert set(rejected) <= {"queue-full", "deadline", "retry-budget"}
+    assert report.stats.completed > 0  # degrades, does not collapse
+
+
+def test_queued_requests_past_deadline_are_cancelled():
+    tree = iid_boolean(2, 3, 0.5, seed=3)
+    arrivals = []
+    for i in range(12):
+        req = EvalRequest.make(i, "sequential", tree)
+        arrivals.append((0, GatewayRequest(
+            request=req, priority="batch", arrival=0,
+            deadline=0 if i else 50,
+        )))
+    report = _run(
+        config=GatewayConfig(batch_size=1, base_service_ticks=4),
+        arrivals=arrivals,
+    )
+    assert report.stats.rejected.get("deadline", 0) > 0
+    reasons = {
+        o.request_id: o.reason
+        for o in report.outcomes if o.status == "rejected"
+    }
+    assert all(reason == "deadline" for reason in reasons.values())
+
+
+def test_chaos_crash_probes_and_readmits_the_shard():
+    rec = InMemoryRecorder()
+    report = _run(
+        config=GatewayConfig(probe_after=3, probe_interval=3),
+        plan=_crash_plan(duration=12),
+        arrivals=_arrivals(50),
+        recorder=rec,
+    )
+    stats = report.stats
+    assert stats.outages >= 1
+    assert stats.probes >= 1
+    assert stats.readmissions >= 1
+    readmitted = [
+        e for e in rec.events
+        if e.kind == "instant" and e.name == "gateway.readmitted"
+    ]
+    assert len(readmitted) == stats.readmissions
+    # The service saw the same recovery.
+    assert stats.completed + stats.total_rejected == stats.arrivals
+
+
+def test_single_shard_outage_consumes_retry_budget_then_sheds():
+    tree = iid_boolean(2, 3, 0.5, seed=3)
+    arrivals = [
+        (0, GatewayRequest(
+            request=EvalRequest.make(i, "sequential", tree),
+            priority="batch", arrival=0, deadline=200,
+        ))
+        for i in range(4)
+    ]
+    plan = FaultPlan(1, schedule=[
+        ScheduleEntry("crash", tick=0, level=0, duration=6),
+    ])
+
+    def run_with_budget(capacity):
+        return _run(
+            config=GatewayConfig(
+                num_shards=1,
+                retry_capacity=capacity,
+                retry_refill_per_tick=0.0,
+                probe_after=3,
+                probe_interval=3,
+            ),
+            plan=plan,
+            arrivals=arrivals,
+        )
+
+    starved = run_with_budget(0)
+    assert starved.stats.rejected.get("retry-budget", 0) == 4
+    assert starved.stats.retried_requests == 0
+
+    funded = run_with_budget(8)
+    assert funded.stats.retried_requests == 4
+    assert funded.stats.completed == 4
+    assert funded.stats.readmissions == 1
+
+
+def test_priority_classes_shed_independently():
+    report = _run(
+        config=GatewayConfig(
+            queue_capacities={
+                "interactive": 64, "batch": 1, "bulk": 1,
+            },
+        ),
+        arrivals=_arrivals(60, rate=30.0),
+    )
+    shed = [
+        o for o in report.outcomes
+        if o.status == "rejected" and o.reason == "queue-full"
+    ]
+    assert shed
+    assert all(o.priority in ("batch", "bulk") for o in shed)
+
+
+def test_run_rejects_decreasing_arrival_ticks():
+    tree = iid_boolean(2, 2, 0.5, seed=1)
+    greq = GatewayRequest(
+        request=EvalRequest.make(0, "sequential", tree),
+        priority="batch", arrival=0, deadline=10,
+    )
+    with Gateway(GatewayConfig()) as gateway:
+        with pytest.raises(ValueError):
+            gateway.run([(5, greq), (3, greq)])
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        GatewayConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        GatewayConfig(base_service_ticks=0)
+    with pytest.raises(ValueError):
+        GatewayConfig(ticks_per_eval=-1)
+    with pytest.raises(ValueError):
+        GatewayConfig(max_drain_ticks=0)
+
+
+def test_wallclock_driver_matches_deterministic_log():
+    from repro.gateway.aio import run_wallclock
+
+    arrivals = _arrivals(25)
+    plan = _crash_plan()
+    baseline = _run(plan=plan, arrivals=arrivals)
+    with Gateway(GatewayConfig(), fault_plan=_crash_plan()) as gateway:
+        paced, elapsed = run_wallclock(
+            gateway, arrivals, tick_seconds=0.0002
+        )
+    assert paced.response_log == baseline.response_log
+    assert elapsed > 0.0
+
+
+def test_wallclock_rejects_nonpositive_tick_seconds():
+    from repro.gateway.aio import run_wallclock
+
+    with Gateway(GatewayConfig()) as gateway:
+        with pytest.raises(ValueError):
+            run_wallclock(gateway, [], tick_seconds=0.0)

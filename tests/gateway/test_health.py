@@ -1,0 +1,65 @@
+"""Unit tests for the shard circuit-breaker state machine."""
+
+import pytest
+
+from repro.gateway import DEGRADED, HEALTHY, PROBING, HealthSupervisor
+
+
+def test_degradation_schedules_a_probe_after_cooldown():
+    sup = HealthSupervisor(2, probe_after=3, probe_interval=5)
+    sup.on_degraded(1, tick=10)
+    assert sup.state(1) == DEGRADED
+    assert sup.due_probes(12) == []  # cooldown not over
+    assert sup.due_probes(13) == [1]
+    assert sup.state(1) == PROBING
+
+
+def test_successful_probe_readmits():
+    sup = HealthSupervisor(1, probe_after=1, probe_interval=1)
+    sup.on_degraded(0, tick=0)
+    assert sup.due_probes(1) == [0]
+    sup.on_probe_result(0, True, tick=1)
+    assert sup.state(0) == HEALTHY
+    assert sup.total_readmissions == 1
+    assert sup.degraded() == []
+
+
+def test_failed_probe_backs_off_by_probe_interval():
+    sup = HealthSupervisor(1, probe_after=2, probe_interval=4)
+    sup.on_degraded(0, tick=0)
+    assert sup.due_probes(2) == [0]
+    sup.on_probe_result(0, False, tick=2)
+    assert sup.state(0) == DEGRADED
+    assert sup.due_probes(5) == []  # interval not elapsed
+    assert sup.due_probes(6) == [0]
+    assert sup.total_probes == 2
+    assert sup.total_readmissions == 0
+
+
+def test_redegradation_while_degraded_is_idempotent():
+    sup = HealthSupervisor(1, probe_after=5, probe_interval=5)
+    sup.on_degraded(0, tick=0)
+    sup.on_degraded(0, tick=3)  # must not push next_probe out
+    assert sup.due_probes(5) == [0]
+
+
+def test_due_probes_returns_ascending_shard_order():
+    sup = HealthSupervisor(3, probe_after=1, probe_interval=1)
+    sup.on_degraded(2, tick=0)
+    sup.on_degraded(0, tick=0)
+    assert sup.due_probes(1) == [0, 2]
+
+
+def test_probe_result_requires_half_open_state():
+    sup = HealthSupervisor(1)
+    with pytest.raises(ValueError):
+        sup.on_probe_result(0, True, tick=0)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        HealthSupervisor(0)
+    with pytest.raises(ValueError):
+        HealthSupervisor(1, probe_after=0)
+    with pytest.raises(ValueError):
+        HealthSupervisor(1, probe_interval=0)

@@ -1,0 +1,84 @@
+"""Unit tests for the seeded open-loop load generator and reports."""
+
+import pytest
+
+from repro.gateway import (
+    DEFAULT_DEADLINES,
+    Gateway,
+    GatewayConfig,
+    open_loop_arrivals,
+    percentile,
+    render_report,
+    summarize,
+)
+
+
+def _fingerprint(arrivals):
+    return [
+        (tick, g.request.request_id, g.priority, g.deadline)
+        for tick, g in arrivals
+    ]
+
+
+def test_same_seed_same_schedule():
+    a = open_loop_arrivals(50, seed=9, rate=4.0)
+    b = open_loop_arrivals(50, seed=9, rate=4.0)
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_different_seeds_differ():
+    a = open_loop_arrivals(50, seed=9, rate=4.0)
+    b = open_loop_arrivals(50, seed=10, rate=4.0)
+    assert _fingerprint(a) != _fingerprint(b)
+
+
+def test_schedule_shape_and_deadlines():
+    arrivals = open_loop_arrivals(30, seed=3, rate=5.0)
+    assert len(arrivals) == 30
+    ticks = [tick for tick, _g in arrivals]
+    assert ticks == sorted(ticks)
+    for tick, greq in arrivals:
+        assert greq.arrival == tick
+        assert greq.deadline == tick + DEFAULT_DEADLINES[greq.priority]
+
+
+def test_custom_mix_must_cover_every_class():
+    with pytest.raises(ValueError):
+        open_loop_arrivals(
+            10, seed=1, rate=2.0,
+            priority_weights={"interactive": 1.0},
+        )
+    with pytest.raises(ValueError):
+        open_loop_arrivals(
+            10, seed=1, rate=2.0, deadlines={"batch": 10},
+        )
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        open_loop_arrivals(0, seed=1, rate=2.0)
+    with pytest.raises(ValueError):
+        open_loop_arrivals(10, seed=1, rate=0.0)
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([1, 2, 3, 4], 0.0) == 1.0
+    assert percentile([1, 2, 3, 4], 0.5) == 3.0
+    assert percentile([1, 2, 3, 4], 1.0) == 4.0
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+def test_summarize_and_render_agree_with_stats():
+    arrivals = open_loop_arrivals(40, seed=2026, rate=8.0)
+    with Gateway(GatewayConfig()) as gateway:
+        report = gateway.run(arrivals)
+    load = summarize(report)
+    assert load.requests == report.stats.arrivals == 40
+    assert load.completed == report.stats.completed
+    assert load.goodput + load.shed_rate == pytest.approx(1.0)
+    assert load.p50 <= load.p99 <= load.p999
+    text = render_report(load)
+    assert "40 arrival(s)" in text
+    assert "goodput" in text and "latency ticks" in text

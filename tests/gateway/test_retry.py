@@ -1,0 +1,48 @@
+"""Unit tests for the global retry token bucket."""
+
+import pytest
+
+from repro.gateway import RetryBudget
+
+
+def test_starts_full_and_spends_atomically():
+    budget = RetryBudget(4, 0.5)
+    assert budget.tokens == 4.0
+    assert budget.try_spend(3)
+    assert budget.tokens == 1.0
+    assert not budget.try_spend(2)  # short: no partial spend
+    assert budget.tokens == 1.0
+    assert budget.spent == 3
+    assert budget.exhausted == 1
+
+
+def test_refill_saturates_at_capacity():
+    budget = RetryBudget(2, 0.5)
+    assert budget.try_spend(2)
+    budget.advance(1)
+    assert budget.tokens == 0.5
+    assert not budget.try_spend(1)
+    budget.advance(1)
+    assert budget.try_spend(1)
+    budget.advance(100)
+    assert budget.tokens == 2.0  # saturated
+
+
+def test_zero_capacity_never_grants():
+    budget = RetryBudget(0, 1.0)
+    assert not budget.try_spend(1)
+    budget.advance(10)
+    assert not budget.try_spend(1)
+    assert budget.try_spend(0)  # free spends always succeed
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        RetryBudget(-1, 0.5)
+    with pytest.raises(ValueError):
+        RetryBudget(1, -0.5)
+    budget = RetryBudget(1, 0.5)
+    with pytest.raises(ValueError):
+        budget.advance(-1)
+    with pytest.raises(ValueError):
+        budget.try_spend(-1)

@@ -1,0 +1,150 @@
+"""Shard re-admission, probes, and the typed total-collapse error."""
+
+import pytest
+
+from repro.errors import (
+    AllShardsDegradedError,
+    DegradedRunError,
+    ReproError,
+)
+from repro.serve import (
+    EvalRequest,
+    ShardedBatchService,
+    make_tree_pool,
+    request_key,
+    response_log,
+    shard_of,
+    synthetic_stream,
+)
+from repro.serve.request import request_to_dict
+from repro.telemetry import InMemoryRecorder
+from repro.trees import UniformTree, exact_value
+
+
+def _bool_requests(n, seed=11, height=3):
+    pool = make_tree_pool(
+        4, seed=seed, height=height, minmax_fraction=0.0,
+    )
+    return synthetic_stream(
+        n, seed=seed, pool=pool, algos=["sequential"],
+    )
+
+
+def _probe_payload():
+    req = EvalRequest.make(-1, "sequential", UniformTree(2, 1, [0, 1]))
+    data = request_to_dict(req)
+    del data["id"]
+    return data
+
+
+def _switchable_oracle(broken_shards):
+    """Oracle factory whose failure set can be edited mid-run."""
+    from repro.serve.engines import evaluate_payload
+
+    def for_shard(shard):
+        def oracle(payload):
+            if shard in broken_shards:
+                raise RuntimeError(f"shard {shard} is broken")
+            return evaluate_payload(payload)
+        return oracle
+
+    return for_shard
+
+
+def test_all_shards_degraded_error_is_typed_and_carries_stats():
+    requests = _bool_requests(4)
+    with ShardedBatchService(
+        2, oracle_for_shard=_switchable_oracle({0, 1}),
+    ) as service:
+        with pytest.raises(AllShardsDegradedError) as info:
+            service.serve(requests)
+    exc = info.value
+    assert isinstance(exc, DegradedRunError)  # old handlers still catch
+    assert isinstance(exc, ReproError)
+    assert exc.stats is service.stats
+    assert exc.pending > 0
+    assert sorted(exc.stats.degraded_shards) == [0, 1]
+
+
+def test_probe_and_readmit_return_a_recovered_shard_to_rotation():
+    requests = _bool_requests(16, seed=7)
+    broken = {0}
+    rec = InMemoryRecorder()
+    with ShardedBatchService(
+        2, cache_size=0,
+        oracle_for_shard=_switchable_oracle(broken),
+        recorder=rec,
+    ) as service:
+        service.serve(requests)
+        assert service.degraded_shards == [0]
+        assert service.is_degraded(0)
+
+        # Still broken: the probe fails and nothing is readmitted.
+        assert service.probe_shard(0, _probe_payload()) is False
+        assert service.degraded_shards == [0]
+
+        broken.clear()  # the outage ends
+        assert service.probe_shard(0, _probe_payload()) is True
+        service.readmit(0)
+        assert service.degraded_shards == []
+        assert not service.is_degraded(0)
+        assert service.stats.readmissions == 1
+
+        # The readmitted shard serves its key range again.
+        failovers_before = service.stats.failovers
+        responses = service.serve(requests)
+        assert service.stats.failovers == failovers_before
+        assert service.degraded_shards == []
+    for req, resp in zip(requests, responses):
+        assert resp.value == float(exact_value(req.tree))
+    readmitted = [
+        e for e in rec.events
+        if e.kind == "instant" and e.name == "serve.shard_readmitted"
+    ]
+    assert len(readmitted) == 1
+    assert readmitted[0].track == "serve-shard-0"
+
+
+def test_readmit_is_a_noop_on_a_healthy_shard():
+    with ShardedBatchService(2) as service:
+        service.readmit(1)
+        assert service.stats.readmissions == 0
+        assert service.degraded_shards == []
+
+
+def test_shard_index_is_range_checked():
+    with ShardedBatchService(2) as service:
+        with pytest.raises(ValueError):
+            service.probe_shard(2, _probe_payload())
+        with pytest.raises(ValueError):
+            service.readmit(-1)
+        with pytest.raises(ValueError):
+            service.is_degraded(5)
+
+
+def test_failover_preserves_response_log_byte_identity():
+    requests = _bool_requests(20, seed=5)
+    crash_shard = shard_of(request_key(requests[0]), 3)
+    with ShardedBatchService(3) as healthy:
+        baseline = response_log(healthy.serve(requests))
+    with ShardedBatchService(
+        3, oracle_for_shard=_switchable_oracle({crash_shard}),
+    ) as degraded:
+        survived = response_log(degraded.serve(requests))
+        assert degraded.degraded_shards == [crash_shard]
+        assert degraded.stats.failovers > 0
+    assert survived == baseline
+
+
+def test_serve_cli_exits_cleanly_when_every_shard_degrades(capsys):
+    from repro.__main__ import main
+
+    rc = main([
+        "serve", "--num-requests", "6", "--height", "2",
+        "--shards", "1", "--chaos",
+    ])
+    assert rc == 3
+    captured = capsys.readouterr()
+    assert "serve:" in captured.err
+    assert "progress before collapse" in captured.err
+    assert "Traceback" not in captured.err

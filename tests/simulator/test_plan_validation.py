@@ -1,0 +1,76 @@
+"""Construction-time validation of fault plans and schedule entries."""
+
+import pytest
+
+from repro.errors import FaultPlanError, ReproError
+from repro.faults import FaultPlan, ScheduleEntry
+
+
+def test_unknown_kind_is_rejected_by_name():
+    with pytest.raises(FaultPlanError, match="unknown scheduled fault"):
+        ScheduleEntry("meteor", seq=1)
+
+
+def test_message_faults_require_a_sequence_number():
+    with pytest.raises(FaultPlanError, match="need seq="):
+        ScheduleEntry("drop")
+    with pytest.raises(FaultPlanError, match="negative message"):
+        ScheduleEntry("delay", seq=-1)
+
+
+def test_processor_faults_require_tick_and_level():
+    with pytest.raises(FaultPlanError, match="need tick="):
+        ScheduleEntry("crash", tick=3)
+    with pytest.raises(FaultPlanError, match="negative tick"):
+        ScheduleEntry("crash", tick=-1, level=0)
+    with pytest.raises(FaultPlanError, match="negative level"):
+        ScheduleEntry("stall", tick=0, level=-2)
+
+
+def test_durations_must_be_at_least_one_tick():
+    with pytest.raises(FaultPlanError, match="duration"):
+        ScheduleEntry("crash", tick=0, level=0, duration=0)
+
+
+def test_error_message_names_the_offending_entry():
+    with pytest.raises(FaultPlanError, match="kind='meteor'"):
+        ScheduleEntry("meteor", seq=1)
+
+
+def test_duplicate_message_targets_are_rejected():
+    with pytest.raises(FaultPlanError, match="seq=4"):
+        FaultPlan(0, schedule=[
+            ScheduleEntry("drop", seq=4),
+            ScheduleEntry("delay", seq=4, duration=2),
+        ])
+
+
+def test_duplicate_processor_slots_are_rejected():
+    with pytest.raises(FaultPlanError, match=r"tick=2.*level=1"):
+        FaultPlan(0, schedule=[
+            ScheduleEntry("crash", tick=2, level=1),
+            ScheduleEntry("stall", tick=2, level=1, duration=3),
+        ])
+
+
+def test_distinct_slots_coexist():
+    plan = FaultPlan(0, schedule=[
+        ScheduleEntry("crash", tick=2, level=1),
+        ScheduleEntry("crash", tick=2, level=0),
+        ScheduleEntry("crash", tick=3, level=1),
+        ScheduleEntry("drop", seq=7),
+    ])
+    assert plan.processor_fault(level=1, tick=2) == ("crash", 1)
+    assert plan.message_fault(7, "value", tick=0) == ("drop", 0)
+
+
+def test_fault_plan_error_is_both_typed_and_a_value_error():
+    with pytest.raises(ValueError):  # legacy handlers keep working
+        ScheduleEntry("meteor", seq=1)
+    with pytest.raises(ReproError):
+        FaultPlan.with_rate(0, "meteor", 0.1)
+
+
+def test_with_rate_rejects_unknown_kind_by_name():
+    with pytest.raises(FaultPlanError, match="meteor"):
+        FaultPlan.with_rate(0, "meteor", 0.5)
