@@ -15,7 +15,7 @@ bench --wallclock
     Wall-clock measurements: incremental vs rescan frontier backend,
     and (with ``--workers``) the process-pool oracle runtime.
 lint
-    Static-analysis pass enforcing the model invariants (R1-R11).
+    Static-analysis pass enforcing the model invariants (R1-R12).
 chaos
     Fault-injection sweep: convergence and overhead under seeded
     message/processor faults, plus oracle-runtime fault drills.
@@ -217,6 +217,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         oracle_iters=args.oracle_iters,
         trace_out=args.trace_out,
+        backend=args.backend,
     )
 
 
@@ -340,6 +341,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also measure wall-clock (with --all/--spec/--suite); "
         "alone: the legacy frontier-backend timing table",
     )
+    bench.add_argument(
+        "--backend", choices=("rescan", "incremental", "arena"),
+        default=None,
+        help="time a single frontier backend in the wall-clock table "
+        "instead of the incremental-vs-rescan comparison",
+    )
     bench.add_argument("--branching", type=int, default=4)
     bench.add_argument("--height", type=int, default=8)
     bench.add_argument("--widths", type=str, default="1,2,4")
@@ -358,7 +365,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .lint.cli import add_lint_arguments
 
     lint = sub.add_parser(
-        "lint", help="run the invariant static-analysis pass (R1-R11)"
+        "lint", help="run the invariant static-analysis pass (R1-R12)"
     )
     add_lint_arguments(lint)
     lint.set_defaults(fn=_cmd_lint)

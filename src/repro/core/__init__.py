@@ -11,6 +11,17 @@ node-expansion model (Section 5) in :mod:`repro.core.nodeexpansion`;
 randomized variants (Section 6) in :mod:`repro.core.randomized`.
 """
 
+from .arena import (
+    ArenaAlphaBetaWidthPolicy,
+    ArenaBoundedWidthPolicy,
+    ArenaSaturationPolicy,
+    ArenaTeamPolicy,
+    ArenaWidthPolicy,
+    arena_alpha_beta,
+    arena_parallel_solve,
+    arena_saturation_solve,
+    arena_team_solve,
+)
 from .frontier import (
     FrontierIndex,
     IncrementalBoundedWidthPolicy,
@@ -57,6 +68,15 @@ __all__ = [
     "WidthPolicy",
     "BoundedWidthPolicy",
     "SaturationPolicy",
+    "arena_parallel_solve",
+    "arena_saturation_solve",
+    "arena_team_solve",
+    "arena_alpha_beta",
+    "ArenaWidthPolicy",
+    "ArenaBoundedWidthPolicy",
+    "ArenaTeamPolicy",
+    "ArenaSaturationPolicy",
+    "ArenaAlphaBetaWidthPolicy",
     "IncrementalWidthPolicy",
     "IncrementalBoundedWidthPolicy",
     "IncrementalTeamPolicy",

@@ -14,6 +14,7 @@ from typing import Optional
 from ...models.accounting import EvalResult
 from ...telemetry import Recorder
 from ...trees.base import GameTree
+from ..arena import ArenaAlphaBetaWidthPolicy, arena_alpha_beta
 from ..parallel_solve import resolve_backend
 from .engine import (
     AlphaBetaWidthPolicy,
@@ -26,7 +27,10 @@ from .engine import (
 def _width_policy(
     width: int, backend: str, recorder: Optional[Recorder] = None
 ) -> MinmaxPolicy:
-    if resolve_backend(backend) == "incremental":
+    backend = resolve_backend(backend)
+    if backend == "arena":
+        return ArenaAlphaBetaWidthPolicy(width)
+    if backend == "incremental":
         policy = IncrementalAlphaBetaWidthPolicy(width)
         policy.recorder = recorder
         return policy
@@ -41,6 +45,10 @@ def sequential_alpha_beta(
     recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """The alpha-beta pruning procedure, one leaf per basic step."""
+    if resolve_backend(backend) == "arena":
+        return arena_alpha_beta(
+            tree, 0, keep_batches=keep_batches, recorder=recorder
+        )
     return run_minmax(
         tree,
         _width_policy(0, backend, recorder),
@@ -61,12 +69,17 @@ def parallel_alpha_beta(
     """Parallel alpha-beta of the given width.
 
     ``backend`` selects the frontier engine: ``"incremental"``
-    (default) or ``"rescan"`` (the reference per-step recomputation).
-    Both produce identical per-step batches.
+    (default), ``"rescan"`` (the reference per-step recomputation) or
+    ``"arena"`` (vectorised struct-of-arrays sweeps).  All produce
+    identical per-step batches.
 
     ``recorder`` attaches a telemetry sink (step spans with prune
     counts, degree samples, frontier counters).
     """
+    if resolve_backend(backend) == "arena" and on_step is None:
+        return arena_alpha_beta(
+            tree, width, keep_batches=keep_batches, recorder=recorder
+        )
     return run_minmax(
         tree,
         _width_policy(width, backend, recorder),

@@ -1,0 +1,57 @@
+"""Columnar array-arena engines: struct-of-arrays tree evaluation.
+
+The object-graph engines (:mod:`repro.core.solve_engine`,
+:mod:`repro.core.alphabeta.engine`) pay Python pointer-chasing for
+every settle/cascade sweep.  This subsystem lowers a tree once into
+:class:`~repro.trees.canonical.CanonicalArrays` — preorder-indexed
+numpy columns — and runs the paper's step loops as vectorised
+level-batched sweeps over those columns:
+
+* selection (budgeted width-w walk, unbounded liveness walk and the
+  counting-sort ``most_urgent(p)`` cap) in :mod:`.selection`;
+* the Boolean leaf-evaluation engines (Parallel/Bounded/Team/
+  Saturation SOLVE) in :mod:`.boolean`;
+* the MIN/MAX pruning process (sequential and parallel alpha-beta)
+  in :mod:`.alphabeta`;
+* event-fed hybrid policies (used when callers pass ``on_step=``
+  hooks that need the object-graph state) in :mod:`.policies`.
+
+Everything here is step-for-step identical to the ``rescan`` and
+``incremental`` backends: same per-step batches, same step/work
+accounting, same ``recorder=`` call sequence.  The differential
+property suite and the golden corpus pin that equivalence; the e27
+benchmark gates the speed-up that justifies the subsystem.
+
+Hot paths are vectorised — lint rule R12 (arena discipline) rejects
+per-node Python loops over the arena columns in this package.
+"""
+
+from .alphabeta import arena_alpha_beta
+from .boolean import (
+    arena_parallel_solve,
+    arena_saturation_solve,
+    arena_team_solve,
+)
+from .policies import (
+    ArenaAlphaBetaWidthPolicy,
+    ArenaBoundedWidthPolicy,
+    ArenaSaturationPolicy,
+    ArenaTeamPolicy,
+    ArenaWidthPolicy,
+)
+from .selection import most_urgent, select_frontier, select_width
+
+__all__ = [
+    "arena_parallel_solve",
+    "arena_saturation_solve",
+    "arena_team_solve",
+    "arena_alpha_beta",
+    "ArenaWidthPolicy",
+    "ArenaBoundedWidthPolicy",
+    "ArenaTeamPolicy",
+    "ArenaSaturationPolicy",
+    "ArenaAlphaBetaWidthPolicy",
+    "select_width",
+    "select_frontier",
+    "most_urgent",
+]

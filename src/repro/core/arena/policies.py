@@ -1,0 +1,211 @@
+"""Event-fed arena policies for the object-graph engines.
+
+The pure arena engines in :mod:`.boolean` / :mod:`.alphabeta` keep all
+run state in arrays and never build a
+:class:`~repro.core.status.BooleanState` — which is exactly what makes
+them fast, but callers that pass an ``on_step=`` hook are owed the
+real state object.  For that path the solver entry points fall back to
+these *policies*: the engine loop stays object-graph
+(:func:`~repro.core.solve_engine.run_boolean` /
+:func:`~repro.core.alphabeta.engine.run_minmax`), while selection runs
+on the arena columns — a ``settled`` boolean column kept current by
+subscribing to the state's transition feed, queried through the same
+kernels the pure engines use.  Batches are identical either way.
+
+The structure mirrors :class:`~repro.core.frontier._IncrementalPolicy`:
+lazy bind on first call, rebind when the policy object is reused on a
+fresh run, ``recorder`` attribute accepted for interface symmetry
+(arena selection emits no frontier counters).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ...telemetry import Recorder
+from ...trees.base import GameTree, NodeId
+from ...trees.canonical import CanonicalArrays, canonical_arrays
+from ..status import BooleanState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..alphabeta.state import AlphaBetaState
+from .selection import most_urgent, select_frontier, select_width
+
+__all__ = [
+    "ArenaWidthPolicy",
+    "ArenaBoundedWidthPolicy",
+    "ArenaTeamPolicy",
+    "ArenaSaturationPolicy",
+    "ArenaAlphaBetaWidthPolicy",
+]
+
+
+class _Binding:
+    """One run's view: lowered columns plus the live settled mask."""
+
+    def __init__(self, tree: GameTree, state: object) -> None:
+        self.state = state
+        self.arrays: CanonicalArrays = canonical_arrays(tree)
+        n = self.arrays.n_nodes
+        self.settled = np.zeros(n, dtype=bool)
+        self.budget = np.zeros(n, dtype=np.int64)
+        self._index = self.arrays.index_map()
+
+    def on_settled(self, node: NodeId) -> None:
+        self.settled[self._index[node]] = True
+
+    def seed_boolean(self, state: BooleanState) -> None:
+        """Absorb determinations that predate the subscription."""
+        index = self._index
+        # Bind-time seed, not a hot path: the pre-subscription settled
+        # set is almost always empty.
+        for node in state.value:  # lint: disable=R12
+            self.settled[index[node]] = True
+
+    def seed_minmax(self, state: "AlphaBetaState") -> None:
+        index = self._index
+        # Bind-time seed, not a hot path (see seed_boolean).
+        for node in state.finished_value:  # lint: disable=R12
+            self.settled[index[node]] = True
+        for node in state.pruned:  # lint: disable=R12
+            self.settled[index[node]] = True
+
+    def to_ids(self, batch: np.ndarray) -> List[NodeId]:
+        ids: List[NodeId] = self.arrays.node_ids[batch].tolist()
+        return ids
+
+
+class _ArenaPolicy:
+    """Base: bind lazily to the engine's state, track settles."""
+
+    def __init__(self) -> None:
+        self._binding: Optional[_Binding] = None
+        self.recorder: Optional[Recorder] = None
+
+    def _bind(self, tree: GameTree, state: object) -> _Binding:
+        raise NotImplementedError
+
+    def binding_for(self, tree: GameTree, state: object) -> _Binding:
+        binding = self._binding
+        if binding is None or binding.state is not state:
+            binding = self._bind(tree, state)
+            self._binding = binding
+        return binding
+
+
+class _ArenaBooleanPolicy(_ArenaPolicy):
+    def _bind(self, tree: GameTree, state: object) -> _Binding:
+        assert isinstance(state, BooleanState)
+        binding = _Binding(tree, state)
+        binding.seed_boolean(state)
+        state.subscribe(binding.on_settled)
+        return binding
+
+
+class ArenaWidthPolicy(_ArenaBooleanPolicy):
+    """Parallel SOLVE width-w selection on the arena columns."""
+
+    def __init__(self, width: int) -> None:
+        super().__init__()
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"parallel-solve(w={width}, arena)"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        binding = self.binding_for(tree, state)
+        return binding.to_ids(
+            select_width(
+                binding.arrays, binding.settled, self.width, binding.budget
+            )
+        )
+
+
+class ArenaBoundedWidthPolicy(_ArenaBooleanPolicy):
+    """Width-w selection capped at ``processors`` leaves, arena-backed."""
+
+    def __init__(self, width: int, processors: int) -> None:
+        super().__init__()
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.width = width
+        self.processors = processors
+        self.name = f"parallel-solve(w={width}, p={processors}, arena)"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        binding = self.binding_for(tree, state)
+        leaves = select_width(
+            binding.arrays, binding.settled, self.width, binding.budget
+        )
+        scores = self.width - binding.budget[leaves]
+        return binding.to_ids(
+            most_urgent(leaves, scores, self.width, self.processors)
+        )
+
+
+class ArenaTeamPolicy(_ArenaBooleanPolicy):
+    """Team SOLVE selection (leftmost p live leaves), arena-backed."""
+
+    def __init__(self, processors: int) -> None:
+        super().__init__()
+        if processors < 1:
+            raise ValueError("Team SOLVE needs at least one processor")
+        self.processors = processors
+        self.name = f"team-solve(p={processors}, arena)"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        binding = self.binding_for(tree, state)
+        frontier = select_frontier(binding.arrays, binding.settled)
+        return binding.to_ids(frontier[: self.processors])
+
+
+class ArenaSaturationPolicy(_ArenaBooleanPolicy):
+    """Saturation selection (every live leaf), arena-backed."""
+
+    name = "saturation-solve(arena)"
+
+    def __call__(self, tree: GameTree, state: BooleanState) -> List[NodeId]:
+        binding = self.binding_for(tree, state)
+        return binding.to_ids(
+            select_frontier(binding.arrays, binding.settled)
+        )
+
+
+class ArenaAlphaBetaWidthPolicy(_ArenaPolicy):
+    """Width-w alpha-beta selection on the arena columns.
+
+    "Settled" is finished-or-pruned; the state's transition feed
+    covers both, children before ancestors.
+    """
+
+    def __init__(self, width: int) -> None:
+        super().__init__()
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        self.width = width
+        self.name = f"parallel-alpha-beta(w={width}, arena)"
+
+    def _bind(self, tree: GameTree, state: object) -> _Binding:
+        # Runtime import: repro.core.alphabeta imports this package for
+        # its backend dispatch, so the reverse import must be deferred.
+        from ..alphabeta.state import AlphaBetaState
+
+        assert isinstance(state, AlphaBetaState)
+        binding = _Binding(tree, state)
+        binding.seed_minmax(state)
+        state.subscribe(binding.on_settled)
+        return binding
+
+    def __call__(
+        self, tree: GameTree, state: "AlphaBetaState"
+    ) -> List[NodeId]:
+        binding = self.binding_for(tree, state)
+        return binding.to_ids(
+            select_width(
+                binding.arrays, binding.settled, self.width, binding.budget
+            )
+        )

@@ -35,9 +35,18 @@ def n_parallel_solve(
     """Expand all frontier nodes with pruning number <= width (P-SOLVE*).
 
     ``backend`` selects the frontier engine (see
-    :func:`repro.core.parallel_solve.parallel_solve`).
+    :func:`repro.core.parallel_solve.parallel_solve`).  The arena
+    backend lowers a *fixed* tree to arrays up front, which the
+    expansion model's grow-as-you-go frontier contradicts, so it is
+    rejected here rather than silently falling back.
     """
-    if resolve_backend(backend) == "incremental":
+    backend = resolve_backend(backend)
+    if backend == "arena":
+        raise ValueError(
+            "the node-expansion model has no arena backend; "
+            "use 'incremental' or 'rescan'"
+        )
+    if backend == "incremental":
         policy = IncrementalNWidthPolicy(width)
         policy.recorder = kw.get("recorder")
         return run_expansion(tree, policy, **kw)

@@ -26,6 +26,12 @@ from typing import Optional
 from ..models.accounting import EvalResult
 from ..telemetry import Recorder
 from ..trees.base import GameTree
+from .arena import (
+    ArenaBoundedWidthPolicy,
+    ArenaWidthPolicy,
+    arena_parallel_solve,
+    arena_saturation_solve,
+)
 from .frontier import (
     IncrementalBoundedWidthPolicy,
     IncrementalSaturationPolicy,
@@ -35,7 +41,7 @@ from .policies import BoundedWidthPolicy, SaturationPolicy, WidthPolicy
 from .solve_engine import Policy, run_boolean
 
 #: Selection backends accepted by the solver entry points.
-BACKENDS = ("incremental", "rescan")
+BACKENDS = ("incremental", "rescan", "arena")
 
 
 def resolve_backend(backend: str) -> str:
@@ -64,14 +70,30 @@ def parallel_solve(
     fixed-machine variant the paper's Section 7 closes with.
 
     ``backend`` selects the frontier engine: ``"incremental"``
-    (default) or ``"rescan"`` (the reference per-step recomputation).
-    Both produce identical per-step batches.
+    (default), ``"rescan"`` (the reference per-step recomputation) or
+    ``"arena"`` (vectorised struct-of-arrays sweeps).  All produce
+    identical per-step batches.
 
     ``recorder`` attaches a telemetry sink (step spans, degree
     samples, frontier counters); the default records nothing.
     """
     policy: Policy
-    if resolve_backend(backend) == "incremental":
+    backend = resolve_backend(backend)
+    if backend == "arena":
+        if on_step is None:
+            return arena_parallel_solve(
+                tree, width,
+                max_processors=max_processors,
+                keep_batches=keep_batches,
+                recorder=recorder,
+            )
+        # on_step hooks receive the real BooleanState, so the engine
+        # loop stays object-graph with arena-backed selection.
+        if max_processors is None:
+            policy = ArenaWidthPolicy(width)
+        else:
+            policy = ArenaBoundedWidthPolicy(width, max_processors)
+    elif backend == "incremental":
         if max_processors is None:
             policy = IncrementalWidthPolicy(width)
         else:
@@ -99,7 +121,12 @@ def saturation_solve(
 ) -> EvalResult:
     """Evaluate every live leaf at every step (unbounded parallelism)."""
     policy: Policy
-    if resolve_backend(backend) == "incremental":
+    backend = resolve_backend(backend)
+    if backend == "arena":
+        return arena_saturation_solve(
+            tree, keep_batches=keep_batches, recorder=recorder
+        )
+    if backend == "incremental":
         policy = IncrementalSaturationPolicy()
         policy.recorder = recorder
     else:

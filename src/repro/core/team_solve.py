@@ -14,6 +14,7 @@ from typing import Optional
 from ..models.accounting import EvalResult
 from ..telemetry import Recorder
 from ..trees.base import GameTree
+from .arena import arena_team_solve
 from .frontier import IncrementalTeamPolicy
 from .parallel_solve import resolve_backend
 from .policies import TeamPolicy
@@ -34,7 +35,12 @@ def team_solve(
     :func:`repro.core.parallel_solve.parallel_solve`).
     """
     policy: Policy
-    if resolve_backend(backend) == "incremental":
+    backend = resolve_backend(backend)
+    if backend == "arena":
+        return arena_team_solve(
+            tree, processors, keep_batches=keep_batches, recorder=recorder
+        )
+    if backend == "incremental":
         policy = IncrementalTeamPolicy(processors)
         policy.recorder = recorder
     else:

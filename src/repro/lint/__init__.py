@@ -1,12 +1,13 @@
 """Static analysis enforcing the reproduction's model invariants.
 
-The per-file rules (R1–R7, see ``docs/static_analysis.md``)
+The per-file rules (R1–R7 and R12, see ``docs/static_analysis.md``)
 mechanically check the conventions the paper's theorems rely on: all
 work is charged through
 :class:`~repro.models.accounting.ExecutionTrace`, all randomness is
 explicitly seeded, the Section 7 simulator dispatches on every message
 kind, message payloads are immutable, the public API surface stays
-truthful, and no exception is silently swallowed.
+truthful, no exception is silently swallowed, and the columnar arena
+hot paths stay vectorised (no per-node Python loops).
 
 The project-wide rules (R8–R11, built on the :mod:`repro.lint.flow`
 import/call-graph framework) defend the byte-identical-replay contract
@@ -33,7 +34,7 @@ from .base import (
 from .findings import Finding, Severity, render_json, render_text
 from .runner import lint_paths, lint_source
 from .suppress import SuppressionTable, parse_suppressions
-from . import rules  # noqa: F401  (importing registers R1-R7)
+from . import rules  # noqa: F401  (registers R1-R7, R12)
 from .flow import rules as flow_rules  # noqa: F401  (registers R8-R11)
 
 __all__ = [

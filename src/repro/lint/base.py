@@ -152,7 +152,7 @@ def _natural(name: str) -> Tuple[int, str]:
 
 
 def all_rules() -> List[Type[Rule]]:
-    """Registered rule classes, in natural name order (R1..R11)."""
+    """Registered rule classes, in natural name order (R1..R12)."""
     return [_REGISTRY[name] for name in sorted(_REGISTRY, key=_natural)]
 
 

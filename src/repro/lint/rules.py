@@ -731,3 +731,114 @@ class ClockDisciplineRule(Rule):
                 if alias.name in _CLOCK_FUNCS:
                     aliases.add(alias.asname or alias.name)
         return aliases
+
+
+# ---------------------------------------------------------------------------
+# R12 — arena vectorisation discipline
+# ---------------------------------------------------------------------------
+
+#: Loop-variable / iterable name fragments that mark per-node iteration.
+_PER_NODE_NAMES = re.compile(r"(?:^|_)(?:node|leaf|leaves|nodes)(?:_|$|s$)")
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    for child in ast.walk(target):
+        if isinstance(child, ast.Name):
+            yield child.id
+
+
+@register
+class ArenaVectorisationRule(Rule):
+    """R12: arena hot paths must not loop over nodes in Python.
+
+    ``repro.core.arena`` exists because level-batched numpy sweeps beat
+    per-node Python loops by an order of magnitude; a ``for node in
+    ...`` (or a ``range(len(...))`` / ``range(..n_nodes..)`` walk, or
+    the comprehension equivalents) inside that package silently erodes
+    the speed-up the e27 gate pins.  Structural loops — over the
+    per-depth ``levels`` tuple, over depth buckets, the engine's step
+    loop — stay clean.  A deliberate per-node loop off the hot path
+    (e.g. seeding a binding from a pre-settled state at subscribe
+    time) must be individually acknowledged with
+    ``# lint: disable=R12``.
+    """
+
+    name = "R12"
+    title = "arena vectorisation (no per-node Python loops)"
+    severity = Severity.ERROR
+
+    SCOPES = ("core/arena/",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.logical_path.startswith(self.SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_loop(
+                    ctx, node, node.target, node.iter, "for loop"
+                )
+            elif isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp,
+                 ast.GeneratorExp),
+            ):
+                for gen in node.generators:
+                    yield from self._check_loop(
+                        ctx, node, gen.target, gen.iter, "comprehension"
+                    )
+
+    def _check_loop(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        target: ast.AST,
+        iterable: ast.AST,
+        kind: str,
+    ) -> Iterator[Finding]:
+        reason = self._per_node_reason(target, iterable)
+        if reason is None:
+            return
+        yield ctx.finding(
+            self, node,
+            f"per-node Python {kind} in an arena hot path ({reason}); "
+            f"use a vectorised level sweep, or acknowledge an off-path "
+            f"loop with '# lint: disable=R12'",
+        )
+
+    def _per_node_reason(
+        self, target: ast.AST, iterable: ast.AST
+    ) -> Optional[str]:
+        for name in _target_names(target):
+            if _PER_NODE_NAMES.search(name):
+                return f"loop variable {name!r}"
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+        ):
+            for arg in iterable.args:
+                for sub in ast.walk(arg):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id == "len"
+                    ):
+                        return "range over len(...)"
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr == "n_nodes"
+                    ):
+                        return "range over n_nodes"
+            return None
+        for name in _names_in(iterable):
+            if _PER_NODE_NAMES.search(name):
+                return f"iterating {name!r}"
+        return None

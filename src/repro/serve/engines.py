@@ -30,32 +30,43 @@ __all__ = [
 
 #: value, model steps (ticks for the machine), total work.
 EngineOutcome = Tuple[float, int, int]
-EngineFn = Callable[[GameTree, Mapping[str, int]], EngineOutcome]
+#: Params are wire-level: widths/processor counts plus an optional
+#: ``backend`` string for the frontier-backend-capable engines.
+EngineFn = Callable[[GameTree, Mapping[str, Any]], EngineOutcome]
 
 
-def _sequential(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _backend(params: Mapping[str, Any]) -> str:
+    backend: str = params.get("backend", "incremental")
+    return backend
+
+
+def _sequential(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core import sequential_solve
 
     res = sequential_solve(tree)
     return float(res.value), res.num_steps, res.total_work
 
 
-def _team(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _team(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core import team_solve
 
-    res = team_solve(tree, params.get("processors", 4))
+    res = team_solve(
+        tree, params.get("processors", 4), backend=_backend(params)
+    )
     return float(res.value), res.num_steps, res.total_work
 
 
-def _parallel(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _parallel(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core import parallel_solve
 
-    res = parallel_solve(tree, params.get("width", 1))
+    res = parallel_solve(
+        tree, params.get("width", 1), backend=_backend(params)
+    )
     return float(res.value), res.num_steps, res.total_work
 
 
 def _nsequential(
-    tree: GameTree, params: Mapping[str, int]
+    tree: GameTree, params: Mapping[str, Any]
 ) -> EngineOutcome:
     from ..core.nodeexpansion import n_sequential_solve
 
@@ -63,21 +74,21 @@ def _nsequential(
     return float(res.value), res.num_steps, res.total_work
 
 
-def _nparallel(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _nparallel(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.nodeexpansion import n_parallel_solve
 
     res = n_parallel_solve(tree, params.get("width", 1))
     return float(res.value), res.num_steps, res.total_work
 
 
-def _machine(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _machine(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..simulator import simulate
 
     res = simulate(tree, physical_processors=params.get("processors"))
     return float(res.value), res.ticks, res.expansions
 
 
-def _alphabeta(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _alphabeta(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.alphabeta import alpha_beta
 
     res = alpha_beta(tree)
@@ -85,16 +96,16 @@ def _alphabeta(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
 
 
 def _sequential_ab(
-    tree: GameTree, params: Mapping[str, int]
+    tree: GameTree, params: Mapping[str, Any]
 ) -> EngineOutcome:
     from ..core.alphabeta import sequential_alpha_beta
 
-    res = sequential_alpha_beta(tree)
+    res = sequential_alpha_beta(tree, backend=_backend(params))
     return float(res.value), res.num_steps, res.total_work
 
 
 def _nsequential_ab(
-    tree: GameTree, params: Mapping[str, int]
+    tree: GameTree, params: Mapping[str, Any]
 ) -> EngineOutcome:
     from ..core.nodeexpansion import n_sequential_alpha_beta
 
@@ -103,7 +114,7 @@ def _nsequential_ab(
 
 
 def _nparallel_ab(
-    tree: GameTree, params: Mapping[str, int]
+    tree: GameTree, params: Mapping[str, Any]
 ) -> EngineOutcome:
     from ..core.nodeexpansion import n_parallel_alpha_beta
 
@@ -111,28 +122,30 @@ def _nparallel_ab(
     return float(res.value), res.num_steps, res.total_work
 
 
-def _parallel_ab(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _parallel_ab(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.alphabeta import parallel_alpha_beta
 
-    res = parallel_alpha_beta(tree, params.get("width", 1))
+    res = parallel_alpha_beta(
+        tree, params.get("width", 1), backend=_backend(params)
+    )
     return float(res.value), res.num_steps, res.total_work
 
 
-def _scout(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _scout(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.alphabeta import scout
 
     res = scout(tree)
     return float(res.value), res.num_steps, res.total_work
 
 
-def _sss(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _sss(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.alphabeta import sss_star
 
     res = sss_star(tree)
     return float(res.value), res.num_steps, res.total_work
 
 
-def _minimax(tree: GameTree, params: Mapping[str, int]) -> EngineOutcome:
+def _minimax(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.alphabeta import minimax
 
     res = minimax(tree)
@@ -170,7 +183,7 @@ MINMAX_ALGORITHMS = (
 
 
 def run_algorithm(
-    algo: str, tree: GameTree, params: Mapping[str, int]
+    algo: str, tree: GameTree, params: Mapping[str, Any]
 ) -> EngineOutcome:
     """Dispatch one evaluation; raises ``KeyError`` on unknown names."""
     try:

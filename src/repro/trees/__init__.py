@@ -1,7 +1,13 @@
 """Tree substrate: representations, views and instance generators."""
 
 from .base import GameTree, NodeId, exact_value, subtree_leaves
-from .canonical import canonical_encoding, canonical_hash, trees_equal
+from .canonical import (
+    CanonicalArrays,
+    canonical_arrays,
+    canonical_encoding,
+    canonical_hash,
+    trees_equal,
+)
 from .explicit import ExplicitTree
 from .gates import GateScheme, all_nor, alternating
 from .lazy import LazyTree, lazy_view
@@ -13,6 +19,8 @@ __all__ = [
     "NodeId",
     "exact_value",
     "subtree_leaves",
+    "CanonicalArrays",
+    "canonical_arrays",
     "canonical_encoding",
     "canonical_hash",
     "trees_equal",

@@ -22,12 +22,24 @@ expanded), exactly as :meth:`GameTree.iter_nodes` would.
 from __future__ import annotations
 
 import hashlib
-from typing import List
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from ..types import TreeKind
+import numpy as np
+
+from ..types import Gate, LeafValue, TreeKind
 from .base import GameTree, NodeId
 
-__all__ = ["canonical_encoding", "canonical_hash", "trees_equal"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .explicit import ExplicitTree
+
+__all__ = [
+    "CanonicalArrays",
+    "canonical_arrays",
+    "canonical_encoding",
+    "canonical_hash",
+    "trees_equal",
+]
 
 
 def _leaf_token(tree: GameTree, node: NodeId) -> str:
@@ -89,6 +101,238 @@ def canonical_hash(tree: GameTree) -> str:
     except AttributeError:  # lint: disable=R6
         pass
     return digest
+
+
+#: Reverse lookup from a gate's semantic triple back to the enum
+#: member; the four gates have pairwise-distinct triples.
+_TRIPLE_TO_GATE: Dict[Tuple[int, int, int], Gate] = {
+    (g.absorbing, g.on_absorb, g.otherwise): g for g in Gate
+}
+
+
+@dataclass
+class CanonicalArrays:
+    """The preorder encoding of a tree as struct-of-arrays columns.
+
+    This is the same left-to-right preorder :func:`canonical_encoding`
+    walks, materialised once as numpy columns indexed by preorder
+    position ``0 .. n_nodes-1`` (root at 0).  The subtree of node ``i``
+    occupies the contiguous index range ``[i, i + spans[i])``, so the
+    next preorder sibling of ``i`` is ``i + spans[i]`` and the children
+    of ``i`` are exactly the depth-``depths[i]+1`` nodes inside that
+    range.  ``repro.core.arena`` lowers trees through this dataclass
+    and never touches the object graph again.
+
+    Instances are immutable by convention: the arena engines read the
+    columns but never write them (all mutable run state lives in the
+    engine's own arrays).
+    """
+
+    kind: TreeKind
+    #: Original node identifiers in preorder (``int64`` when every id
+    #: is a Python int — the dense-tree fast path — else ``object``).
+    node_ids: np.ndarray
+    #: Preorder index of each node's parent; -1 at the root.
+    parents: np.ndarray
+    #: Subtree size including the node itself (1 at leaves).
+    spans: np.ndarray
+    depths: np.ndarray
+    #: Number of children (0 at leaves).
+    arities: np.ndarray
+    #: Index among the parent's children (0 at the root).
+    child_pos: np.ndarray
+    is_leaf: np.ndarray
+    #: Leaf values as float64 (0/1 for Boolean trees); NaN at internal
+    #: nodes.
+    values: np.ndarray
+    #: Per-node gate semantics for Boolean trees (``int8``, -1 at
+    #: leaves); ``None`` for MIN/MAX trees.
+    gate_absorbing: Optional[np.ndarray]
+    gate_on_absorb: Optional[np.ndarray]
+    gate_otherwise: Optional[np.ndarray]
+    #: ``levels[d]`` is the sorted preorder-index array of depth-``d``
+    #: nodes; within a level, nodes sharing a parent form contiguous
+    #: runs (a preorder invariant the vectorised sweeps rely on).
+    levels: Tuple[np.ndarray, ...]
+
+    _index: Optional[Dict[NodeId, int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.parents.shape[0])
+
+    @property
+    def height(self) -> int:
+        return len(self.levels) - 1
+
+    def index_map(self) -> Dict[NodeId, int]:
+        """``NodeId -> preorder index`` (built lazily, then cached)."""
+        if self._index is None:
+            self._index = {
+                node: i for i, node in enumerate(self.node_ids.tolist())
+            }
+        return self._index
+
+    def children_of(self, i: int) -> List[int]:
+        """Preorder indices of node ``i``'s children, left to right."""
+        kids: List[int] = []
+        j = i + 1
+        end = i + int(self.spans[i])
+        while j < end:
+            kids.append(j)
+            j += int(self.spans[j])
+        return kids
+
+    def to_explicit(self) -> "ExplicitTree":
+        """Rebuild an explicit tree over dense preorder ids.
+
+        Semantically equal to the lowered tree (same shape, gates and
+        leaf values); the round-trip tests pin this against
+        ``tree_to_dict`` of the original.
+        """
+        from .explicit import ExplicitTree
+
+        n = self.n_nodes
+        children = [self.children_of(i) for i in range(n)]
+        leaf_values: Dict[int, LeafValue] = {}
+        for i in np.flatnonzero(self.is_leaf).tolist():
+            raw = float(self.values[i])
+            leaf_values[i] = (
+                int(raw) if self.kind is TreeKind.BOOLEAN else raw
+            )
+        gates: Optional[Dict[int, Gate]] = None
+        if self.kind is TreeKind.BOOLEAN:
+            assert self.gate_absorbing is not None
+            assert self.gate_on_absorb is not None
+            assert self.gate_otherwise is not None
+            gates = {
+                i: _TRIPLE_TO_GATE[
+                    (
+                        int(self.gate_absorbing[i]),
+                        int(self.gate_on_absorb[i]),
+                        int(self.gate_otherwise[i]),
+                    )
+                ]
+                for i in range(n)
+                if not self.is_leaf[i]
+            }
+        return ExplicitTree(
+            children, leaf_values, kind=self.kind, gates=gates
+        )
+
+
+#: instance-attribute memo slot for the lowered arrays (same contract
+#: as ``_HASH_ATTR``: trees are immutable once built).
+_ARRAYS_ATTR = "_repro_canonical_arrays"
+
+
+def canonical_arrays(tree: GameTree) -> CanonicalArrays:
+    """Lower a tree to its :class:`CanonicalArrays` preorder columns.
+
+    One O(n) object-graph walk per tree *object* (memoised like
+    :func:`canonical_hash`); every subsequent arena run reuses the
+    columns without touching the tree again.
+    """
+    cached = getattr(tree, _ARRAYS_ATTR, None)
+    if isinstance(cached, CanonicalArrays):
+        return cached
+
+    boolean = tree.kind is TreeKind.BOOLEAN
+    ids: List[NodeId] = []
+    parents: List[int] = []
+    depths: List[int] = []
+    child_pos: List[int] = []
+    arities: List[int] = []
+    values: List[float] = []
+    gate_abs: List[int] = []
+    gate_on: List[int] = []
+    gate_other: List[int] = []
+
+    # Preorder via LIFO with reversed pushes — identical visit order to
+    # canonical_encoding.
+    stack: List[Tuple[NodeId, int, int, int]] = [(tree.root, -1, 0, 0)]
+    while stack:
+        node, parent_idx, depth, pos = stack.pop()
+        idx = len(ids)
+        ids.append(node)
+        parents.append(parent_idx)
+        depths.append(depth)
+        child_pos.append(pos)
+        if tree.is_leaf(node):
+            arities.append(0)
+            values.append(float(tree.leaf_value(node)))
+            if boolean:
+                gate_abs.append(-1)
+                gate_on.append(-1)
+                gate_other.append(-1)
+        else:
+            kids = tree.children(node)
+            arities.append(len(kids))
+            values.append(float("nan"))
+            if boolean:
+                gate = tree.gate(node)
+                gate_abs.append(gate.absorbing)
+                gate_on.append(gate.on_absorb)
+                gate_other.append(gate.otherwise)
+            for k_pos, kid in reversed(list(enumerate(kids))):
+                stack.append((kid, idx, depth + 1, k_pos))
+
+    n = len(ids)
+    parents_a = np.asarray(parents, dtype=np.int64)
+    depths_a = np.asarray(depths, dtype=np.int64)
+    arities_a = np.asarray(arities, dtype=np.int64)
+    child_pos_a = np.asarray(child_pos, dtype=np.int64)
+    is_leaf_a = arities_a == 0
+    values_a = np.asarray(values, dtype=np.float64)
+    if all(type(x) is int for x in ids):
+        node_ids_a = np.asarray(ids, dtype=np.int64)
+    else:
+        node_ids_a = np.empty(n, dtype=object)
+        for i, node in enumerate(ids):
+            node_ids_a[i] = node
+
+    height = int(depths_a.max()) if n else 0
+    levels = tuple(
+        np.flatnonzero(depths_a == d) for d in range(height + 1)
+    )
+
+    # Subtree spans by one bottom-up pass: each node contributes its
+    # (already summed) span to its parent, deepest level first.
+    spans_a = np.ones(n, dtype=np.int64)
+    for d in range(height, 0, -1):
+        level = levels[d]
+        np.add.at(spans_a, parents_a[level], spans_a[level])
+
+    arrays = CanonicalArrays(
+        kind=tree.kind,
+        node_ids=node_ids_a,
+        parents=parents_a,
+        spans=spans_a,
+        depths=depths_a,
+        arities=arities_a,
+        child_pos=child_pos_a,
+        is_leaf=is_leaf_a,
+        values=values_a,
+        gate_absorbing=(
+            np.asarray(gate_abs, dtype=np.int8) if boolean else None
+        ),
+        gate_on_absorb=(
+            np.asarray(gate_on, dtype=np.int8) if boolean else None
+        ),
+        gate_otherwise=(
+            np.asarray(gate_other, dtype=np.int8) if boolean else None
+        ),
+        levels=levels,
+    )
+    # Slotted/frozen tree types reject the memo attribute; the arrays
+    # are simply recomputed on demand for them.
+    try:
+        setattr(tree, _ARRAYS_ATTR, arrays)
+    except AttributeError:  # lint: disable=R6
+        pass
+    return arrays
 
 
 def trees_equal(a: GameTree, b: GameTree) -> bool:

@@ -1,0 +1,218 @@
+"""Unit tests for the columnar arena engines and selection kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArenaAlphaBetaWidthPolicy,
+    ArenaBoundedWidthPolicy,
+    ArenaSaturationPolicy,
+    ArenaTeamPolicy,
+    ArenaWidthPolicy,
+    arena_parallel_solve,
+    arena_saturation_solve,
+    arena_team_solve,
+    parallel_solve,
+    saturation_solve,
+    team_solve,
+)
+from repro.core.alphabeta import (
+    parallel_alpha_beta,
+    sequential_alpha_beta,
+)
+from repro.core.arena import arena_alpha_beta
+from repro.core.arena import most_urgent, select_width
+from repro.core.nodeexpansion import n_parallel_solve
+from repro.errors import ModelViolationError
+from repro.telemetry import InMemoryRecorder
+from repro.trees import ExplicitTree, canonical_arrays
+from repro.trees.generators import iid_boolean, iid_minmax
+from repro.trees.generators.iid import level_invariant_bias
+from repro.types import Gate, TreeKind
+
+
+def _signature(result):
+    return (result.value, result.trace.degrees, result.trace.batches)
+
+
+@pytest.fixture(scope="module")
+def boolean_tree():
+    return iid_boolean(3, 5, level_invariant_bias(3), seed=17)
+
+
+@pytest.fixture(scope="module")
+def minmax_tree():
+    return iid_minmax(3, 5, seed=17)
+
+
+# ---------------------------------------------------------------------------
+# engines
+# ---------------------------------------------------------------------------
+def test_pure_engines_match_incremental(boolean_tree):
+    for width in (0, 1, 3):
+        arena = arena_parallel_solve(
+            boolean_tree, width, keep_batches=True
+        )
+        reference = parallel_solve(
+            boolean_tree, width, keep_batches=True, backend="incremental"
+        )
+        assert _signature(arena) == _signature(reference)
+        assert arena.evaluated == reference.evaluated
+
+
+def test_bounded_single_processor(boolean_tree):
+    arena = arena_parallel_solve(
+        boolean_tree, 2, max_processors=1, keep_batches=True
+    )
+    reference = parallel_solve(
+        boolean_tree, 2, max_processors=1, keep_batches=True,
+        backend="incremental",
+    )
+    assert _signature(arena) == _signature(reference)
+    assert all(len(batch) == 1 for batch in arena.trace.batches)
+
+
+def test_team_and_saturation(boolean_tree):
+    for procs in (1, 3):
+        arena = arena_team_solve(boolean_tree, procs, keep_batches=True)
+        reference = team_solve(
+            boolean_tree, procs, keep_batches=True, backend="incremental"
+        )
+        assert _signature(arena) == _signature(reference)
+    arena = arena_saturation_solve(boolean_tree, keep_batches=True)
+    reference = saturation_solve(
+        boolean_tree, keep_batches=True, backend="incremental"
+    )
+    assert _signature(arena) == _signature(reference)
+
+
+def test_alpha_beta_widths(minmax_tree):
+    for width in (0, 1, 2):
+        arena = arena_alpha_beta(minmax_tree, width, keep_batches=True)
+        reference = parallel_alpha_beta(
+            minmax_tree, width, keep_batches=True, backend="incremental"
+        )
+        assert _signature(arena) == _signature(reference)
+        assert arena.evaluated == reference.evaluated
+
+
+def test_alpha_beta_width0_is_sequential(minmax_tree):
+    arena = sequential_alpha_beta(minmax_tree, backend="arena")
+    reference = sequential_alpha_beta(minmax_tree, backend="incremental")
+    assert arena.value == reference.value
+    assert arena.num_steps == reference.num_steps
+
+
+def test_policy_names_tag_the_arena():
+    assert ArenaWidthPolicy(2).name == "parallel-solve(w=2, arena)"
+    assert ArenaBoundedWidthPolicy(2, 3).name == (
+        "parallel-solve(w=2, p=3, arena)"
+    )
+    assert ArenaTeamPolicy(2).name == "team-solve(p=2, arena)"
+    assert ArenaSaturationPolicy().name == "saturation-solve(arena)"
+    assert ArenaAlphaBetaWidthPolicy(1).name == (
+        "parallel-alpha-beta(w=1, arena)"
+    )
+
+
+def test_max_steps_enforced(boolean_tree):
+    with pytest.raises(ModelViolationError):
+        arena_parallel_solve(boolean_tree, 0, max_steps=2)
+
+
+def test_boolean_engine_rejects_minmax(minmax_tree):
+    with pytest.raises(ValueError):
+        arena_parallel_solve(minmax_tree, 1)
+
+
+def test_nodeexpansion_rejects_arena(boolean_tree):
+    with pytest.raises(ValueError, match="no arena backend"):
+        n_parallel_solve(boolean_tree, 1, backend="arena")
+
+
+def test_hybrid_on_step_sees_real_state(boolean_tree):
+    seen = []
+
+    def on_step(state, step, batch):
+        seen.append((step, len(batch)))
+        assert hasattr(state, "value")  # a real BooleanState
+
+    hybrid = parallel_solve(
+        boolean_tree, 2, keep_batches=True, backend="arena",
+        on_step=on_step,
+    )
+    reference = parallel_solve(
+        boolean_tree, 2, keep_batches=True, backend="incremental"
+    )
+    assert _signature(hybrid) == _signature(reference)
+    assert len(seen) == hybrid.num_steps
+
+
+def test_recorder_streams_match_modulo_frontier_counters(boolean_tree):
+    arena_rec = InMemoryRecorder()
+    arena_parallel_solve(boolean_tree, 2, recorder=arena_rec)
+    incr_rec = InMemoryRecorder()
+    parallel_solve(
+        boolean_tree, 2, backend="incremental", recorder=incr_rec
+    )
+    incr_events = [
+        e for e in incr_rec.events
+        if not e.name.startswith("frontier.")
+    ]
+    assert arena_rec.events == incr_events
+
+
+def test_alpha_beta_recorder_has_pruned_spans(minmax_tree):
+    rec = InMemoryRecorder()
+    arena_alpha_beta(minmax_tree, 1, recorder=rec)
+    spans = [e for e in rec.events if e.kind == "span"]
+    assert spans and all(e.track == "alphabeta" for e in spans)
+    assert any(dict(e.attrs).get("pruned", 0) > 0 for e in spans)
+
+
+def test_irregular_explicit_tree():
+    # Arity-1 chain into mixed gates — exercises non-uniform levels.
+    tree = ExplicitTree(
+        children=[[1], [2, 3], [4, 5], [], [], []],
+        leaf_values={3: 0, 4: 1, 5: 0},
+        kind=TreeKind.BOOLEAN,
+        gates={0: Gate.NAND, 1: Gate.OR, 2: Gate.AND},
+    )
+    for width in (0, 1, 2):
+        arena = arena_parallel_solve(tree, width, keep_batches=True)
+        reference = parallel_solve(
+            tree, width, keep_batches=True, backend="incremental"
+        )
+        assert _signature(arena) == _signature(reference)
+
+
+# ---------------------------------------------------------------------------
+# selection kernels
+# ---------------------------------------------------------------------------
+def test_select_width_scores_are_pruning_numbers(boolean_tree):
+    arrays = canonical_arrays(boolean_tree)
+    settled = np.zeros(arrays.n_nodes, dtype=bool)
+    budget = np.zeros(arrays.n_nodes, dtype=np.int64)
+    width = 2
+    leaves = select_width(arrays, settled, width, budget)
+    # On a fresh tree the live leaves of pruning number <= w are exactly
+    # what the reference policy's first batch evaluates.
+    reference = parallel_solve(
+        boolean_tree, width, keep_batches=True, backend="incremental"
+    )
+    index = arrays.index_map()
+    expected = sorted(index[n] for n in reference.trace.batches[0])
+    assert leaves.tolist() == expected
+    scores = width - budget[leaves]
+    assert (scores >= 0).all() and (scores <= width).all()
+
+
+def test_most_urgent_prefix_of_counting_sort():
+    leaves = np.arange(6, dtype=np.int64)
+    scores = np.array([2, 1, 3, 1, 2, 3], dtype=np.int64)
+    # p >= len: everything is selected.
+    assert most_urgent(leaves, scores, 3, 10).tolist() == list(range(6))
+    # p = 3: both score-1 leaves, then the leftmost score-2 leaf.
+    assert most_urgent(leaves, scores, 3, 3).tolist() == [0, 1, 3]
+    # p = 1: ties at the cutoff break leftmost-first.
+    assert most_urgent(leaves, scores, 3, 1).tolist() == [1]

@@ -197,6 +197,32 @@ CASES = [
         "    except Exception:\n"
         "        raise RuntimeError('close failed')\n",
     ),
+    (
+        "R12",
+        "core/arena/selection.py",
+        # Per-node Python loop where a level sweep belongs.
+        "def count_live(arrays, settled):\n"
+        "    total = 0\n"
+        "    for node in arrays.node_ids:\n"
+        "        total += int(settled[node])\n"
+        "    return total\n",
+        # The vectorised counterpart iterates per depth level.
+        "def count_live(arrays, settled):\n"
+        "    total = 0\n"
+        "    for level in arrays.levels[1:]:\n"
+        "        total += int(settled[level].sum())\n"
+        "    return total\n",
+    ),
+    (
+        "R12",
+        "core/arena/boolean.py",
+        # range(len(...)) index walks are per-node loops in disguise.
+        "def seed(values, out):\n"
+        "    for i in range(len(values)):\n"
+        "        out[i] = values[i]\n",
+        "def seed(values, out):\n"
+        "    out[:] = values\n",
+    ),
 ]
 
 
@@ -355,3 +381,56 @@ def test_r6_handler_that_acts_is_clean():
         "        return None\n"
     )
     assert lint_source(src, "core/x.py") == []
+
+
+def test_r12_scoped_to_arena_package():
+    per_node = (
+        "def count(tree):\n"
+        "    total = 0\n"
+        "    for leaf in tree.leaves():\n"
+        "        total += 1\n"
+        "    return total\n"
+    )
+    # Fires only under core/arena/ — object-graph engines loop freely.
+    assert lint_source(per_node, "core/frontier.py") == []
+    assert lint_source(per_node, "trees/explicit.py") == []
+    assert [
+        f.rule for f in lint_source(per_node, "core/arena/boolean.py")
+    ] == ["R12"]
+
+
+def test_r12_comprehensions_and_n_nodes_ranges_fire():
+    comp = (
+        "def ids(arrays):\n"
+        "    return [int(node) for node in arrays.node_ids]\n"
+    )
+    findings = lint_source(comp, "core/arena/selection.py")
+    assert [f.rule for f in findings] == ["R12"]
+    walk = (
+        "def spans(arrays):\n"
+        "    return [arrays.spans[i] for i in range(arrays.n_nodes)]\n"
+    )
+    findings = lint_source(walk, "core/arena/selection.py")
+    assert [f.rule for f in findings] == ["R12"]
+
+
+def test_r12_structural_loops_stay_clean():
+    src = (
+        "def cascade(arrays, buckets):\n"
+        "    for depth in range(max(buckets), 0, -1):\n"
+        "        batch = buckets[depth]\n"
+        "    for depth, level in enumerate(arrays.levels[1:]):\n"
+        "        batch = level\n"
+        "    while True:\n"
+        "        break\n"
+    )
+    assert lint_source(src, "core/arena/alphabeta.py") == []
+
+
+def test_r12_acknowledged_seed_loop_is_suppressed():
+    src = (
+        "def seed(index, state, settled):\n"
+        "    for node in state.value:  # lint: disable=R12\n"
+        "        settled[index[node]] = True\n"
+    )
+    assert lint_source(src, "core/arena/policies.py") == []

@@ -1,0 +1,124 @@
+"""CanonicalArrays: preorder lowering invariants and round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.trees import CanonicalArrays, canonical_arrays, trees_equal
+from repro.trees.explicit import ExplicitTree
+from repro.trees.generators import iid_boolean, iid_minmax
+from repro.trees.io import tree_to_dict
+from repro.types import Gate, TreeKind
+
+
+def _check_invariants(arrays: CanonicalArrays) -> None:
+    n = arrays.n_nodes
+    assert arrays.parents[0] == -1
+    assert arrays.depths[0] == 0
+    assert int(arrays.spans[0]) == n
+    # Subtrees are contiguous preorder ranges: every node lies inside
+    # its parent's range, strictly after the parent.
+    for i in range(1, n):
+        p = int(arrays.parents[i])
+        assert p < i <= p + int(arrays.spans[p]) - 1
+        assert arrays.depths[i] == arrays.depths[p] + 1
+    # Arities match the span-walk children; child_pos is the rank.
+    for i in range(n):
+        kids = arrays.children_of(i)
+        assert len(kids) == int(arrays.arities[i])
+        for pos, k in enumerate(kids):
+            assert int(arrays.child_pos[k]) == pos
+    # Levels partition the nodes; same-parent runs are contiguous
+    # within each sorted level (the vectorised sweeps rely on this).
+    assert sum(len(lv) for lv in arrays.levels) == n
+    for lv in arrays.levels[1:]:
+        parents = arrays.parents[lv]
+        seen = set()
+        previous = None
+        for p in parents.tolist():
+            if p != previous:
+                assert p not in seen
+                seen.add(p)
+                previous = p
+
+
+@pytest.mark.parametrize("branching,height", [(2, 3), (3, 4), (2, 6)])
+def test_boolean_roundtrip(branching, height):
+    tree = iid_boolean(branching, height, 0.5, seed=7)
+    arrays = canonical_arrays(tree)
+    _check_invariants(arrays)
+    assert arrays.kind is TreeKind.BOOLEAN
+    rebuilt = arrays.to_explicit()
+    assert trees_equal(tree, rebuilt)
+    # The serialised forms agree wherever ids allow: a dense rebuild of
+    # an explicit original is the identical dict.
+    explicit = arrays.to_explicit()
+    again = canonical_arrays(explicit)
+    assert tree_to_dict(again.to_explicit()) == tree_to_dict(explicit)
+
+
+@pytest.mark.parametrize("branching,height", [(2, 3), (3, 5)])
+def test_minmax_roundtrip(branching, height):
+    tree = iid_minmax(branching, height, seed=11)
+    arrays = canonical_arrays(tree)
+    _check_invariants(arrays)
+    assert arrays.kind is TreeKind.MINMAX
+    assert arrays.gate_absorbing is None
+    assert trees_equal(tree, arrays.to_explicit())
+
+
+def test_explicit_dict_roundtrip_is_exact():
+    tree = ExplicitTree.from_nested(
+        [[1, 0, [1, 1]], [0, [0, 1], 1], 1],
+        gates=Gate.NAND,
+    )
+    arrays = canonical_arrays(tree)
+    _check_invariants(arrays)
+    # ExplicitTree.from_nested numbers nodes in preorder already, so
+    # the rebuild reproduces tree_to_dict exactly, ids included.
+    assert tree_to_dict(arrays.to_explicit()) == tree_to_dict(tree)
+
+
+def test_mixed_gates_survive_lowering():
+    tree = ExplicitTree(
+        children=[[1, 2], [3, 4], [], [], []],
+        leaf_values={2: 1, 3: 0, 4: 1},
+        kind=TreeKind.BOOLEAN,
+        gates={0: Gate.NOR, 1: Gate.AND},
+    )
+    arrays = canonical_arrays(tree)
+    rebuilt = arrays.to_explicit()
+    assert rebuilt.gate(0) is Gate.NOR
+    assert rebuilt.gate(1) is Gate.AND
+    assert trees_equal(tree, rebuilt)
+
+
+def test_single_leaf_tree():
+    tree = ExplicitTree([[]], {0: 1}, kind=TreeKind.BOOLEAN, gates=None)
+    arrays = canonical_arrays(tree)
+    assert arrays.n_nodes == 1
+    assert arrays.height == 0
+    assert bool(arrays.is_leaf[0])
+    assert arrays.children_of(0) == []
+    assert trees_equal(tree, arrays.to_explicit())
+
+
+def test_lowering_is_memoized_per_tree_object():
+    tree = iid_boolean(2, 4, 0.5, seed=3)
+    assert canonical_arrays(tree) is canonical_arrays(tree)
+
+
+def test_index_map_inverts_node_ids():
+    tree = iid_minmax(3, 3, seed=5)
+    arrays = canonical_arrays(tree)
+    index = arrays.index_map()
+    assert len(index) == arrays.n_nodes
+    for i, node in enumerate(arrays.node_ids.tolist()):
+        assert index[node] == i
+    assert arrays.index_map() is index  # cached
+
+
+def test_leaf_values_nan_at_internal_nodes():
+    tree = iid_minmax(2, 3, seed=1)
+    arrays = canonical_arrays(tree)
+    assert np.isnan(arrays.values[~arrays.is_leaf]).all()
+    assert not np.isnan(arrays.values[arrays.is_leaf]).any()
