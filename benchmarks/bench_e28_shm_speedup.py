@@ -1,0 +1,98 @@
+"""E28 — shared-memory leaf evaluation: hardware speedup vs c.(n+1).
+
+Step-identity first: with ``executor="shm"`` the run must replay
+exactly the per-step batches the serial arena produces, at every
+worker count and chunking policy, because only the leaf *evaluation
+site* moves across processes.  Then wall-clock: with a calibrated
+constant-cost leaf oracle (sleep mode, so the measurement is
+independent of the host's core count) the step barrier must show a
+monotone speedup curve over p = 1, 2, 4 reaching at least the
+registry's bound at p=4 — the hardware shadow of the paper's
+``c.(n+1)`` step-count speedup (Theorem 1).
+"""
+
+import pytest
+
+from repro.bench.specs import gate_bound
+from repro.bench.wallclock import best_of
+from repro.core import parallel_solve
+from repro.core.alphabeta import parallel_alpha_beta
+from repro.core.shm import CalibratedOracle, ShmOptions, ShmSession
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import iid_minmax, level_invariant_bias
+
+BRANCHING = 3
+HEIGHT = 6
+WIDTH = 1
+ORACLE_COST_S = 0.004
+P_GRID = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def boolean_tree():
+    return iid_boolean(
+        BRANCHING, HEIGHT, level_invariant_bias(BRANCHING), seed=2028
+    )
+
+
+@pytest.fixture(scope="module")
+def minmax_tree():
+    return iid_minmax(BRANCHING, HEIGHT, seed=2028)
+
+
+def _signature(result):
+    return (result.value, result.trace.degrees, result.trace.batches)
+
+
+@pytest.mark.experiment("e28")
+def test_solve_step_identical_across_p(boolean_tree):
+    reference = parallel_solve(
+        boolean_tree, WIDTH, keep_batches=True, backend="arena"
+    )
+    for p in P_GRID:
+        for chunk in (None, 3):
+            shm = parallel_solve(
+                boolean_tree, WIDTH, keep_batches=True, backend="arena",
+                executor="shm",
+                shm_options=ShmOptions(workers=p, chunk_size=chunk),
+            )
+            assert _signature(shm) == _signature(reference), (p, chunk)
+
+
+@pytest.mark.experiment("e28")
+def test_alphabeta_step_identical(minmax_tree):
+    reference = parallel_alpha_beta(
+        minmax_tree, WIDTH, keep_batches=True, backend="arena"
+    )
+    shm = parallel_alpha_beta(
+        minmax_tree, WIDTH, keep_batches=True, backend="arena",
+        executor="shm", shm_options=ShmOptions(workers=2),
+    )
+    assert _signature(shm) == _signature(reference)
+
+
+@pytest.mark.experiment("e28")
+def test_wallclock_speedup_curve(boolean_tree, benchmark):
+    oracle = CalibratedOracle(ORACLE_COST_S, "sleep")
+    times = {}
+    for p in P_GRID:
+        with ShmSession(
+            boolean_tree, ShmOptions(workers=p, oracle=oracle)
+        ) as session:
+            times[p] = best_of(
+                lambda: session.parallel_solve(WIDTH), repeats=2
+            )
+    speedups = {p: times[1] / times[p] for p in P_GRID}
+    print(
+        f"\nSHM d={BRANCHING} n={HEIGHT} w={WIDTH} "
+        f"cost={ORACLE_COST_S * 1e3:.1f}ms: "
+        + " ".join(
+            f"p={p}: {times[p]:.3f}s ({speedups[p]:.2f}x)"
+            for p in P_GRID
+        )
+    )
+    # Monotone within 5% noise, and the registry owns the p=4 bound
+    # (measured ~2.8x on this configuration).
+    for lo, hi in zip(P_GRID, P_GRID[1:]):
+        assert times[hi] <= times[lo] * 1.05, (lo, hi)
+    assert speedups[4] >= gate_bound("e28", "speedup_p4")

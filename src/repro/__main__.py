@@ -31,6 +31,10 @@ gateway
     bounded admission queues, priority classes, deadlines, a retry
     budget and shard self-healing, driven by a deterministic
     logical-clock loop (asyncio wall-clock mode opt-in).
+shm
+    Shared-memory leaf evaluation over the arena: identity check
+    against the serial arena engines and a wall-clock speedup curve
+    over worker counts with a calibrated leaf oracle.
 """
 
 from __future__ import annotations
@@ -260,6 +264,12 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return run_gateway(args)
 
 
+def _cmd_shm(args: argparse.Namespace) -> int:
+    from .core.shm.cli import run_shm
+
+    return run_shm(args)
+
+
 def _tw(res: EvalResult) -> Tuple[int, int, int]:
     return res.num_steps, res.total_work, res.processors
 
@@ -427,6 +437,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     add_gateway_arguments(gateway)
     gateway.set_defaults(fn=_cmd_gateway)
+
+    from .core.shm.cli import add_shm_arguments
+
+    shm = sub.add_parser(
+        "shm",
+        help="shared-memory leaf evaluation: identity check and "
+        "hardware speedup curve",
+    )
+    add_shm_arguments(shm)
+    shm.set_defaults(fn=_cmd_shm)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

@@ -249,7 +249,10 @@ def temporary_registry() -> Iterator[None]:
     Restores the previous contents on exit so module-level
     registrations (which only happen once per process) survive.
     """
-    saved = dict(_REGISTRY)
+    # Force the one-time spec-package import *before* the swap, else
+    # the registrations land in the temporary registry and are wiped
+    # on exit (imports never re-run).
+    saved = dict(_loaded())
     _REGISTRY.clear()
     try:
         yield

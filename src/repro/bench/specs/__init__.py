@@ -1,13 +1,14 @@
-"""The declarative benchmark spec registry (e01-e27).
+"""The declarative benchmark spec registry (e01-e28).
 
 Importing this package registers every spec:
 
 * :mod:`repro.bench.specs.experiments` — the 22 paper-experiment
   specs, wrapping the experiment functions via declarative table
   metric extractors;
-* :mod:`repro.bench.specs.infra` — the 5 infrastructure specs
+* :mod:`repro.bench.specs.infra` — the 6 infrastructure specs
   (frontier backends, fault overhead, telemetry overhead, serving
-  throughput, arena backend speedup) with custom runners;
+  throughput, arena backend speedup, shared-memory hardware speedup)
+  with custom runners;
 * :mod:`repro.bench.specs.gateway` — the gateway overload soak
   (e26): 2x-capacity chaos run gated on determinism, zero wrong
   answers and shard self-healing.

@@ -1,5 +1,5 @@
-"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25 and
-e27; the e26 gateway overload soak lives in
+"""Benchmark specs for the infrastructure subsystems (e21b, e23-e25,
+e27 and e28; the e26 gateway overload soak lives in
 :mod:`repro.bench.specs.gateway`).
 
 These wrap the gated benchmarks under ``benchmarks/`` — frontier
@@ -23,6 +23,7 @@ from typing import Any, Dict
 
 from ...core import parallel_solve
 from ...core.alphabeta import parallel_alpha_beta
+from ...core.shm import CalibratedOracle, ShmOptions, ShmSession
 from ...faults import ALL_FAULT_KINDS, FaultPlan
 from ...serve import ShardedBatchService, response_log, synthetic_stream
 from ...simulator import simulate
@@ -211,6 +212,112 @@ register_spec(BenchSpec(
         Gate("solve_speedup", "solve_speedup", ">=", 10.0,
              wallclock=True),
         Gate("ab_speedup", "ab_speedup", ">=", 10.0, wallclock=True),
+    ),
+))
+
+
+def _run_e28(params: Dict[str, Any], wallclock: bool) -> SpecResult:
+    branching, height = params["branching"], params["height"]
+    width = params["width"]
+    tree = iid_boolean(
+        branching, height, level_invariant_bias(branching),
+        seed=params["seed"],
+    )
+    reference = parallel_solve(
+        tree, width, keep_batches=True, backend="arena"
+    )
+    sequential = parallel_solve(tree, 0, backend="arena")
+    identical = 1.0
+    for p in params["p_grid"]:
+        for chunk in params["chunk_sizes"]:
+            shm = parallel_solve(
+                tree, width, keep_batches=True, backend="arena",
+                executor="shm",
+                shm_options=ShmOptions(workers=p, chunk_size=chunk),
+            )
+            if _signature(shm) != _signature(reference):
+                identical = 0.0
+    # One alpha-beta cell keeps the minmax half of the executor honest
+    # without doubling the sweep.
+    minmax_tree = iid_minmax(branching, height, seed=params["seed"])
+    ab_reference = parallel_alpha_beta(
+        minmax_tree, 1, keep_batches=True, backend="arena"
+    )
+    ab_shm = parallel_alpha_beta(
+        minmax_tree, 1, keep_batches=True, backend="arena",
+        executor="shm", shm_options=ShmOptions(workers=2),
+    )
+    ab_identical = (
+        1.0 if _signature(ab_shm) == _signature(ab_reference) else 0.0
+    )
+    # The paper's Theorem 1 speedup is S(T)/steps = c.(n+1); report
+    # the measured constant so the trajectory tracks it.
+    step_speedup = sequential.num_steps / reference.num_steps
+    metrics = {
+        "solve_identical": identical,
+        "ab_identical": ab_identical,
+        "backends_identical": min(identical, ab_identical),
+        "steps": float(reference.num_steps),
+        "work": float(reference.total_work),
+        "seq_steps": float(sequential.num_steps),
+        "step_speedup": step_speedup,
+        "c_hat": step_speedup / (height + 1),
+    }
+    wc: Dict[str, float] = {}
+    if wallclock:
+        oracle = CalibratedOracle(
+            params["oracle_cost_s"], params["oracle_mode"]
+        )
+        repeats = params["repeats"]
+        times: Dict[int, float] = {}
+        for p in params["p_grid"]:
+            with ShmSession(
+                tree, ShmOptions(workers=p, oracle=oracle)
+            ) as session:
+                times[p] = best_of(
+                    lambda: session.parallel_solve(width), repeats
+                )
+        grid = list(params["p_grid"])
+        base = times[grid[0]]
+        for p in grid:
+            wc[f"t_p{p}"] = times[p]
+            wc[f"speedup_p{p}"] = base / times[p]
+        # Monotone within 5% noise: adding workers never slows a step
+        # barrier down by more than jitter.
+        monotone = 1.0
+        for lo, hi in zip(grid, grid[1:]):
+            if times[hi] > times[lo] * 1.05:
+                monotone = 0.0
+        wc["monotone_speedup"] = monotone
+        wc["oracle_floor_s"] = reference.total_work * params[
+            "oracle_cost_s"
+        ]
+    return SpecResult(metrics=metrics, wallclock_metrics=wc)
+
+
+register_spec(BenchSpec(
+    name="e28",
+    suite="infra",
+    title="Shared-memory leaf evaluation - hardware speedup vs c.(n+1)",
+    seed=2028,
+    runner=_run_e28,
+    params={
+        "branching": 3, "height": 6, "width": 1, "seed": 2028,
+        "p_grid": (1, 2, 4), "chunk_sizes": (None, 3),
+        "oracle_cost_s": 0.004, "oracle_mode": "sleep", "repeats": 2,
+    },
+    # The quick profile is the CI canary: a smaller tree, p <= 2, one
+    # chunking policy, and no wall-clock leg (the snapshot must be
+    # byte-identical across runs).
+    quick_params={
+        "height": 5, "p_grid": (1, 2), "chunk_sizes": (None,),
+        "repeats": 1,
+    },
+    gates=(
+        Gate("step_identity", "backends_identical", ">=", 1.0),
+        Gate("speedup_p4", "speedup_p4", ">=", 1.8, wallclock=True),
+        Gate("monotone", "monotone_speedup", ">=", 1.0,
+             wallclock=True),
     ),
 ))
 

@@ -30,7 +30,13 @@ from .frontier import (
     IncrementalTeamPolicy,
     IncrementalWidthPolicy,
 )
-from .parallel_solve import BACKENDS, parallel_solve, saturation_solve, span
+from .parallel_solve import (
+    BACKENDS,
+    EXECUTORS,
+    parallel_solve,
+    saturation_solve,
+    span,
+)
 from .policies import (
     BoundedWidthPolicy,
     SaturationPolicy,
@@ -47,6 +53,16 @@ from .sequential_solve import (
     sequential_solve,
     solve_subtree,
 )
+from .shm import (
+    ShmOptions,
+    ShmRunResult,
+    ShmSession,
+    shm_parallel_alpha_beta,
+    shm_parallel_solve,
+    shm_saturation_solve,
+    shm_sequential_alpha_beta,
+    shm_team_solve,
+)
 from .solve_engine import run_boolean
 from .status import BooleanState
 from .team_solve import team_solve
@@ -62,6 +78,15 @@ __all__ = [
     "run_boolean",
     "BooleanState",
     "BACKENDS",
+    "EXECUTORS",
+    "ShmOptions",
+    "ShmRunResult",
+    "ShmSession",
+    "shm_parallel_solve",
+    "shm_saturation_solve",
+    "shm_team_solve",
+    "shm_sequential_alpha_beta",
+    "shm_parallel_alpha_beta",
     "FrontierIndex",
     "SequentialPolicy",
     "TeamPolicy",

@@ -9,19 +9,26 @@ speed-up on uniform MIN/MAX trees using n+1 processors).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ...models.accounting import EvalResult
 from ...telemetry import Recorder
 from ...trees.base import GameTree
 from ..arena import ArenaAlphaBetaWidthPolicy, arena_alpha_beta
-from ..parallel_solve import resolve_backend
+from ..parallel_solve import (
+    check_shm_support,
+    resolve_backend,
+    resolve_executor,
+)
 from .engine import (
     AlphaBetaWidthPolicy,
     IncrementalAlphaBetaWidthPolicy,
     MinmaxPolicy,
     run_minmax,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..shm import ShmOptions
 
 
 def _width_policy(
@@ -42,10 +49,23 @@ def sequential_alpha_beta(
     *,
     keep_batches: bool = False,
     backend: str = "incremental",
+    executor: str = "inline",
+    shm_options: "Optional[ShmOptions]" = None,
     recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """The alpha-beta pruning procedure, one leaf per basic step."""
-    if resolve_backend(backend) == "arena":
+    backend = resolve_backend(backend)
+    if resolve_executor(executor) == "shm":
+        check_shm_support("sequential-alpha-beta", backend)
+        from ..shm import shm_sequential_alpha_beta
+
+        return shm_sequential_alpha_beta(
+            tree,
+            keep_batches=keep_batches,
+            recorder=recorder,
+            options=shm_options,
+        )
+    if backend == "arena":
         return arena_alpha_beta(
             tree, 0, keep_batches=keep_batches, recorder=recorder
         )
@@ -64,6 +84,8 @@ def parallel_alpha_beta(
     keep_batches: bool = False,
     on_step=None,
     backend: str = "incremental",
+    executor: str = "inline",
+    shm_options: "Optional[ShmOptions]" = None,
     recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Parallel alpha-beta of the given width.
@@ -73,10 +95,26 @@ def parallel_alpha_beta(
     ``"arena"`` (vectorised struct-of-arrays sweeps).  All produce
     identical per-step batches.
 
+    ``executor`` selects where leaf batches are evaluated:
+    ``"inline"`` (in-process, the default) or ``"shm"`` (a
+    shared-memory worker pool over the arena columns, see
+    :mod:`repro.core.shm`; requires ``backend="arena"``).
+
     ``recorder`` attaches a telemetry sink (step spans with prune
     counts, degree samples, frontier counters).
     """
-    if resolve_backend(backend) == "arena" and on_step is None:
+    backend = resolve_backend(backend)
+    if resolve_executor(executor) == "shm":
+        check_shm_support("parallel-alpha-beta", backend, on_step=on_step)
+        from ..shm import shm_parallel_alpha_beta
+
+        return shm_parallel_alpha_beta(
+            tree, width,
+            keep_batches=keep_batches,
+            recorder=recorder,
+            options=shm_options,
+        )
+    if backend == "arena" and on_step is None:
         return arena_alpha_beta(
             tree, width, keep_batches=keep_batches, recorder=recorder
         )

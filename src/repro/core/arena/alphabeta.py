@@ -56,12 +56,23 @@ class _AlphaBetaArena:
         self.beta = np.zeros(n, dtype=np.float64)
 
     # -- finishing ---------------------------------------------------------
-    def finish_leaves(self, batch: np.ndarray) -> None:
-        """Finish a batch of distinct unfinished leaves and cascade."""
+    def finish_leaves(
+        self,
+        batch: np.ndarray,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        """Finish a batch of distinct unfinished leaves and cascade.
+
+        ``values`` supplies the batch's leaf values from an external
+        evaluator (the shared-memory executor); the default reads the
+        lowered column — a pure oracle makes the two paths identical.
+        """
         self._mark_touched(batch)
         self.finished[batch] = True
         self.settled[batch] = True
-        self.finished_value[batch] = self.arrays.values[batch]
+        self.finished_value[batch] = (
+            self.arrays.values[batch] if values is None else values
+        )
         depths = self.arrays.depths[batch]
         buckets: Dict[int, List[np.ndarray]] = {}
         for depth in np.unique(depths).tolist():

@@ -9,6 +9,7 @@ trees, with n+1 processors.
 
 from __future__ import annotations
 
+from ...errors import BackendUnsupportedError
 from ...models.accounting import EvalResult
 from ...trees.base import GameTree
 from ..parallel_solve import resolve_backend
@@ -42,9 +43,12 @@ def n_parallel_solve(
     """
     backend = resolve_backend(backend)
     if backend == "arena":
-        raise ValueError(
-            "the node-expansion model has no arena backend; "
-            "use 'incremental' or 'rescan'"
+        raise BackendUnsupportedError(
+            "engine 'n-parallel-solve' has no arena backend "
+            "(the expansion model grows the tree as it goes, so there "
+            "is nothing to lower up front); use 'incremental' or "
+            "'rescan'",
+            engine="n-parallel-solve", backend="arena",
         )
     if backend == "incremental":
         policy = IncrementalNWidthPolicy(width)

@@ -21,8 +21,9 @@ definition, kept as the reference implementation.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
+from ..errors import BackendUnsupportedError
 from ..models.accounting import EvalResult
 from ..telemetry import Recorder
 from ..trees.base import GameTree
@@ -40,8 +41,17 @@ from .frontier import (
 from .policies import BoundedWidthPolicy, SaturationPolicy, WidthPolicy
 from .solve_engine import Policy, run_boolean
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shm import ShmOptions
+
 #: Selection backends accepted by the solver entry points.
 BACKENDS = ("incremental", "rescan", "arena")
+
+#: Leaf executors accepted by the solver entry points: ``"inline"``
+#: evaluates leaves in-process (the model-step default), ``"shm"``
+#: dispatches each step's batch to a shared-memory worker pool
+#: (:mod:`repro.core.shm`; requires ``backend="arena"``).
+EXECUTORS = ("inline", "shm")
 
 
 def resolve_backend(backend: str) -> str:
@@ -53,6 +63,45 @@ def resolve_backend(backend: str) -> str:
     return backend
 
 
+def resolve_executor(executor: str) -> str:
+    """Validate an ``executor=`` argument, returning it unchanged."""
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return executor
+
+
+def check_shm_support(
+    engine: str,
+    backend: str,
+    *,
+    on_step=None,
+) -> None:
+    """Reject engine configurations the shm executor cannot honour.
+
+    The shared-memory pool maps the arena's flat columns, so only
+    ``backend="arena"`` can feed it; ``on_step`` hooks observe the
+    in-process object-graph state, which a cross-process run does not
+    materialise.  Raises
+    :class:`~repro.errors.BackendUnsupportedError` naming the engine
+    and the rejected combination.
+    """
+    if backend != "arena":
+        raise BackendUnsupportedError(
+            f"engine {engine!r} supports executor='shm' only on the "
+            f"arena backend (shared memory maps the lowered columns); "
+            f"got backend={backend!r}",
+            engine=engine, backend=backend, executor="shm",
+        )
+    if on_step is not None:
+        raise BackendUnsupportedError(
+            f"engine {engine!r} cannot combine executor='shm' with an "
+            f"on_step hook (the hook observes in-process state)",
+            engine=engine, backend=backend, executor="shm",
+        )
+
+
 def parallel_solve(
     tree: GameTree,
     width: int = 1,
@@ -61,6 +110,8 @@ def parallel_solve(
     keep_batches: bool = False,
     on_step=None,
     backend: str = "incremental",
+    executor: str = "inline",
+    shm_options: "Optional[ShmOptions]" = None,
     recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Run Parallel SOLVE of the given width on a Boolean tree.
@@ -74,11 +125,29 @@ def parallel_solve(
     ``"arena"`` (vectorised struct-of-arrays sweeps).  All produce
     identical per-step batches.
 
+    ``executor`` selects where leaf batches are evaluated:
+    ``"inline"`` (in-process, the default) or ``"shm"`` (a
+    shared-memory worker pool over the arena columns, see
+    :mod:`repro.core.shm`; requires ``backend="arena"`` and tuned via
+    ``shm_options``).  Batches, steps and values are identical across
+    executors for pure oracles.
+
     ``recorder`` attaches a telemetry sink (step spans, degree
     samples, frontier counters); the default records nothing.
     """
     policy: Policy
     backend = resolve_backend(backend)
+    if resolve_executor(executor) == "shm":
+        check_shm_support("parallel-solve", backend, on_step=on_step)
+        from .shm import shm_parallel_solve
+
+        return shm_parallel_solve(
+            tree, width,
+            max_processors=max_processors,
+            keep_batches=keep_batches,
+            recorder=recorder,
+            options=shm_options,
+        )
     if backend == "arena":
         if on_step is None:
             return arena_parallel_solve(
@@ -117,11 +186,23 @@ def saturation_solve(
     *,
     keep_batches: bool = False,
     backend: str = "incremental",
+    executor: str = "inline",
+    shm_options: "Optional[ShmOptions]" = None,
     recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Evaluate every live leaf at every step (unbounded parallelism)."""
     policy: Policy
     backend = resolve_backend(backend)
+    if resolve_executor(executor) == "shm":
+        check_shm_support("saturation-solve", backend)
+        from .shm import shm_saturation_solve
+
+        return shm_saturation_solve(
+            tree,
+            keep_batches=keep_batches,
+            recorder=recorder,
+            options=shm_options,
+        )
     if backend == "arena":
         return arena_saturation_solve(
             tree, keep_batches=keep_batches, recorder=recorder

@@ -1,0 +1,44 @@
+"""Shared-memory parallel leaf evaluation over the arena columns.
+
+``repro.core.shm`` is the bridge from the paper's model-step speedups
+to measured hardware: the arena's
+:class:`~repro.trees.canonical.CanonicalArrays` columns are mapped
+into :mod:`multiprocessing.shared_memory` blocks once per tree
+(:mod:`~repro.core.shm.segments`), a persistent worker pool built on
+:class:`~repro.models.executors.OracleRuntime` evaluates each step's
+leaf batch in place (:mod:`~repro.core.shm.pool`), and the arena step
+loops run the paper's synchronous rounds over that barrier
+(:mod:`~repro.core.shm.engine`).  The solver entry points expose it as
+``backend="arena", executor="shm"``; experiment e28 measures the
+resulting wall-clock speed-up curve against the c·(n+1) prediction.
+"""
+
+from .engine import (
+    ShmOptions,
+    ShmRunResult,
+    ShmSession,
+    shm_parallel_alpha_beta,
+    shm_parallel_solve,
+    shm_saturation_solve,
+    shm_sequential_alpha_beta,
+    shm_team_solve,
+)
+from .oracle import CalibratedOracle, identity_oracle
+from .pool import ShmPool
+from .segments import ArenaSegments, SegmentSpec
+
+__all__ = [
+    "ArenaSegments",
+    "CalibratedOracle",
+    "SegmentSpec",
+    "ShmOptions",
+    "ShmPool",
+    "ShmRunResult",
+    "ShmSession",
+    "identity_oracle",
+    "shm_parallel_alpha_beta",
+    "shm_parallel_solve",
+    "shm_saturation_solve",
+    "shm_sequential_alpha_beta",
+    "shm_team_solve",
+]

@@ -1,0 +1,68 @@
+"""Leaf oracles for the shared-memory executor.
+
+The determinism contract of ``executor="shm"`` is that the oracle is a
+*pure function of the stored leaf value* — it may take wall-clock time
+(that is the whole point: the paper's speed-up only materialises on
+hardware when leaf evaluation is expensive), but the value it returns
+must equal what the serial arena engines read straight out of
+``CanonicalArrays.values``.  Both oracles here satisfy that:
+
+* :func:`identity_oracle` — return the stored value, free.  The
+  default; shm runs with it are pure determinism canaries.
+* :class:`CalibratedOracle` — return the stored value after burning a
+  fixed cost per leaf, either by sleeping (machine-independent; the
+  mode experiment e28 registers, since sleeping workers overlap on any
+  core count) or by spinning (real CPU work, for measuring speed-up on
+  actual cores).
+
+Oracles cross the process boundary by pickle, so both are module-level
+and carry only plain data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["CalibratedOracle", "identity_oracle"]
+
+
+def identity_oracle(value: float, index: int) -> float:
+    """The free oracle: a leaf's value is already its evaluation."""
+    return value
+
+
+@dataclass(frozen=True)
+class CalibratedOracle:
+    """A leaf oracle costing a fixed ``cost_s`` seconds per call.
+
+    ``mode="sleep"`` blocks in ``time.sleep`` (workers overlap even on
+    a single core — the machine-independent calibration e28 uses);
+    ``mode="spin"`` busy-waits on the monotonic clock (real CPU load,
+    for measuring against physical cores).  Either way the stored
+    value comes back unchanged, so batches and root values stay
+    bit-identical to the serial engines.
+    """
+
+    cost_s: float
+    mode: str = "sleep"
+
+    def __post_init__(self) -> None:
+        if self.cost_s < 0:
+            raise ValueError("cost_s must be >= 0")
+        if self.mode not in ("sleep", "spin"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; expected 'sleep' or 'spin'"
+            )
+
+    def __call__(self, value: float, index: int) -> float:
+        if self.cost_s > 0:
+            if self.mode == "sleep":
+                time.sleep(self.cost_s)
+            else:
+                deadline = (
+                    time.perf_counter() + self.cost_s  # lint: disable=R7
+                )
+                while time.perf_counter() < deadline:  # lint: disable=R7
+                    pass
+        return value

@@ -9,16 +9,23 @@ It is the baseline that Parallel SOLVE's width strategy improves on.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..models.accounting import EvalResult
 from ..telemetry import Recorder
 from ..trees.base import GameTree
 from .arena import arena_team_solve
 from .frontier import IncrementalTeamPolicy
-from .parallel_solve import resolve_backend
+from .parallel_solve import (
+    check_shm_support,
+    resolve_backend,
+    resolve_executor,
+)
 from .policies import TeamPolicy
 from .solve_engine import Policy, run_boolean
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shm import ShmOptions
 
 
 def team_solve(
@@ -27,15 +34,28 @@ def team_solve(
     *,
     keep_batches: bool = False,
     backend: str = "incremental",
+    executor: str = "inline",
+    shm_options: "Optional[ShmOptions]" = None,
     recorder: Optional[Recorder] = None,
 ) -> EvalResult:
     """Run Team SOLVE with ``processors`` processors on a Boolean tree.
 
-    ``backend`` selects the frontier engine (see
+    ``backend`` selects the frontier engine and ``executor`` the leaf
+    evaluation site (see
     :func:`repro.core.parallel_solve.parallel_solve`).
     """
     policy: Policy
     backend = resolve_backend(backend)
+    if resolve_executor(executor) == "shm":
+        check_shm_support("team-solve", backend)
+        from .shm import shm_team_solve
+
+        return shm_team_solve(
+            tree, processors,
+            keep_batches=keep_batches,
+            recorder=recorder,
+            options=shm_options,
+        )
     if backend == "arena":
         return arena_team_solve(
             tree, processors, keep_batches=keep_batches, recorder=recorder

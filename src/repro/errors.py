@@ -66,6 +66,41 @@ class FaultPlanError(ReproError, ValueError):
     """
 
 
+class BackendUnsupportedError(ReproError, ValueError):
+    """An engine was asked for a backend/executor pairing it cannot run.
+
+    Raised at *entry-point* time — before any work happens — when a
+    solver is handed a ``backend=`` or ``executor=`` combination that
+    is syntactically valid but semantically impossible for that engine
+    (the node-expansion model has no arena backend; the shared-memory
+    executor needs the arena's flat columns; ``on_step`` hooks need
+    the in-process object-graph loop).  The message always names the
+    engine and the rejected combination.
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that predate the typed hierarchy.
+
+    Attributes
+    ----------
+    engine / backend / executor:
+        The engine name and the rejected ``backend=`` / ``executor=``
+        arguments (``None`` when not part of the rejection).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        engine: "str | None" = None,
+        backend: "str | None" = None,
+        executor: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.engine = engine
+        self.backend = backend
+        self.executor = executor
+
+
 class DegradedRunError(ReproError):
     """The oracle runtime's circuit breaker tripped.
 

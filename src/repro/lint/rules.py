@@ -135,7 +135,10 @@ class DeterminismRule(Rule):
         "faults/oracle.py",
         "gateway/aio.py",
     )
-    ALLOWED_PREFIXES = ("bench/",)
+    # core/shm/ exists to produce wall-clock numbers (like the bench
+    # harness); its batches/values stay pinned to the serial arena by
+    # the shm differential and golden suites.
+    ALLOWED_PREFIXES = ("bench/", "core/shm/")
 
     def _exempt(self, ctx: ModuleContext) -> bool:
         return (

@@ -40,6 +40,11 @@ def _backend(params: Mapping[str, Any]) -> str:
     return backend
 
 
+def _executor(params: Mapping[str, Any]) -> str:
+    executor: str = params.get("executor", "inline")
+    return executor
+
+
 def _sequential(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core import sequential_solve
 
@@ -51,7 +56,8 @@ def _team(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core import team_solve
 
     res = team_solve(
-        tree, params.get("processors", 4), backend=_backend(params)
+        tree, params.get("processors", 4), backend=_backend(params),
+        executor=_executor(params),
     )
     return float(res.value), res.num_steps, res.total_work
 
@@ -60,7 +66,8 @@ def _parallel(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core import parallel_solve
 
     res = parallel_solve(
-        tree, params.get("width", 1), backend=_backend(params)
+        tree, params.get("width", 1), backend=_backend(params),
+        executor=_executor(params),
     )
     return float(res.value), res.num_steps, res.total_work
 
@@ -100,7 +107,9 @@ def _sequential_ab(
 ) -> EngineOutcome:
     from ..core.alphabeta import sequential_alpha_beta
 
-    res = sequential_alpha_beta(tree, backend=_backend(params))
+    res = sequential_alpha_beta(
+        tree, backend=_backend(params), executor=_executor(params)
+    )
     return float(res.value), res.num_steps, res.total_work
 
 
@@ -126,7 +135,8 @@ def _parallel_ab(tree: GameTree, params: Mapping[str, Any]) -> EngineOutcome:
     from ..core.alphabeta import parallel_alpha_beta
 
     res = parallel_alpha_beta(
-        tree, params.get("width", 1), backend=_backend(params)
+        tree, params.get("width", 1), backend=_backend(params),
+        executor=_executor(params),
     )
     return float(res.value), res.num_steps, res.total_work
 

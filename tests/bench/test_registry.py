@@ -141,10 +141,10 @@ class TestSelection:
 class TestRealRegistry:
     def test_all_paper_and_infra_specs_registered(self):
         names = list_specs()
-        for i in range(1, 28):
+        for i in range(1, 29):
             assert f"e{i:02d}" in names, f"e{i:02d} missing"
         assert "e03b" in names and "e21b" in names
-        assert len(names) == 29
+        assert len(names) == 30
 
     def test_suites(self):
         assert list_suites() == [

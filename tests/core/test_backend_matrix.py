@@ -1,0 +1,191 @@
+"""The engine × backend × executor support matrix, pinned loudly.
+
+Every solver entry point accepts ``backend=`` (and most now
+``executor=``); the combinations that cannot work must be rejected at
+entry time with a typed
+:class:`~repro.errors.BackendUnsupportedError` naming the engine and
+the offending pair — never a silent fallback, and never a bare
+``ValueError`` that callers cannot distinguish from a typo.  This
+suite walks the full matrix: every supported cell runs, every
+unsupported cell raises with the right attributes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parallel_solve, saturation_solve, team_solve
+from repro.core.alphabeta import (
+    parallel_alpha_beta,
+    sequential_alpha_beta,
+)
+from repro.core.nodeexpansion import n_parallel_solve
+from repro.core.parallel_solve import BACKENDS, EXECUTORS
+from repro.core.shm import ShmOptions
+from repro.errors import BackendUnsupportedError, ReproError
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import iid_minmax, level_invariant_bias
+
+#: (label, callable(tree, backend, executor)) per Boolean engine.
+BOOLEAN_ENGINES = [
+    (
+        "parallel-solve",
+        lambda t, b, e: parallel_solve(t, 1, backend=b, executor=e),
+    ),
+    (
+        "saturation-solve",
+        lambda t, b, e: saturation_solve(t, backend=b, executor=e),
+    ),
+    (
+        "team-solve",
+        lambda t, b, e: team_solve(t, 2, backend=b, executor=e),
+    ),
+]
+
+MINMAX_ENGINES = [
+    (
+        "sequential-alpha-beta",
+        lambda t, b, e: sequential_alpha_beta(t, backend=b, executor=e),
+    ),
+    (
+        "parallel-alpha-beta",
+        lambda t, b, e: parallel_alpha_beta(t, 1, backend=b, executor=e),
+    ),
+]
+
+ALL_ENGINES = BOOLEAN_ENGINES + MINMAX_ENGINES
+
+
+@pytest.fixture(scope="module")
+def boolean_tree():
+    return iid_boolean(3, 4, level_invariant_bias(3), seed=5)
+
+
+@pytest.fixture(scope="module")
+def minmax_tree():
+    return iid_minmax(3, 4, seed=5)
+
+
+def _tree_for(label, boolean_tree, minmax_tree):
+    return (
+        minmax_tree if "alpha-beta" in label else boolean_tree
+    )
+
+
+class TestSupportedCells:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("label,run", ALL_ENGINES)
+    def test_inline_runs_on_every_backend(
+        self, label, run, backend, boolean_tree, minmax_tree
+    ):
+        tree = _tree_for(label, boolean_tree, minmax_tree)
+        result = run(tree, backend, "inline")
+        assert result.num_steps >= 1
+
+    @pytest.mark.parametrize("label,run", ALL_ENGINES)
+    def test_shm_runs_on_arena(
+        self, label, run, boolean_tree, minmax_tree
+    ):
+        tree = _tree_for(label, boolean_tree, minmax_tree)
+        inline = run(tree, "arena", "inline")
+        shm = run(tree, "arena", "shm")
+        assert (shm.value, shm.num_steps, shm.total_work) == (
+            inline.value, inline.num_steps, inline.total_work
+        )
+
+
+class TestRejectedCells:
+    @pytest.mark.parametrize("backend", ("incremental", "rescan"))
+    @pytest.mark.parametrize("label,run", ALL_ENGINES)
+    def test_shm_rejected_off_arena(
+        self, label, run, backend, boolean_tree, minmax_tree
+    ):
+        tree = _tree_for(label, boolean_tree, minmax_tree)
+        with pytest.raises(BackendUnsupportedError) as exc_info:
+            run(tree, backend, "shm")
+        err = exc_info.value
+        assert err.engine == label
+        assert err.backend == backend
+        assert err.executor == "shm"
+        assert label in str(err) and backend in str(err)
+
+    def test_n_parallel_solve_rejects_arena(self, boolean_tree):
+        with pytest.raises(
+            BackendUnsupportedError, match="no arena backend"
+        ) as exc_info:
+            n_parallel_solve(boolean_tree, 1, backend="arena")
+        err = exc_info.value
+        assert err.engine == "n-parallel-solve"
+        assert err.backend == "arena"
+        assert err.executor is None
+
+    def test_n_parallel_solve_rejection_is_a_value_error(
+        self, boolean_tree
+    ):
+        # Pre-typed-hierarchy callers caught ValueError; both the
+        # class relationship and the message substring are contract.
+        with pytest.raises(ValueError, match="no arena backend"):
+            n_parallel_solve(boolean_tree, 1, backend="arena")
+
+    @pytest.mark.parametrize(
+        "engine,run",
+        [
+            (
+                "parallel-solve",
+                lambda t, hook: parallel_solve(
+                    t, 1, backend="arena", executor="shm", on_step=hook
+                ),
+            ),
+            (
+                "parallel-alpha-beta",
+                lambda t, hook: parallel_alpha_beta(
+                    t, 1, backend="arena", executor="shm", on_step=hook
+                ),
+            ),
+        ],
+    )
+    def test_on_step_conflicts_with_shm(
+        self, engine, run, boolean_tree, minmax_tree
+    ):
+        tree = _tree_for(engine, boolean_tree, minmax_tree)
+        hook_calls = []
+        with pytest.raises(BackendUnsupportedError) as exc_info:
+            run(tree, lambda *a: hook_calls.append(a))
+        assert exc_info.value.engine == engine
+        assert not hook_calls
+
+
+class TestErrorShape:
+    def test_is_repro_and_value_error(self):
+        err = BackendUnsupportedError(
+            "nope", engine="e", backend="b", executor="x"
+        )
+        assert isinstance(err, ReproError)
+        assert isinstance(err, ValueError)
+        assert (err.engine, err.backend, err.executor) == ("e", "b", "x")
+
+    @pytest.mark.parametrize("label,run", ALL_ENGINES)
+    def test_unknown_backend_still_plain_value_error(
+        self, label, run, boolean_tree, minmax_tree
+    ):
+        tree = _tree_for(label, boolean_tree, minmax_tree)
+        with pytest.raises(ValueError, match="unknown backend"):
+            run(tree, "bogus", "inline")
+
+    @pytest.mark.parametrize("label,run", ALL_ENGINES)
+    def test_unknown_executor_still_plain_value_error(
+        self, label, run, boolean_tree, minmax_tree
+    ):
+        tree = _tree_for(label, boolean_tree, minmax_tree)
+        with pytest.raises(ValueError, match="unknown executor"):
+            run(tree, "arena", "bogus")
+
+
+def test_shm_options_threading(boolean_tree):
+    """shm_options reaches the pool (observable via run stats)."""
+    result = parallel_solve(
+        boolean_tree, 1, backend="arena", executor="shm",
+        shm_options=ShmOptions(workers=2, chunk_size=1),
+    )
+    # chunk_size=1 means one chunk per leaf evaluated.
+    assert result.stats.chunks == result.stats.units == result.total_work

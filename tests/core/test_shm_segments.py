@@ -1,0 +1,127 @@
+"""Unit tests for the shared-memory segment layer.
+
+Covers the publish/attach/close lifecycle of
+:class:`repro.core.shm.segments.ArenaSegments` in-process: column
+contents, idempotent teardown, name uniqueness, and the failure modes
+(attach to a vanished spec, pooling over closed segments).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.shm import ArenaSegments, SegmentSpec, ShmPool
+from repro.trees.canonical import canonical_arrays
+from repro.trees.generators import iid_boolean
+from repro.trees.generators.iid import level_invariant_bias
+
+
+@pytest.fixture()
+def arrays():
+    tree = iid_boolean(3, 4, level_invariant_bias(3), seed=9)
+    return canonical_arrays(tree)
+
+
+def _gone(name: str) -> bool:
+    try:
+        blk = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    blk.close()
+    return False
+
+
+class TestPublish:
+    def test_columns_match_arrays(self, arrays):
+        with ArenaSegments.publish(arrays) as segments:
+            leaves = np.flatnonzero(arrays.is_leaf)
+            np.testing.assert_array_equal(
+                segments.values[leaves], arrays.values[leaves]
+            )
+            assert segments.values.shape == (arrays.n_nodes,)
+            assert segments.batch.dtype == np.int64
+            assert segments.out.dtype == np.float64
+
+    def test_spec_is_picklable_plain_data(self, arrays):
+        import pickle
+
+        with ArenaSegments.publish(arrays) as segments:
+            spec = segments.spec
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert isinstance(clone, SegmentSpec)
+            assert clone.n_nodes == arrays.n_nodes
+
+    def test_unique_names_across_sessions(self, arrays):
+        with ArenaSegments.publish(arrays) as a:
+            with ArenaSegments.publish(arrays) as b:
+                names_a = {
+                    a.spec.values_name, a.spec.batch_name, a.spec.out_name
+                }
+                names_b = {
+                    b.spec.values_name, b.spec.batch_name, b.spec.out_name
+                }
+                assert len(names_a) == 3
+                assert not names_a & names_b
+
+
+class TestAttach:
+    def test_attach_sees_owner_writes(self, arrays):
+        with ArenaSegments.publish(arrays) as owner:
+            view = ArenaSegments.attach(owner.spec)
+            try:
+                owner.batch[0] = 42
+                owner.out[1] = 0.5
+                assert int(view.batch[0]) == 42
+                assert float(view.out[1]) == 0.5
+                # ...and the other direction (workers write `out`).
+                view.out[2] = 7.0
+                assert float(owner.out[2]) == 7.0
+            finally:
+                view.close()
+
+    def test_attacher_close_does_not_unlink(self, arrays):
+        with ArenaSegments.publish(arrays) as owner:
+            view = ArenaSegments.attach(owner.spec)
+            view.close()
+            assert not _gone(owner.spec.values_name)
+        assert _gone(owner.spec.values_name)
+
+    def test_attach_after_unlink_raises(self, arrays):
+        segments = ArenaSegments.publish(arrays)
+        spec = segments.spec
+        segments.close()
+        with pytest.raises(FileNotFoundError):
+            ArenaSegments.attach(spec)
+
+
+class TestClose:
+    def test_owner_close_unlinks_all_three(self, arrays):
+        segments = ArenaSegments.publish(arrays)
+        spec = segments.spec
+        segments.close()
+        assert segments.closed
+        for name in (spec.values_name, spec.batch_name, spec.out_name):
+            assert _gone(name)
+
+    def test_close_is_idempotent(self, arrays):
+        segments = ArenaSegments.publish(arrays)
+        segments.close()
+        segments.close()
+        assert segments.closed
+
+    def test_close_drops_views(self, arrays):
+        segments = ArenaSegments.publish(arrays)
+        segments.close()
+        assert segments.values is None
+        assert segments.batch is None
+        assert segments.out is None
+
+    def test_pool_over_closed_segments_rejected(self, arrays):
+        segments = ArenaSegments.publish(arrays)
+        segments.close()
+        with pytest.raises(ValueError, match="closed segments"):
+            ShmPool(segments)
